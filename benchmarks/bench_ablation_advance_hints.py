@@ -1,0 +1,43 @@
+"""Ablation: positive-predicate advance hints vs naive per-node enumeration.
+
+The heart of the PPRED result (Section 5.5) is that positive predicates let
+the evaluator *skip* regions of the per-node position space, turning the
+per-node cartesian product into a single merge-like scan.  This ablation
+measures exactly that design choice by running the same positive-predicate
+query
+
+* with the PPRED pipelined engine (hints on), and
+* with the naive COMP engine (hints off -- full per-node cartesian product),
+
+on datasets with increasingly fat inverted-list entries, where the gap should
+widen roughly like ``pos_per_entry^(toks_Q - 1)``.
+
+Run with ``pytest benchmarks/bench_ablation_advance_hints.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import workload_queries
+
+from support import QUERY_TOKENS, make_engine
+
+NUM_TOKENS = 3
+NUM_PREDICATES = 2
+
+CASES = [("hints-on (PPRED)", "ppred"), ("hints-off (naive COMP)", "comp")]
+
+
+@pytest.mark.parametrize("pos_per_entry", (2, 4, 8))
+@pytest.mark.parametrize("label, engine_name", CASES, ids=[c[0] for c in CASES])
+def test_ablation_advance_hints(
+    benchmark, indexes_by_pos_per_entry, pos_per_entry, label, engine_name
+):
+    index = indexes_by_pos_per_entry[pos_per_entry]
+    query = workload_queries(QUERY_TOKENS, NUM_TOKENS, NUM_PREDICATES)["POSITIVE"]
+    engine = make_engine(engine_name, index)
+    benchmark.group = f"Ablation: advance hints | positions per entry = {pos_per_entry}"
+    matches = benchmark(engine.evaluate, query)
+    benchmark.extra_info["matches"] = len(matches)
+    benchmark.extra_info["variant"] = label

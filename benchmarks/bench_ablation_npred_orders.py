@@ -1,0 +1,55 @@
+"""Ablation: NPRED permutation threads -- all total orders vs minimal orders.
+
+The basic NPRED algorithm (Section 5.6.2) runs one evaluation thread per
+total order of the query-token cursors (up to ``toks_Q!``); the paper notes
+that "our implementation generates only the necessary partial orders".  This
+ablation measures both strategies on negative-predicate queries with a
+growing number of query tokens, where only two of the tokens participate in
+the negative predicate -- exactly the case where the minimal strategy wins.
+
+Run with ``pytest benchmarks/bench_ablation_npred_orders.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.npred_engine import NPredEngine
+from repro.languages import ast
+
+from support import QUERY_TOKENS
+
+
+def negative_query(num_tokens: int) -> ast.QueryNode:
+    """``num_tokens`` bindings, one not_distance predicate over the first two."""
+    variables = [f"p{i + 1}" for i in range(num_tokens)]
+    conjuncts: list[ast.QueryNode] = [
+        ast.VarHasToken(var, token)
+        for var, token in zip(variables, QUERY_TOKENS)
+    ]
+    conjuncts.append(ast.PredQuery("not_distance", (variables[0], variables[1]), (5,)))
+    body: ast.QueryNode = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        body = ast.AndQuery(body, conjunct)
+    for var in reversed(variables):
+        body = ast.SomeQuery(var, body)
+    return body
+
+
+@pytest.mark.parametrize("num_tokens", (2, 3, 4))
+@pytest.mark.parametrize("orders", ("minimal", "all"))
+def test_ablation_npred_orders(benchmark, default_index, num_tokens, orders):
+    query = negative_query(num_tokens)
+    engine = NPredEngine(default_index, orders=orders)
+    benchmark.group = f"Ablation: NPRED orders | query tokens = {num_tokens}"
+    matches = benchmark(engine.evaluate, query)
+    benchmark.extra_info["matches"] = len(matches)
+    benchmark.extra_info["orders"] = orders
+
+
+def test_both_strategies_return_identical_answers(default_index):
+    for num_tokens in (2, 3, 4):
+        query = negative_query(num_tokens)
+        minimal = NPredEngine(default_index, orders="minimal").evaluate(query)
+        exhaustive = NPredEngine(default_index, orders="all").evaluate(query)
+        assert minimal == exhaustive

@@ -1,0 +1,46 @@
+"""Ablation: scoring overhead.
+
+The scoring framework (Section 3) attaches per-tuple scores and per-operator
+transformations.  This ablation measures the overhead of TF-IDF and
+probabilistic score propagation relative to unscored evaluation, for the
+merge-based BOOL engine and for the materialising COMP engine (which
+propagates scores through every algebra operator).
+
+Run with ``pytest benchmarks/bench_ablation_scoring.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import workload_queries
+from repro.engine.bool_engine import BoolEngine
+from repro.engine.naive_engine import NaiveCompEngine
+from repro.scoring import ProbabilisticScoring, TfIdfScoring
+
+from support import QUERY_TOKENS
+
+SCORING = [("unscored", None), ("tfidf", TfIdfScoring), ("probabilistic", ProbabilisticScoring)]
+
+
+@pytest.mark.parametrize("label, model_cls", SCORING, ids=[s[0] for s in SCORING])
+def test_ablation_bool_engine_scoring(benchmark, default_index, label, model_cls):
+    query = workload_queries(QUERY_TOKENS, 3, 0)["BOOL"]
+    model = model_cls(default_index.statistics) if model_cls else None
+    engine = BoolEngine(default_index, scoring=model)
+    benchmark.group = "Ablation: scoring overhead | BOOL merge engine"
+    if model is None:
+        benchmark(engine.evaluate, query)
+    else:
+        benchmark(engine.evaluate_scored, query)
+    benchmark.extra_info["scoring"] = label
+
+
+@pytest.mark.parametrize("label, model_cls", SCORING, ids=[s[0] for s in SCORING])
+def test_ablation_comp_engine_scoring(benchmark, default_index, label, model_cls):
+    query = workload_queries(QUERY_TOKENS, 3, 2)["POSITIVE"]
+    model = model_cls(default_index.statistics) if model_cls else None
+    engine = NaiveCompEngine(default_index, scoring=model)
+    benchmark.group = "Ablation: scoring overhead | naive COMP engine"
+    benchmark(engine.evaluate_full, query)
+    benchmark.extra_info["scoring"] = label

@@ -1,0 +1,60 @@
+"""Figure 3: the complexity hierarchy, measured.
+
+Figure 3 of the paper is analytic (operation-count bounds per language).
+This benchmark measures the corresponding *implemented* algorithms on the
+same query over the same data, so the report shows the measured hierarchy
+
+    BOOL  <=  PPRED  <=  NPRED  <=  COMP
+
+next to the analytic bounds (attached as ``extra_info``).  BOOL is measured
+on the keyword projection of the query (it cannot express the predicates).
+
+Run with ``pytest benchmarks/bench_fig3_complexity_hierarchy.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.complexity import HIERARCHY, QueryParameters
+from repro.bench.workload import workload_queries
+from repro.languages import ast
+
+from support import QUERY_TOKENS, make_engine
+
+NUM_TOKENS = 3
+NUM_PREDICATES = 2
+
+CASES = [
+    ("BOOL", "bool", "BOOL"),
+    ("PPRED", "ppred", "POSITIVE"),
+    ("NPRED", "npred", "NEGATIVE"),
+    ("COMP", "comp", "NEGATIVE"),
+]
+
+
+@pytest.mark.parametrize(
+    "language, engine_name, variant", CASES, ids=[case[0] for case in CASES]
+)
+def test_fig3_measured_hierarchy(benchmark, default_index, language, engine_name, variant):
+    queries = workload_queries(QUERY_TOKENS, NUM_TOKENS, NUM_PREDICATES)
+    query = queries[variant]
+    engine = make_engine(engine_name, default_index)
+    benchmark.group = "Figure 3 | measured hierarchy (same data, 3 tokens, 2 predicates)"
+
+    matches = benchmark(engine.evaluate, query)
+
+    measures = ast.query_measures(query)
+    params = default_index.statistics.complexity_parameters()
+    bound_name = "BOOL-NONEG" if language == "BOOL" else language
+    analytic = HIERARCHY[bound_name](
+        params,
+        QueryParameters(
+            toks_q=measures["toks_Q"],
+            preds_q=measures["preds_Q"],
+            ops_q=measures["ops_Q"],
+        ),
+    )
+    benchmark.extra_info["matches"] = len(matches)
+    benchmark.extra_info["analytic_bound_operations"] = analytic
+    benchmark.extra_info["data_parameters"] = params.as_dict()

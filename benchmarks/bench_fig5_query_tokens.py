@@ -1,0 +1,42 @@
+"""Figure 5: evaluation time vs number of query tokens.
+
+The paper varies the number of query tokens from 1 to 5 (default 3, with two
+predicates) on the INEX collection and reports one curve per algorithm:
+BOOL, and PPRED/NPRED/COMP on positive-predicate ("-POS") and
+negative-predicate ("-NEG") queries.  Expected shape: BOOL and PPRED grow
+slowly and roughly linearly; COMP and NPRED grow much faster in the query
+size, with COMP-NEG worst of all.
+
+Run with ``pytest benchmarks/bench_fig5_query_tokens.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import workload_queries
+
+from support import QUERY_TOKENS, SERIES, make_engine
+
+TOKEN_COUNTS = (1, 2, 3, 4, 5)
+
+
+@pytest.mark.parametrize("num_tokens", TOKEN_COUNTS)
+@pytest.mark.parametrize(
+    "series, engine_name, variant", SERIES, ids=[name for name, _, _ in SERIES]
+)
+def test_fig5_query_tokens(
+    benchmark, default_index, num_tokens, series, engine_name, variant
+):
+    num_predicates = min(2, max(num_tokens - 1, 0))
+    queries = workload_queries(QUERY_TOKENS, num_tokens, num_predicates)
+    if variant not in queries:
+        pytest.skip("no negative-predicate variant for predicate-free queries")
+    query = queries[variant]
+    engine = make_engine(engine_name, default_index)
+    benchmark.group = f"Figure 5 | query tokens = {num_tokens}"
+    matches = benchmark(engine.evaluate, query)
+    benchmark.extra_info["series"] = series
+    benchmark.extra_info["matches"] = len(matches)
+    benchmark.extra_info["toks_Q"] = num_tokens
+    benchmark.extra_info["preds_Q"] = num_predicates

@@ -1,0 +1,41 @@
+"""Figure 6: evaluation time vs number of query predicates.
+
+The paper fixes three query tokens and varies the number of predicates from
+0 to 4 (default 2).  Expected shape: BOOL is flat (it ignores predicates);
+PPRED grows slowly and linearly; NPRED-NEG grows with the number of
+permutation threads; COMP pays the per-node cartesian product regardless and
+is the slowest, especially with negative (highly selective) predicates.
+
+Run with ``pytest benchmarks/bench_fig6_query_predicates.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import workload_queries
+
+from support import QUERY_TOKENS, SERIES, make_engine
+
+PREDICATE_COUNTS = (0, 1, 2, 3, 4)
+NUM_TOKENS = 3
+
+
+@pytest.mark.parametrize("num_predicates", PREDICATE_COUNTS)
+@pytest.mark.parametrize(
+    "series, engine_name, variant", SERIES, ids=[name for name, _, _ in SERIES]
+)
+def test_fig6_query_predicates(
+    benchmark, default_index, num_predicates, series, engine_name, variant
+):
+    queries = workload_queries(QUERY_TOKENS, NUM_TOKENS, num_predicates)
+    if variant not in queries:
+        pytest.skip("no negative-predicate variant for predicate-free queries")
+    query = queries[variant]
+    engine = make_engine(engine_name, default_index)
+    benchmark.group = f"Figure 6 | query predicates = {num_predicates}"
+    matches = benchmark(engine.evaluate, query)
+    benchmark.extra_info["series"] = series
+    benchmark.extra_info["matches"] = len(matches)
+    benchmark.extra_info["toks_Q"] = NUM_TOKENS
+    benchmark.extra_info["preds_Q"] = num_predicates

@@ -1,0 +1,40 @@
+"""Figure 7: evaluation time vs number of context nodes (data scalability).
+
+The paper uses 2500 / 6000 / 10000 INEX documents; this suite scales the same
+sweep down to 100 / 300 / 600 synthetic nodes (the shape is what matters:
+BOOL and PPRED scale best -- slow linear growth; NPRED grows linearly too;
+COMP grows fastest because every additional node pays the per-node cartesian
+product of its query-token positions).
+
+Run with ``pytest benchmarks/bench_fig7_context_nodes.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import workload_queries
+
+from support import QUERY_TOKENS, SERIES, make_engine
+
+NODE_COUNTS = (100, 300, 600)
+NUM_TOKENS = 3
+NUM_PREDICATES = 2
+
+
+@pytest.mark.parametrize("num_nodes", NODE_COUNTS)
+@pytest.mark.parametrize(
+    "series, engine_name, variant", SERIES, ids=[name for name, _, _ in SERIES]
+)
+def test_fig7_context_nodes(
+    benchmark, indexes_by_node_count, num_nodes, series, engine_name, variant
+):
+    index = indexes_by_node_count[num_nodes]
+    queries = workload_queries(QUERY_TOKENS, NUM_TOKENS, NUM_PREDICATES)
+    query = queries[variant]
+    engine = make_engine(engine_name, index)
+    benchmark.group = f"Figure 7 | context nodes = {num_nodes}"
+    matches = benchmark(engine.evaluate, query)
+    benchmark.extra_info["series"] = series
+    benchmark.extra_info["matches"] = len(matches)
+    benchmark.extra_info["cnodes"] = num_nodes

@@ -1,0 +1,40 @@
+"""Figure 8: evaluation time vs positions per inverted-list entry.
+
+The paper plants query tokens with at most 5 / 25 / 125 positions per entry;
+this suite uses 2 / 4 / 8 (pure Python).  Increasing the positions per entry
+directly inflates the per-node join size, so COMP degrades fastest while
+BOOL (which never looks at positions) stays flat and PPRED/NPRED grow
+linearly in the number of positions scanned.
+
+Run with ``pytest benchmarks/bench_fig8_positions_per_entry.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import workload_queries
+
+from support import QUERY_TOKENS, SERIES, make_engine
+
+POS_PER_ENTRY = (2, 4, 8)
+NUM_TOKENS = 3
+NUM_PREDICATES = 2
+
+
+@pytest.mark.parametrize("pos_per_entry", POS_PER_ENTRY)
+@pytest.mark.parametrize(
+    "series, engine_name, variant", SERIES, ids=[name for name, _, _ in SERIES]
+)
+def test_fig8_positions_per_entry(
+    benchmark, indexes_by_pos_per_entry, pos_per_entry, series, engine_name, variant
+):
+    index = indexes_by_pos_per_entry[pos_per_entry]
+    queries = workload_queries(QUERY_TOKENS, NUM_TOKENS, NUM_PREDICATES)
+    query = queries[variant]
+    engine = make_engine(engine_name, index)
+    benchmark.group = f"Figure 8 | positions per entry = {pos_per_entry}"
+    matches = benchmark(engine.evaluate, query)
+    benchmark.extra_info["series"] = series
+    benchmark.extra_info["matches"] = len(matches)
+    benchmark.extra_info["pos_per_entry"] = pos_per_entry

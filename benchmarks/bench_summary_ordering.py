@@ -1,0 +1,67 @@
+"""Section 6.1 summary: the qualitative ordering BOOL ≼ PPRED ≼ NPRED ≼ COMP.
+
+This benchmark runs the default experiment point (3 tokens, 2 predicates) for
+every series and, in addition to the timings, *asserts* the paper's
+qualitative claims with generous tolerances:
+
+* PPRED achieves predicate expressiveness at a marginally larger cost than
+  BOOL (here: within 50x -- the paper says "marginally"; pure-Python operator
+  overhead is larger than C++ but stays orders of magnitude under COMP);
+* NPRED is faster than COMP on negative-predicate queries;
+* PPRED is faster than COMP on positive-predicate queries.
+
+Run with ``pytest benchmarks/bench_summary_ordering.py --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.workload import workload_queries
+
+from support import QUERY_TOKENS, SERIES, make_engine
+
+NUM_TOKENS = 3
+NUM_PREDICATES = 2
+
+
+def _best_time(engine, query, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        engine.evaluate(query)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.parametrize(
+    "series, engine_name, variant", SERIES, ids=[name for name, _, _ in SERIES]
+)
+def test_summary_series_timing(benchmark, default_index, series, engine_name, variant):
+    queries = workload_queries(QUERY_TOKENS, NUM_TOKENS, NUM_PREDICATES)
+    query = queries[variant]
+    engine = make_engine(engine_name, default_index)
+    benchmark.group = "Section 6.1 | default experiment point"
+    matches = benchmark(engine.evaluate, query)
+    benchmark.extra_info["series"] = series
+    benchmark.extra_info["matches"] = len(matches)
+
+
+def test_summary_qualitative_ordering_holds(default_index):
+    queries = workload_queries(QUERY_TOKENS, NUM_TOKENS, NUM_PREDICATES)
+    times = {
+        "BOOL": _best_time(make_engine("bool", default_index), queries["BOOL"]),
+        "PPRED-POS": _best_time(make_engine("ppred", default_index), queries["POSITIVE"]),
+        "NPRED-POS": _best_time(make_engine("npred", default_index), queries["POSITIVE"]),
+        "NPRED-NEG": _best_time(make_engine("npred", default_index), queries["NEGATIVE"]),
+        "COMP-POS": _best_time(make_engine("comp", default_index), queries["POSITIVE"]),
+        "COMP-NEG": _best_time(make_engine("comp", default_index), queries["NEGATIVE"]),
+    }
+    # The headline ordering of Section 6.1.
+    assert times["PPRED-POS"] <= times["COMP-POS"], times
+    assert times["NPRED-NEG"] <= times["COMP-NEG"], times
+    assert times["BOOL"] <= times["COMP-POS"], times
+    # PPRED buys predicates at a bounded overhead over BOOL.
+    assert times["PPRED-POS"] <= times["BOOL"] * 50, times

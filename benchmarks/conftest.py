@@ -1,0 +1,32 @@
+"""Fixtures for the pytest-benchmark suite.
+
+Every benchmark evaluates queries against deterministic synthetic INEX-like
+collections (see ``repro.corpus.synthetic``).  The sizes are chosen so the
+whole suite finishes in a few minutes of pure Python while still showing the
+complexity-driven separations of the paper's figures; ``EXPERIMENTS.md``
+records how to scale the sweeps towards the paper's sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from support import build_index
+
+
+@pytest.fixture(scope="session")
+def default_index():
+    """The fixed dataset used by the query-side sweeps (Figures 5 and 6)."""
+    return build_index()
+
+
+@pytest.fixture(scope="session")
+def indexes_by_node_count():
+    """Datasets of increasing size for Figure 7."""
+    return {count: build_index(num_nodes=count) for count in (100, 300, 600)}
+
+
+@pytest.fixture(scope="session")
+def indexes_by_pos_per_entry():
+    """Datasets with fatter inverted-list entries for Figure 8."""
+    return {value: build_index(pos_per_entry=value) for value in (2, 4, 8)}

@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark suite (dataset construction, engines)."""
+
+from __future__ import annotations
+
+from repro.corpus.synthetic import DEFAULT_QUERY_TOKENS, generate_inex_like_collection
+from repro.engine.bool_engine import BoolEngine
+from repro.engine.naive_engine import NaiveCompEngine
+from repro.engine.npred_engine import NPredEngine
+from repro.engine.ppred_engine import PPredEngine
+from repro.index import InvertedIndex
+
+#: Default dataset shape for the query-side sweeps (Figures 5 and 6).
+DEFAULT_NODES = 300
+DEFAULT_POS_PER_ENTRY = 3
+QUERY_TOKENS = list(DEFAULT_QUERY_TOKENS)
+
+#: The series reported in the paper's figures: (series name, engine, variant).
+SERIES = [
+    ("BOOL", "bool", "BOOL"),
+    ("PPRED-POS", "ppred", "POSITIVE"),
+    ("NPRED-POS", "npred", "POSITIVE"),
+    ("NPRED-NEG", "npred", "NEGATIVE"),
+    ("COMP-POS", "comp", "POSITIVE"),
+    ("COMP-NEG", "comp", "NEGATIVE"),
+]
+
+
+def build_index(
+    num_nodes: int = DEFAULT_NODES,
+    pos_per_entry: int = DEFAULT_POS_PER_ENTRY,
+    tokens_per_node: int = 150,
+) -> InvertedIndex:
+    """A deterministic INEX-like index at benchmark scale."""
+    collection = generate_inex_like_collection(
+        num_nodes=num_nodes,
+        tokens_per_node=tokens_per_node,
+        pos_per_entry=pos_per_entry,
+        document_frequency=0.6,
+        query_tokens=QUERY_TOKENS,
+    )
+    return InvertedIndex(collection)
+
+
+def make_engine(name: str, index: InvertedIndex):
+    """Instantiate one of the four evaluation engines by name."""
+    if name == "bool":
+        return BoolEngine(index)
+    if name == "ppred":
+        return PPredEngine(index)
+    if name == "npred":
+        return NPredEngine(index)
+    if name == "comp":
+        return NaiveCompEngine(index)
+    raise ValueError(f"unknown engine {name!r}")

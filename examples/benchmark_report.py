@@ -1,0 +1,51 @@
+"""Regenerate the paper's evaluation section (Figures 5-8) as text tables.
+
+This drives the same sweeps as the ``benchmarks/`` directory but prints them
+as a single human-readable report, including the qualitative "shape checks"
+of Section 6.1 (BOOL ≼ PPRED ≼ NPRED ≼ COMP, and so on).
+
+Run with::
+
+    python examples/benchmark_report.py            # laptop scale (seconds)
+    python examples/benchmark_report.py --smoke    # tiny smoke-test scale
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import FigureScale, render_report, run_all
+from repro.bench.complexity import QueryParameters, hierarchy_table
+from repro.corpus.synthetic import generate_inex_like_collection
+from repro.index import InvertedIndex
+
+
+def print_complexity_hierarchy() -> None:
+    print("Figure 3: analytic complexity hierarchy (operation bounds)")
+    print("----------------------------------------------------------")
+    collection = generate_inex_like_collection(num_nodes=400, pos_per_entry=4)
+    data = InvertedIndex(collection).statistics.complexity_parameters()
+    query = QueryParameters(toks_q=3, preds_q=2, ops_q=4)
+    print(f"  data parameters : {data.as_dict()}")
+    print(f"  query parameters: toks_Q=3, preds_Q=2, ops_Q=4")
+    for name, bound in hierarchy_table(data, query):
+        print(f"  {name:11} {bound:>18,.0f} operations")
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="run at tiny smoke-test scale"
+    )
+    args = parser.parse_args()
+
+    scale = FigureScale.smoke() if args.smoke else FigureScale.laptop()
+    print_complexity_hierarchy()
+
+    tables = run_all(scale)
+    print(render_report(list(tables.values())))
+
+
+if __name__ == "__main__":
+    main()

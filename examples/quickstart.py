@@ -1,0 +1,70 @@
+"""Quickstart: index a few documents and query them in all three languages.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Collection, FullTextEngine
+
+DOCUMENTS = {
+    "usability-book": """
+        Usability Definition.
+
+        Usability of a software measures how well the software supports
+        achieving an efficient software task completion. A software is
+        considered efficient when users reach their goals quickly.
+
+        More on usability of a software follows in later chapters.
+    """,
+    "testing-article": """
+        Software testing and usability testing are different disciplines.
+        Efficient testing of task completion requires careful test design.
+    """,
+    "databases-article": """
+        Databases support full-text search over relational data.
+        Inverted lists make keyword retrieval efficient.
+    """,
+}
+
+
+def main() -> None:
+    collection = Collection.from_named_texts(DOCUMENTS)
+    engine = FullTextEngine.from_collection(collection, scoring="tfidf")
+
+    print("=== BOOL: keyword search ===")
+    results = engine.search("'usability' AND 'software' AND NOT 'databases'")
+    print(results.summary())
+    for result in results:
+        title = collection.get(result.node_id).metadata.get("title", "?")
+        print(f"  node {result.node_id} ({title})  score={result.score:.4f}")
+
+    print()
+    print("=== DIST: proximity search ===")
+    results = engine.search("dist('task', 'completion', 0)", language="dist")
+    print(results.summary())
+    for result in results:
+        print(f"  node {result.node_id}: {result.preview}")
+
+    print()
+    print("=== COMP: position variables, order and paragraph scope ===")
+    query = (
+        "SOME p1 SOME p2 (p1 HAS 'efficient' AND p2 HAS 'completion' "
+        "AND ordered(p1, p2) AND distance(p1, p2, 10) AND samepara(p1, p2))"
+    )
+    results = engine.search(query)
+    print(results.summary())
+    for result in results:
+        print(f"  node {result.node_id}: {result.preview}")
+
+    print()
+    print("=== Explain: classification and calculus form ===")
+    explanation = engine.explain(query)
+    for key, value in explanation.items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

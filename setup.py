@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in fully offline environments where the PEP 517
+build path (which needs the ``wheel`` package) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

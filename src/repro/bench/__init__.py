@@ -1,0 +1,79 @@
+"""Experiment harness: workloads, sweeps for Figures 5-8, complexity model."""
+
+from repro.bench.complexity import (
+    HIERARCHY,
+    QueryParameters,
+    bool_bound,
+    bool_noneg_bound,
+    comp_bound,
+    dominates,
+    hierarchy_table,
+    npred_bound,
+    ppred_bound,
+)
+from repro.bench.figures import (
+    ALL_FIGURES,
+    FigureScale,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    run_all,
+)
+from repro.bench.harness import (
+    SERIES,
+    ExperimentHarness,
+    ExperimentPoint,
+    ExperimentTable,
+    Measurement,
+)
+from repro.bench.reporting import (
+    ordering_check,
+    render_report,
+    shape_summary,
+    table_to_csv,
+    table_to_text,
+)
+from repro.bench.workload import (
+    NEGATIVE_PREDICATES,
+    POSITIVE_PREDICATES,
+    WorkloadSpec,
+    bool_query,
+    predicate_query,
+    workload_queries,
+)
+
+__all__ = [
+    "HIERARCHY",
+    "QueryParameters",
+    "bool_bound",
+    "bool_noneg_bound",
+    "comp_bound",
+    "dominates",
+    "hierarchy_table",
+    "npred_bound",
+    "ppred_bound",
+    "ALL_FIGURES",
+    "FigureScale",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "run_all",
+    "SERIES",
+    "ExperimentHarness",
+    "ExperimentPoint",
+    "ExperimentTable",
+    "Measurement",
+    "ordering_check",
+    "render_report",
+    "shape_summary",
+    "table_to_csv",
+    "table_to_text",
+    "NEGATIVE_PREDICATES",
+    "POSITIVE_PREDICATES",
+    "WorkloadSpec",
+    "bool_query",
+    "predicate_query",
+    "workload_queries",
+]

@@ -1,0 +1,166 @@
+"""Workload generation for the paper's experiments (Section 6).
+
+The experiments vary three query parameters -- ``toks_Q`` (number of query
+tokens), ``preds_Q`` (number of predicates), ``ops_Q`` (Boolean operations) --
+and two data parameters (number of context nodes, positions per inverted-list
+entry).  This module generates the query side: given a pool of designated
+query tokens (the ones planted by the synthetic corpus generator), it builds
+
+* conjunctive keyword queries for the BOOL series,
+* positive-predicate COMP queries (evaluable by PPRED, NPRED and COMP),
+* negative-predicate COMP queries (evaluable by NPRED and COMP),
+
+all with exactly the requested number of tokens and predicates, mirroring the
+query shapes implied by the paper ("we used the negation of the positive
+predicates to generate the negative predicates queries").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import WorkloadError
+from repro.languages import ast
+
+#: Positive predicate templates cycled through when building queries.  Each is
+#: a (name, needs_constant, constant) triple; the distance limit is generous
+#: so that positive-predicate queries keep a reasonable number of matches.
+POSITIVE_PREDICATES: tuple[tuple[str, int | None], ...] = (
+    ("distance", 50),
+    ("ordered", None),
+    ("samepara", None),
+    ("samesentence", None),
+)
+
+#: Negative counterparts (paper: negative queries are the negations of the
+#: positive ones).  The small distance limit makes ``not_distance`` highly
+#: selective, as observed in the paper's Section 6.3 discussion.
+NEGATIVE_PREDICATES: tuple[tuple[str, int | None], ...] = (
+    ("not_distance", 5),
+    ("not_ordered", None),
+    ("not_samepara", None),
+    ("not_samesentence", None),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Query-shape parameters of one experiment point."""
+
+    num_tokens: int = 3
+    num_predicates: int = 2
+    predicate_kind: str = "positive"  # "positive" | "negative" | "none"
+    tokens: Sequence[str] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_tokens < 1:
+            raise WorkloadError("queries need at least one token")
+        if self.num_predicates < 0:
+            raise WorkloadError("the number of predicates cannot be negative")
+        if self.predicate_kind not in ("positive", "negative", "none"):
+            raise WorkloadError(
+                "predicate_kind must be 'positive', 'negative' or 'none'"
+            )
+        if self.num_predicates > 0 and self.num_tokens < 2:
+            raise WorkloadError("predicates need at least two query tokens")
+        if len(self.tokens) < self.num_tokens:
+            raise WorkloadError(
+                f"need {self.num_tokens} distinct tokens, got {len(self.tokens)}"
+            )
+
+
+def bool_query(tokens: Sequence[str]) -> ast.QueryNode:
+    """A conjunctive BOOL keyword query over ``tokens``."""
+    if not tokens:
+        raise WorkloadError("a BOOL query needs at least one token")
+    node: ast.QueryNode = ast.TokenQuery(tokens[0])
+    for token in tokens[1:]:
+        node = ast.AndQuery(node, ast.TokenQuery(token))
+    return node
+
+
+def predicate_query(spec: WorkloadSpec) -> ast.QueryNode:
+    """A COMP query with ``num_tokens`` HAS bindings and ``num_predicates`` predicates.
+
+    Shape (the same shape as the paper's running example and Figure 4)::
+
+        SOME p1 ... SOME pk (
+            p1 HAS 't1' AND ... AND pk HAS 'tk'
+            AND pred1(p_i, p_j, ...) AND ...
+        )
+    """
+    tokens = list(spec.tokens[: spec.num_tokens])
+    variables = [f"p{i + 1}" for i in range(spec.num_tokens)]
+
+    conjuncts: list[ast.QueryNode] = [
+        ast.VarHasToken(var, token) for var, token in zip(variables, tokens)
+    ]
+    conjuncts.extend(_predicate_conjuncts(spec, variables))
+
+    body: ast.QueryNode = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        body = ast.AndQuery(body, conjunct)
+    for var in reversed(variables):
+        body = ast.SomeQuery(var, body)
+    return body
+
+
+def _predicate_conjuncts(
+    spec: WorkloadSpec, variables: Sequence[str]
+) -> list[ast.QueryNode]:
+    if spec.num_predicates == 0 or spec.predicate_kind == "none":
+        return []
+    templates = (
+        POSITIVE_PREDICATES
+        if spec.predicate_kind == "positive"
+        else NEGATIVE_PREDICATES
+    )
+    pairs = list(itertools.combinations(range(len(variables)), 2))
+    if not pairs:
+        raise WorkloadError("predicates need at least two bound variables")
+    conjuncts: list[ast.QueryNode] = []
+    for index in range(spec.num_predicates):
+        name, constant = templates[index % len(templates)]
+        first, second = pairs[index % len(pairs)]
+        constants = (constant,) if constant is not None else ()
+        conjuncts.append(
+            ast.PredQuery(name, (variables[first], variables[second]), constants)
+        )
+    return conjuncts
+
+
+def workload_queries(
+    tokens: Sequence[str],
+    num_tokens: int = 3,
+    num_predicates: int = 2,
+) -> dict[str, ast.QueryNode]:
+    """The full set of query variants for one experiment point.
+
+    Returns a mapping of series name -> query:
+
+    * ``BOOL``      -- conjunctive keyword query (no predicates);
+    * ``POSITIVE``  -- COMP query with positive predicates (run through the
+      PPRED, NPRED and COMP engines for the ``*-POS`` series);
+    * ``NEGATIVE``  -- COMP query with negative predicates (NPRED-NEG and
+      COMP-NEG series).  Omitted when ``num_predicates`` is 0.
+    """
+    selected = list(tokens[:num_tokens])
+    queries: dict[str, ast.QueryNode] = {"BOOL": bool_query(selected)}
+    positive_spec = WorkloadSpec(
+        num_tokens=num_tokens,
+        num_predicates=num_predicates,
+        predicate_kind="positive" if num_predicates else "none",
+        tokens=selected,
+    )
+    queries["POSITIVE"] = predicate_query(positive_spec)
+    if num_predicates > 0:
+        negative_spec = WorkloadSpec(
+            num_tokens=num_tokens,
+            num_predicates=num_predicates,
+            predicate_kind="negative",
+            tokens=selected,
+        )
+        queries["NEGATIVE"] = predicate_query(negative_spec)
+    return queries

@@ -1,0 +1,216 @@
+"""Command-line interface.
+
+The CLI exposes the typical lifecycle of the library without writing Python:
+
+* ``repro index``      -- tokenize documents and persist a collection/index;
+* ``repro search``     -- run a BOOL / DIST / COMP query against a saved index;
+* ``repro explain``    -- show a query's language class, engine, measures and
+  calculus form without evaluating it;
+* ``repro info``       -- corpus statistics and complexity parameters of an index;
+* ``repro experiment`` -- regenerate the paper's figures as text tables.
+
+Invoke as ``python -m repro ...`` (or the ``repro`` console script when the
+package is installed with entry points enabled).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.bench.complexity import QueryParameters, hierarchy_table
+from repro.bench.figures import ALL_FIGURES, FigureScale, run_all
+from repro.bench.reporting import render_report, shape_summary, table_to_text
+from repro.core.engine import FullTextEngine
+from repro.core.query import parse_query
+from repro.corpus.loaders import load_directory, load_text_files
+from repro.exceptions import ReproError
+from repro.index.inverted_index import InvertedIndex
+from repro.index.storage import load_index, save_collection
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for documentation and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Full-text search languages (EDBT 2006 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    index_cmd = subparsers.add_parser(
+        "index", help="tokenize documents and write a collection file"
+    )
+    index_cmd.add_argument("inputs", nargs="+", help="files or a directory to index")
+    index_cmd.add_argument("-o", "--output", required=True, help="output .json[.gz] file")
+    index_cmd.add_argument(
+        "--glob", default="*.txt", help="file pattern when indexing a directory"
+    )
+    index_cmd.add_argument(
+        "--strip-tags", action="store_true", help="strip XML/HTML tags before indexing"
+    )
+
+    search_cmd = subparsers.add_parser("search", help="run a query against a saved index")
+    search_cmd.add_argument("index_file", help="collection file written by 'repro index'")
+    search_cmd.add_argument("query", help="the query text")
+    search_cmd.add_argument(
+        "--language", default="auto", choices=["auto", "bool", "dist", "comp"]
+    )
+    search_cmd.add_argument(
+        "--engine", default="auto", choices=["auto", "bool", "ppred", "npred", "comp"]
+    )
+    search_cmd.add_argument(
+        "--scoring", default="tfidf", choices=["none", "tfidf", "probabilistic"]
+    )
+    search_cmd.add_argument("--top-k", type=int, default=10)
+
+    explain_cmd = subparsers.add_parser("explain", help="classify a query without running it")
+    explain_cmd.add_argument("query", help="the query text")
+    explain_cmd.add_argument(
+        "--language", default="auto", choices=["auto", "bool", "dist", "comp"]
+    )
+
+    info_cmd = subparsers.add_parser("info", help="statistics of a saved index")
+    info_cmd.add_argument("index_file")
+
+    experiment_cmd = subparsers.add_parser(
+        "experiment", help="regenerate the paper's figures"
+    )
+    experiment_cmd.add_argument(
+        "--figure",
+        default="all",
+        choices=["all", "3", "5", "6", "7", "8"],
+        help="which figure to regenerate",
+    )
+    experiment_cmd.add_argument(
+        "--scale", default="laptop", choices=["smoke", "laptop", "paper"]
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_argument_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "index":
+            return _command_index(args)
+        if args.command == "search":
+            return _command_search(args)
+        if args.command == "explain":
+            return _command_explain(args)
+        if args.command == "info":
+            return _command_info(args)
+        if args.command == "experiment":
+            return _command_experiment(args)
+        parser.error(f"unknown command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Commands
+# --------------------------------------------------------------------------
+def _command_index(args: argparse.Namespace) -> int:
+    inputs = [Path(item) for item in args.inputs]
+    if len(inputs) == 1 and inputs[0].is_dir():
+        collection = load_directory(
+            inputs[0], pattern=args.glob, strip_tags=args.strip_tags
+        )
+    else:
+        collection = load_text_files(inputs, strip_tags=args.strip_tags)
+    save_collection(collection, args.output)
+    summary = collection.describe()
+    print(
+        f"indexed {summary['nodes']} documents "
+        f"({summary['tokens']} tokens, vocabulary {summary['vocabulary']}) "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    index = load_index(args.index_file, validate=False)
+    scoring = None if args.scoring == "none" else args.scoring
+    engine = FullTextEngine(index, scoring=scoring)
+    results = engine.search(
+        args.query, language=args.language, engine=args.engine, top_k=args.top_k
+    )
+    print(results.summary())
+    for rank, result in enumerate(results, start=1):
+        title = index.collection.get(result.node_id).metadata.get("title", "")
+        label = f" [{title}]" if title else ""
+        print(f"{rank:3d}. node {result.node_id}{label}  score={result.score:.4f}")
+        print(f"     {result.preview}")
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    query = parse_query(args.query, args.language)
+    from repro.engine.executor import NATIVE_ENGINE
+
+    print(f"query          : {query.text}")
+    print(f"language class : {query.language_class.value}")
+    print(f"engine         : {NATIVE_ENGINE[query.language_class]}")
+    measures = query.measures()
+    print(
+        "measures       : "
+        f"toks_Q={measures['toks_Q']} preds_Q={measures['preds_Q']} "
+        f"ops_Q={measures['ops_Q']}"
+    )
+    print(f"calculus       : {query.to_calculus().to_text()}")
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    index = load_index(args.index_file, validate=False)
+    summary = index.collection.describe()
+    params = index.statistics.complexity_parameters()
+    print(f"collection     : {index.collection.name}")
+    for key, value in summary.items():
+        print(f"{key:22}: {value}")
+    print("complexity parameters:")
+    for key, value in params.as_dict().items():
+        print(f"  {key:20}: {value}")
+    print("analytic bounds (3 tokens, 2 predicates, 4 operations):")
+    for name, bound in hierarchy_table(params, QueryParameters(3, 2, 4)):
+        print(f"  {name:11}: {bound:,.0f} operations")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    scale = {
+        "smoke": FigureScale.smoke,
+        "laptop": FigureScale.laptop,
+        "paper": FigureScale.paper,
+    }[args.scale]()
+    if args.figure == "3":
+        from repro.corpus.synthetic import generate_inex_like_collection
+
+        collection = generate_inex_like_collection(
+            num_nodes=scale.num_nodes, pos_per_entry=scale.pos_per_entry
+        )
+        params = InvertedIndex(collection).statistics.complexity_parameters()
+        print("Figure 3: analytic complexity hierarchy")
+        for name, bound in hierarchy_table(params, QueryParameters(3, 2, 4)):
+            print(f"  {name:11}: {bound:,.0f} operations")
+        return 0
+    if args.figure == "all":
+        tables = run_all(scale)
+        print(render_report(list(tables.values())))
+        return 0
+    figure = ALL_FIGURES[f"figure{args.figure}"]
+    table = figure(scale)
+    print(table_to_text(table))
+    summary = shape_summary(table)
+    if summary:
+        print()
+        print("\n".join(summary))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

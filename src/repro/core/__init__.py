@@ -1,0 +1,13 @@
+"""High-level public API: the full-text engine facade, queries, results."""
+
+from repro.core.engine import FullTextEngine
+from repro.core.query import Query, parse_query
+from repro.core.results import SearchResult, SearchResults
+
+__all__ = [
+    "FullTextEngine",
+    "Query",
+    "parse_query",
+    "SearchResult",
+    "SearchResults",
+]

@@ -1,0 +1,192 @@
+"""The high-level full-text search engine facade.
+
+:class:`FullTextEngine` is the entry point a downstream user interacts with:
+index a collection once, then run queries written in any of the paper's
+languages (BOOL, DIST, COMP).  Classification, engine selection, evaluation
+and (optional) scoring are delegated to the lower layers; results come back
+as ranked :class:`~repro.core.results.SearchResults`.
+
+Example
+-------
+::
+
+    from repro import Collection, FullTextEngine
+
+    collection = Collection.from_texts([
+        "usability testing of efficient software",
+        "software measures how well users achieve task completion",
+    ])
+    engine = FullTextEngine.from_collection(collection, scoring="tfidf")
+
+    engine.search("'software' AND 'usability'")
+    engine.search("dist('task', 'completion', 0)", language="dist")
+    engine.search(
+        "SOME p1 SOME p2 (p1 HAS 'efficient' AND p2 HAS 'task' "
+        "AND ordered(p1, p2) AND distance(p1, p2, 10))"
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.corpus.collection import Collection
+from repro.exceptions import ScoringError
+from repro.index.inverted_index import InvertedIndex
+from repro.languages import ast
+from repro.model.predicates import Predicate, PredicateRegistry, default_registry
+from repro.scoring.base import ScoringModel, get_model
+from repro.engine.executor import AUTO, EvaluationResult, Executor
+from repro.core.query import Query, parse_query
+from repro.core.results import SearchResult, SearchResults
+
+
+class FullTextEngine:
+    """Index + parser + evaluator + scorer behind one convenient API."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        registry: PredicateRegistry | None = None,
+        scoring: "str | ScoringModel | None" = None,
+        npred_orders: str = "minimal",
+    ) -> None:
+        self.index = index
+        self.registry = registry or default_registry()
+        self.scoring = self._resolve_scoring(scoring)
+        self._executor = Executor(
+            self.index, self.registry, self.scoring, npred_orders=npred_orders
+        )
+
+    # -------------------------------------------------------------- builders
+    @classmethod
+    def from_collection(
+        cls,
+        collection: Collection,
+        registry: PredicateRegistry | None = None,
+        scoring: "str | ScoringModel | None" = None,
+    ) -> "FullTextEngine":
+        """Build an engine by indexing ``collection``."""
+        return cls(InvertedIndex(collection), registry, scoring)
+
+    @classmethod
+    def from_texts(
+        cls,
+        texts: Sequence[str],
+        scoring: "str | ScoringModel | None" = None,
+    ) -> "FullTextEngine":
+        """Build an engine straight from raw text strings (one node each)."""
+        return cls.from_collection(Collection.from_texts(texts), scoring=scoring)
+
+    # ------------------------------------------------------------------ API
+    @property
+    def collection(self) -> Collection:
+        """The indexed collection (the search context)."""
+        return self.index.collection
+
+    def register_predicate(self, predicate: Predicate) -> None:
+        """Add a user-defined position predicate usable in COMP queries."""
+        self.registry.register(predicate)
+
+    def parse(self, text: str, language: str = "auto") -> Query:
+        """Parse and classify a query without evaluating it."""
+        return parse_query(text, language, self.registry)
+
+    def search(
+        self,
+        query: "str | Query | ast.QueryNode",
+        language: str = "auto",
+        engine: str = AUTO,
+        top_k: int | None = None,
+    ) -> SearchResults:
+        """Run a search and return ranked results.
+
+        Parameters
+        ----------
+        query:
+            Query text, a pre-parsed :class:`Query`, or a surface AST node.
+        language:
+            ``"bool"``, ``"dist"``, ``"comp"`` or ``"auto"`` (only used when
+            ``query`` is a string).
+        engine:
+            Force a specific evaluation algorithm (``"bool"``, ``"ppred"``,
+            ``"npred"``, ``"comp"``); ``"auto"`` picks the cheapest engine for
+            the query's class.
+        top_k:
+            Return only the best ``top_k`` results (all matches by default).
+        """
+        parsed = self._as_query(query, language)
+        outcome = self._executor.execute(parsed.node, engine=engine)
+        results = self._build_results(parsed, outcome)
+        return results.top(top_k) if top_k is not None else results
+
+    def evaluate(
+        self,
+        query: "str | Query | ast.QueryNode",
+        language: str = "auto",
+        engine: str = AUTO,
+    ) -> EvaluationResult:
+        """Lower-level entry point returning the raw :class:`EvaluationResult`."""
+        parsed = self._as_query(query, language)
+        return self._executor.execute(parsed.node, engine=engine)
+
+    def explain(self, query: "str | Query | ast.QueryNode", language: str = "auto") -> dict:
+        """Describe how a query would be run (class, engine, measures, calculus)."""
+        parsed = self._as_query(query, language)
+        from repro.engine.executor import NATIVE_ENGINE
+
+        return {
+            "text": parsed.text,
+            "language_class": parsed.language_class.value,
+            "engine": NATIVE_ENGINE[parsed.language_class],
+            "measures": parsed.measures(),
+            "calculus": parsed.to_calculus().to_text(),
+        }
+
+    # ------------------------------------------------------------- internals
+    def _resolve_scoring(
+        self, scoring: "str | ScoringModel | None"
+    ) -> ScoringModel | None:
+        if scoring is None:
+            return None
+        if isinstance(scoring, ScoringModel):
+            return scoring
+        if isinstance(scoring, str):
+            return get_model(scoring, self.index.statistics)
+        raise ScoringError(
+            "scoring must be None, a model name, or a ScoringModel instance"
+        )
+
+    def _as_query(self, query: "str | Query | ast.QueryNode", language: str) -> Query:
+        if isinstance(query, Query):
+            return query
+        if isinstance(query, ast.QueryNode):
+            from repro.languages.classify import classify_query
+
+            return Query(
+                text=query.to_text(),
+                language=language,
+                node=query,
+                language_class=classify_query(query, self.registry),
+            )
+        return parse_query(query, language, self.registry)
+
+    def _build_results(self, parsed: Query, outcome: EvaluationResult) -> SearchResults:
+        ranked = outcome.ranked()
+        results = [
+            SearchResult(
+                node_id=node_id,
+                score=score,
+                preview=self.collection.get(node_id).text_preview(),
+            )
+            for node_id, score in ranked
+        ]
+        return SearchResults(
+            query_text=parsed.text,
+            results=results,
+            language_class=outcome.language_class,
+            engine=outcome.engine,
+            elapsed_seconds=outcome.elapsed_seconds,
+            cursor_stats=outcome.cursor_stats,
+            total_matches=len(outcome.node_ids),
+        )

@@ -1,0 +1,40 @@
+"""Corpus substrate: documents, tokenization, collections, synthetic data."""
+
+from repro.corpus.collection import Collection
+from repro.corpus.document import ContextNode, node_from_paragraphs
+from repro.corpus.loaders import (
+    collection_from_strings,
+    load_directory,
+    load_text_files,
+    strip_markup,
+)
+from repro.corpus.synthetic import (
+    DEFAULT_QUERY_TOKENS,
+    SyntheticSpec,
+    generate_collection,
+    generate_inex_like_collection,
+)
+from repro.corpus.tokenizer import (
+    TokenOccurrence,
+    Tokenizer,
+    default_tokenizer,
+    make_stopword_filter,
+)
+
+__all__ = [
+    "Collection",
+    "ContextNode",
+    "node_from_paragraphs",
+    "collection_from_strings",
+    "load_directory",
+    "load_text_files",
+    "strip_markup",
+    "DEFAULT_QUERY_TOKENS",
+    "SyntheticSpec",
+    "generate_collection",
+    "generate_inex_like_collection",
+    "TokenOccurrence",
+    "Tokenizer",
+    "default_tokenizer",
+    "make_stopword_filter",
+]

@@ -1,0 +1,157 @@
+"""Collections of context nodes (the search context).
+
+A :class:`Collection` is the paper's ``N`` -- the set of context nodes over
+which the full-text condition is evaluated.  It provides ordered access by
+node id (the inverted-list substrate relies on ids being sortable), corpus
+statistics used by scoring (document frequency, node count), and convenience
+constructors from raw texts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.corpus.document import ContextNode
+from repro.corpus.tokenizer import Tokenizer, default_tokenizer
+from repro.exceptions import CorpusError
+
+
+@dataclass
+class Collection:
+    """An ordered, id-addressable set of :class:`ContextNode` objects."""
+
+    nodes: dict[int, ContextNode]
+    name: str = "collection"
+
+    # -------------------------------------------------------------- builders
+    @classmethod
+    def from_nodes(
+        cls, nodes: Iterable[ContextNode], name: str = "collection"
+    ) -> "Collection":
+        """Build a collection from context nodes, checking id uniqueness."""
+        mapping: dict[int, ContextNode] = {}
+        for node in nodes:
+            if node.node_id in mapping:
+                raise CorpusError(f"duplicate node id {node.node_id}")
+            mapping[node.node_id] = node
+        return cls(mapping, name)
+
+    @classmethod
+    def from_texts(
+        cls,
+        texts: Sequence[str],
+        tokenizer: Tokenizer | None = None,
+        name: str = "collection",
+        start_id: int = 0,
+    ) -> "Collection":
+        """Tokenize ``texts`` and build a collection with consecutive ids."""
+        tokenizer = tokenizer or default_tokenizer()
+        nodes = [
+            ContextNode.from_text(start_id + idx, text, tokenizer)
+            for idx, text in enumerate(texts)
+        ]
+        return cls.from_nodes(nodes, name)
+
+    @classmethod
+    def from_named_texts(
+        cls,
+        named_texts: Mapping[str, str],
+        tokenizer: Tokenizer | None = None,
+        name: str = "collection",
+    ) -> "Collection":
+        """Build a collection from ``{title: text}``, storing titles as metadata."""
+        tokenizer = tokenizer or default_tokenizer()
+        nodes = []
+        for idx, (title, text) in enumerate(named_texts.items()):
+            nodes.append(
+                ContextNode.from_text(idx, text, tokenizer, metadata={"title": title})
+            )
+        return cls.from_nodes(nodes, name)
+
+    # --------------------------------------------------------------- updates
+    def add(self, node: ContextNode) -> None:
+        """Add a node to the collection; its id must not already be present."""
+        if node.node_id in self.nodes:
+            raise CorpusError(f"duplicate node id {node.node_id}")
+        self.nodes[node.node_id] = node
+
+    def next_node_id(self) -> int:
+        """The smallest id greater than every existing node id (0 if empty)."""
+        return max(self.nodes, default=-1) + 1
+
+    # ------------------------------------------------------------ accessors
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[ContextNode]:
+        for node_id in self.node_ids():
+            yield self.nodes[node_id]
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.nodes
+
+    def node_ids(self) -> list[int]:
+        """All node ids in ascending order."""
+        return sorted(self.nodes)
+
+    def get(self, node_id: int) -> ContextNode:
+        """Return the node with ``node_id``; raise :class:`CorpusError` if absent."""
+        try:
+            return self.nodes[node_id]
+        except KeyError as exc:
+            raise CorpusError(f"unknown node id {node_id}") from exc
+
+    def subset(self, node_ids: Iterable[int], name: str | None = None) -> "Collection":
+        """A new collection restricted to ``node_ids`` (the search context)."""
+        ids = list(node_ids)
+        missing = [nid for nid in ids if nid not in self.nodes]
+        if missing:
+            raise CorpusError(f"unknown node ids in subset: {missing}")
+        return Collection(
+            {nid: self.nodes[nid] for nid in ids}, name or f"{self.name}-subset"
+        )
+
+    def filter(
+        self, predicate: Callable[[ContextNode], bool], name: str | None = None
+    ) -> "Collection":
+        """A new collection with only the nodes satisfying ``predicate``."""
+        return Collection(
+            {nid: node for nid, node in self.nodes.items() if predicate(node)},
+            name or f"{self.name}-filtered",
+        )
+
+    # ------------------------------------------------------------ statistics
+    def node_count(self) -> int:
+        """``db_size`` in the paper's IDF formula: the number of nodes."""
+        return len(self.nodes)
+
+    def document_frequency(self, token: str) -> int:
+        """``df(t)``: number of nodes containing ``token``."""
+        return sum(1 for node in self.nodes.values() if node.contains(token))
+
+    def vocabulary(self) -> set[str]:
+        """The set of all tokens appearing anywhere in the collection."""
+        vocab: set[str] = set()
+        for node in self.nodes.values():
+            vocab.update(node.unique_tokens())
+        return vocab
+
+    def total_token_count(self) -> int:
+        """Total number of token occurrences over all nodes."""
+        return sum(len(node) for node in self.nodes.values())
+
+    def max_positions_per_node(self) -> int:
+        """``pos_per_cnode``: maximum number of positions in a node."""
+        if not self.nodes:
+            return 0
+        return max(len(node) for node in self.nodes.values())
+
+    def describe(self) -> dict[str, int]:
+        """A small summary dictionary used by the benchmark harness."""
+        return {
+            "nodes": self.node_count(),
+            "tokens": self.total_token_count(),
+            "vocabulary": len(self.vocabulary()),
+            "max_positions_per_node": self.max_positions_per_node(),
+        }

@@ -1,0 +1,143 @@
+"""Tokenization of raw text into structured token positions.
+
+The paper's model assigns each token a position in the context node; positions
+may additionally carry sentence and paragraph structure so that predicates
+such as ``samepara`` and ``samesentence`` can be expressed.  This module turns
+raw text into a sequence of ``(token, Position)`` pairs.
+
+Paragraphs are separated by blank lines; sentences are terminated by ``.``,
+``!`` or ``?``.  Tokens are maximal runs of alphanumeric characters (plus a
+configurable set of extra characters), lower-cased by default.  The tokenizer
+also supports optional token filters (e.g. stop-word removal) as an extension
+hook, although the paper pipeline does not use them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.model.positions import Position
+
+#: A token filter maps a token to a replacement token or ``None`` to drop it.
+TokenFilter = Callable[[str], "str | None"]
+
+_PARAGRAPH_SPLIT = re.compile(r"\n\s*\n")
+_SENTENCE_END = frozenset(".!?")
+
+
+@dataclass(frozen=True)
+class TokenOccurrence:
+    """A single token occurrence: the token string and its position."""
+
+    token: str
+    position: Position
+
+
+@dataclass
+class Tokenizer:
+    """Configurable tokenizer producing :class:`TokenOccurrence` sequences.
+
+    Parameters
+    ----------
+    lowercase:
+        Normalise tokens to lower case (the paper treats tokens as opaque
+        strings; lower-casing matches common IR practice).
+    extra_token_chars:
+        Characters other than alphanumerics that are allowed inside a token
+        (e.g. ``"-"`` to keep hyphenated words together).
+    filters:
+        Optional list of token filters applied in order.  A filter may rewrite
+        a token (e.g. stemming) or return ``None`` to drop it (stop-words).
+        Dropped tokens do not consume a position, mirroring how an IR system
+        would build its inverted lists after stop-wording.
+    """
+
+    lowercase: bool = True
+    extra_token_chars: str = ""
+    filters: Sequence[TokenFilter] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        escaped = re.escape(self.extra_token_chars) if self.extra_token_chars else ""
+        self._token_re = re.compile(rf"[0-9A-Za-z{escaped}]+")
+
+    # ------------------------------------------------------------------ API
+    def tokenize(self, text: str) -> list[TokenOccurrence]:
+        """Tokenize ``text`` into token occurrences with structural positions."""
+        return list(self.iter_tokens(text))
+
+    def tokens_only(self, text: str) -> list[str]:
+        """Return just the token strings of ``text`` in document order."""
+        return [occ.token for occ in self.iter_tokens(text)]
+
+    def iter_tokens(self, text: str) -> Iterator[TokenOccurrence]:
+        """Yield token occurrences of ``text`` lazily, in document order."""
+        offset = 0
+        sentence = 0
+        for paragraph_idx, paragraph in enumerate(self._split_paragraphs(text)):
+            saw_token_in_sentence = False
+            for piece in self._iter_pieces(paragraph):
+                if piece in _SENTENCE_END:
+                    if saw_token_in_sentence:
+                        sentence += 1
+                        saw_token_in_sentence = False
+                    continue
+                token = self._normalize(piece)
+                if token is None:
+                    continue
+                yield TokenOccurrence(
+                    token, Position(offset, sentence, paragraph_idx)
+                )
+                offset += 1
+                saw_token_in_sentence = True
+            if saw_token_in_sentence:
+                # A paragraph end also terminates the current sentence.
+                sentence += 1
+
+    # ------------------------------------------------------------- internals
+    def _split_paragraphs(self, text: str) -> list[str]:
+        paragraphs = [p for p in _PARAGRAPH_SPLIT.split(text) if p.strip()]
+        return paragraphs or ([] if not text.strip() else [text])
+
+    def _iter_pieces(self, paragraph: str) -> Iterator[str]:
+        """Yield tokens and sentence-terminator characters in order."""
+        idx = 0
+        length = len(paragraph)
+        while idx < length:
+            char = paragraph[idx]
+            if char in _SENTENCE_END:
+                yield char
+                idx += 1
+                continue
+            match = self._token_re.match(paragraph, idx)
+            if match:
+                yield match.group(0)
+                idx = match.end()
+            else:
+                idx += 1
+
+    def _normalize(self, raw: str) -> str | None:
+        token: str | None = raw.lower() if self.lowercase else raw
+        for token_filter in self.filters:
+            if token is None:
+                return None
+            token = token_filter(token)
+        if not token:
+            return None
+        return token
+
+
+def make_stopword_filter(stopwords: Iterable[str]) -> TokenFilter:
+    """Build a filter dropping every token in ``stopwords`` (case-insensitive)."""
+    lowered = {word.lower() for word in stopwords}
+
+    def _filter(token: str) -> str | None:
+        return None if token.lower() in lowered else token
+
+    return _filter
+
+
+def default_tokenizer() -> Tokenizer:
+    """The tokenizer used throughout the reproduction (lower-case, no filters)."""
+    return Tokenizer()

@@ -1,0 +1,65 @@
+"""Evaluation engines: BOOL merge, PPRED single-scan, NPRED threads, naive COMP."""
+
+from repro.engine.bool_engine import BoolEngine
+from repro.engine.executor import (
+    AUTO,
+    ENGINE_CLASS,
+    NATIVE_ENGINE,
+    EvaluationResult,
+    Executor,
+)
+from repro.engine.naive_engine import NaiveCompEngine, NaiveEvaluation
+from repro.engine.npred_engine import NPredBlockOperator, NPredEngine
+from repro.engine.operators import (
+    JoinOperator,
+    NodeDifferenceOperator,
+    NodeUnionOperator,
+    PlanOperator,
+    ProjectOperator,
+    ScanOperator,
+    SelectOperator,
+    collect_nodes,
+)
+from repro.engine.plan import (
+    BlockPlan,
+    DifferencePlan,
+    IntersectPlan,
+    PredicateSpec,
+    UnionPlan,
+    describe_plan,
+    extract_plan,
+    plan_blocks,
+    plan_polarities,
+)
+from repro.engine.ppred_engine import PPredEngine
+
+__all__ = [
+    "BoolEngine",
+    "AUTO",
+    "ENGINE_CLASS",
+    "NATIVE_ENGINE",
+    "EvaluationResult",
+    "Executor",
+    "NaiveCompEngine",
+    "NaiveEvaluation",
+    "NPredBlockOperator",
+    "NPredEngine",
+    "JoinOperator",
+    "NodeDifferenceOperator",
+    "NodeUnionOperator",
+    "PlanOperator",
+    "ProjectOperator",
+    "ScanOperator",
+    "SelectOperator",
+    "collect_nodes",
+    "BlockPlan",
+    "DifferencePlan",
+    "IntersectPlan",
+    "PredicateSpec",
+    "UnionPlan",
+    "describe_plan",
+    "extract_plan",
+    "plan_blocks",
+    "plan_polarities",
+    "PPredEngine",
+]

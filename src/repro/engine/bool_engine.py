@@ -1,0 +1,156 @@
+"""The BOOL / BOOL-NONEG evaluation engine (paper, Section 5.3).
+
+BOOL queries ignore positions entirely, so evaluation is a merge of the
+query-token inverted lists at the granularity of node ids:
+
+* a string literal contributes the node ids of its inverted list;
+* ``ANY`` contributes the node ids of ``IL_ANY``;
+* ``AND`` intersects, ``OR`` unites;
+* ``NOT`` complements with respect to the search context (which is why BOOL
+  with unrestricted negation is charged for a scan of ``IL_ANY`` /
+  ``SearchContext`` in the complexity model, while BOOL-NONEG -- negation
+  only as ``... AND NOT ...`` -- never needs it).
+
+Scoring: following Section 5.3 ("a scoring formula is associated with each
+Boolean operator"), the engine can propagate per-node scores through the
+Boolean operators of the query using a :class:`~repro.scoring.base.ScoringModel`:
+token leaves start from the model's per-token document score, AND uses the
+model's intersection rule, OR its union rule, and NOT complements
+probabilistic scores (``1 - s``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import UnsupportedQueryError
+from repro.index.cursor import CursorFactory, CursorStats
+from repro.index.inverted_index import InvertedIndex
+from repro.languages import ast
+from repro.languages.bool_lang import is_bool_query
+from repro.scoring.base import ScoringModel
+
+
+@dataclass
+class _NodeSet:
+    """A sorted node-id list with optional per-node scores."""
+
+    nodes: list[int]
+    scores: dict[int, float]
+
+
+class BoolEngine:
+    """Merge-based evaluation of BOOL queries over inverted lists."""
+
+    name = "bool"
+
+    def __init__(self, index: InvertedIndex, scoring: ScoringModel | None = None) -> None:
+        self.index = index
+        self.scoring = scoring
+
+    # ------------------------------------------------------------------ API
+    def evaluate(self, query: ast.QueryNode) -> list[int]:
+        """Node ids satisfying ``query``, ascending."""
+        return self.evaluate_with_stats(query)[0]
+
+    def evaluate_scored(self, query: ast.QueryNode) -> dict[int, float]:
+        """Node id -> propagated score for the matching nodes."""
+        result, _ = self._evaluate(query)
+        return {node: result.scores.get(node, 0.0) for node in result.nodes}
+
+    def evaluate_with_stats(
+        self, query: ast.QueryNode
+    ) -> tuple[list[int], CursorStats]:
+        result, stats = self._evaluate(query)
+        return result.nodes, stats
+
+    # ------------------------------------------------------------- internals
+    def _evaluate(self, query: ast.QueryNode) -> tuple[_NodeSet, CursorStats]:
+        if not is_bool_query(query):
+            raise UnsupportedQueryError(
+                "the BOOL engine only evaluates BOOL queries (string literals, "
+                "ANY, NOT, AND, OR)"
+            )
+        factory = CursorFactory()
+        result = self._eval(query, factory)
+        return result, factory.collect_stats()
+
+    def _eval(self, node: ast.QueryNode, factory: CursorFactory) -> _NodeSet:
+        if isinstance(node, ast.TokenQuery):
+            return self._token_leaf(node.token, factory)
+        if isinstance(node, ast.AnyQuery):
+            return self._any_leaf(factory)
+        if isinstance(node, ast.AndQuery):
+            return self._intersect(
+                self._eval(node.left, factory), self._eval(node.right, factory)
+            )
+        if isinstance(node, ast.OrQuery):
+            return self._union(
+                self._eval(node.left, factory), self._eval(node.right, factory)
+            )
+        if isinstance(node, ast.NotQuery):
+            return self._complement(self._eval(node.operand, factory))
+        raise UnsupportedQueryError(
+            f"construct {type(node).__name__} is outside the BOOL grammar"
+        )
+
+    # ---------------------------------------------------------------- leaves
+    def _token_leaf(self, token: str, factory: CursorFactory) -> _NodeSet:
+        cursor = self.index.open_cursor(token, factory)
+        nodes: list[int] = []
+        node = cursor.next_entry()
+        while node is not None:
+            nodes.append(node)
+            node = cursor.next_entry()
+        scores: dict[int, float] = {}
+        if self.scoring is not None:
+            previous = self.scoring.query_tokens
+            self.scoring.prepare([token])
+            scores = {nid: self.scoring.document_score(nid) for nid in nodes}
+            self.scoring.prepare(previous)
+        return _NodeSet(nodes, scores)
+
+    def _any_leaf(self, factory: CursorFactory) -> _NodeSet:
+        cursor = self.index.open_any_cursor(factory)
+        nodes: list[int] = []
+        node = cursor.next_entry()
+        while node is not None:
+            nodes.append(node)
+            node = cursor.next_entry()
+        return _NodeSet(nodes, {nid: 1.0 for nid in nodes} if self.scoring else {})
+
+    # ------------------------------------------------------------ operators
+    def _intersect(self, left: _NodeSet, right: _NodeSet) -> _NodeSet:
+        right_set = set(right.nodes)
+        nodes = [nid for nid in left.nodes if nid in right_set]
+        scores = {}
+        if self.scoring is not None:
+            scores = {
+                nid: self.scoring.combine_intersection(
+                    left.scores.get(nid, 0.0), right.scores.get(nid, 0.0)
+                )
+                for nid in nodes
+            }
+        return _NodeSet(nodes, scores)
+
+    def _union(self, left: _NodeSet, right: _NodeSet) -> _NodeSet:
+        nodes = sorted(set(left.nodes) | set(right.nodes))
+        scores = {}
+        if self.scoring is not None:
+            scores = {
+                nid: self.scoring.combine_union(
+                    left.scores.get(nid, 0.0), right.scores.get(nid, 0.0)
+                )
+                for nid in nodes
+            }
+        return _NodeSet(nodes, scores)
+
+    def _complement(self, operand: _NodeSet) -> _NodeSet:
+        matched = set(operand.nodes)
+        nodes = [nid for nid in self.index.node_ids() if nid not in matched]
+        scores = {}
+        if self.scoring is not None:
+            scores = {
+                nid: 1.0 - operand.scores.get(nid, 0.0) for nid in nodes
+            }
+        return _NodeSet(nodes, scores)

@@ -1,0 +1,159 @@
+"""Engine selection and query execution.
+
+The :class:`Executor` ties the pieces together: it classifies a parsed query
+into the language hierarchy (BOOL-NONEG / BOOL / PPRED / NPRED / COMP),
+selects the cheapest engine able to evaluate it (or a caller-forced engine,
+validated against the hierarchy), runs the evaluation, optionally ranks the
+matching nodes with a scoring model, and reports timing plus inverted-list
+I/O statistics.  This is the layer the benchmark harness drives.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import UnsupportedQueryError
+from repro.index.cursor import CursorStats
+from repro.index.inverted_index import InvertedIndex
+from repro.languages import ast
+from repro.languages.classify import LanguageClass, can_evaluate, classify_query
+from repro.model.predicates import PredicateRegistry, default_registry
+from repro.scoring.base import ScoringModel
+from repro.engine.bool_engine import BoolEngine
+from repro.engine.naive_engine import NaiveCompEngine
+from repro.engine.npred_engine import NPredEngine
+from repro.engine.ppred_engine import PPredEngine
+
+#: Engine name accepted by :meth:`Executor.execute` for automatic selection.
+AUTO = "auto"
+
+#: Map of language class -> the engine name that natively evaluates it.
+NATIVE_ENGINE = {
+    LanguageClass.BOOL_NONEG: "bool",
+    LanguageClass.BOOL: "bool",
+    LanguageClass.PPRED: "ppred",
+    LanguageClass.NPRED: "npred",
+    LanguageClass.COMP: "comp",
+}
+
+#: Map of engine name -> the language class it implements.
+ENGINE_CLASS = {
+    "bool": LanguageClass.BOOL,
+    "ppred": LanguageClass.PPRED,
+    "npred": LanguageClass.NPRED,
+    "comp": LanguageClass.COMP,
+}
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one query."""
+
+    node_ids: list[int]
+    language_class: LanguageClass
+    engine: str
+    elapsed_seconds: float
+    scores: dict[int, float] = field(default_factory=dict)
+    cursor_stats: CursorStats | None = None
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+    def ranked(self) -> list[tuple[int, float]]:
+        """Node ids with scores, best first (unscored results keep id order)."""
+        if not self.scores:
+            return [(node_id, 0.0) for node_id in self.node_ids]
+        return sorted(
+            ((nid, self.scores.get(nid, 0.0)) for nid in self.node_ids),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+
+
+class Executor:
+    """Classify queries, pick an engine, evaluate, optionally score."""
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        registry: PredicateRegistry | None = None,
+        scoring: ScoringModel | None = None,
+        npred_orders: str = "minimal",
+    ) -> None:
+        self.index = index
+        self.registry = registry or default_registry()
+        self.scoring = scoring
+        self.npred_orders = npred_orders
+
+    # ------------------------------------------------------------------ API
+    def execute(self, query: ast.QueryNode, engine: str = AUTO) -> EvaluationResult:
+        """Evaluate a parsed (closed) surface query.
+
+        ``engine`` may be ``"auto"`` (default) or one of ``"bool"``,
+        ``"ppred"``, ``"npred"``, ``"comp"`` to force a specific evaluation
+        algorithm; forcing an engine below the query's class raises
+        :class:`UnsupportedQueryError`.
+        """
+        language_class = classify_query(query, self.registry)
+        engine_name = self._resolve_engine(language_class, engine)
+        started = time.perf_counter()
+        try:
+            node_ids, stats = self._run(query, engine_name)
+        except UnsupportedQueryError:
+            # The classifier is intentionally syntactic; if a corner case
+            # slips past it (or a caller forced a pipelined engine onto a
+            # query it cannot plan), fall back to the always-applicable
+            # naive COMP engine rather than failing the search.
+            if engine != AUTO and engine_name != "comp":
+                raise
+            engine_name = "comp"
+            node_ids, stats = self._run(query, engine_name)
+        elapsed = time.perf_counter() - started
+        scores = self._score(query, node_ids, engine_name)
+        return EvaluationResult(
+            node_ids=node_ids,
+            language_class=language_class,
+            engine=engine_name,
+            elapsed_seconds=elapsed,
+            scores=scores,
+            cursor_stats=stats,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _resolve_engine(self, language_class: LanguageClass, engine: str) -> str:
+        if engine == AUTO:
+            return NATIVE_ENGINE[language_class]
+        engine = engine.lower()
+        if engine not in ENGINE_CLASS:
+            raise UnsupportedQueryError(
+                f"unknown engine {engine!r}; expected one of "
+                f"{sorted(ENGINE_CLASS)} or 'auto'"
+            )
+        if not can_evaluate(language_class, ENGINE_CLASS[engine]):
+            raise UnsupportedQueryError(
+                f"the {engine} engine cannot evaluate {language_class.value} queries"
+            )
+        return engine
+
+    def _run(
+        self, query: ast.QueryNode, engine_name: str
+    ) -> tuple[list[int], CursorStats | None]:
+        if engine_name == "bool":
+            engine = BoolEngine(self.index, scoring=None)
+            return engine.evaluate_with_stats(query)
+        if engine_name == "ppred":
+            engine = PPredEngine(self.index, self.registry)
+            return engine.evaluate_with_stats(query)
+        if engine_name == "npred":
+            engine = NPredEngine(self.index, self.registry, orders=self.npred_orders)
+            return engine.evaluate_with_stats(query)
+        engine = NaiveCompEngine(self.index, self.registry)
+        return engine.evaluate(query), None
+
+    def _score(
+        self, query: ast.QueryNode, node_ids: list[int], engine_name: str
+    ) -> dict[int, float]:
+        if self.scoring is None or not node_ids:
+            return {}
+        self.scoring.prepare(sorted(ast.query_tokens(query)))
+        return {node_id: self.scoring.document_score(node_id) for node_id in node_ids}

@@ -1,0 +1,345 @@
+"""Pipelined plan operators over inverted-list cursors (PPRED, Algorithms 1–5).
+
+The PPRED evaluation strategy (paper, Section 5.5.3) evaluates an operator
+tree without materialising intermediate relations.  Every operator exposes the
+same cursor-style API:
+
+* ``advance_node()``      -- move to the next context node that has at least
+  one result tuple and position the operator on that node's lexicographically
+  smallest tuple; returns the node id or ``None``;
+* ``current_node()``      -- the node the operator is currently on;
+* ``advance_position(i, min_offset)`` -- within the current node, move to the
+  smallest result tuple whose ``i``-th position has offset ``>= min_offset``
+  (all other positions at least their current values); returns ``False`` when
+  no such tuple exists in the node;
+* ``position(i)``         -- the current value of the ``i``-th position.
+
+The operators implemented here are the scan (over one inverted list), the
+CNode sort-merge join, the predicate selection driven by positive-predicate
+*advance hints*, projection, and the node-level union / difference used for
+``OR`` and ``AND NOT`` of closed subqueries.
+
+The API uses ``min_offset`` (advance to *at least* this offset) rather than
+the paper's strict ``> pos`` convention; the two are interchangeable
+(``> pos`` ≡ ``>= pos + 1``) and the inclusive form composes directly with
+the predicates' advance hints.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import EvaluationError
+from repro.index.cursor import InvertedListCursor
+from repro.model.positions import Position
+from repro.model.predicates import Predicate
+
+
+class PlanOperator:
+    """Base class of pipelined plan operators."""
+
+    arity: int = 0
+
+    def advance_node(self) -> int | None:
+        raise NotImplementedError
+
+    def current_node(self) -> int | None:
+        raise NotImplementedError
+
+    def advance_position(self, index: int, min_offset: int) -> bool:
+        raise NotImplementedError
+
+    def position(self, index: int) -> Position:
+        raise NotImplementedError
+
+    def positions(self) -> list[Position]:
+        """All current positions (convenience for predicates and tests)."""
+        return [self.position(i) for i in range(self.arity)]
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.arity:
+            raise EvaluationError(
+                f"position index {index} out of range for arity {self.arity}"
+            )
+
+
+class ScanOperator(PlanOperator):
+    """Sequential scan over one token inverted list (one position attribute)."""
+
+    arity = 1
+
+    def __init__(self, cursor: InvertedListCursor) -> None:
+        self._cursor = cursor
+        self._node: int | None = None
+        self._positions: list[Position] = []
+        self._pointer = 0
+
+    def advance_node(self) -> int | None:
+        node = self._cursor.next_entry()
+        self._node = node
+        if node is None:
+            self._positions = []
+            self._pointer = 0
+            return None
+        self._positions = self._cursor.get_positions()
+        self._pointer = 0
+        return node
+
+    def current_node(self) -> int | None:
+        return self._node
+
+    def advance_position(self, index: int, min_offset: int) -> bool:
+        self._check_index(index)
+        if self._node is None:
+            return False
+        while (
+            self._pointer < len(self._positions)
+            and self._positions[self._pointer].offset < min_offset
+        ):
+            self._pointer += 1
+        return self._pointer < len(self._positions)
+
+    def position(self, index: int) -> Position:
+        self._check_index(index)
+        if self._node is None or self._pointer >= len(self._positions):
+            raise EvaluationError("scan operator has no current position")
+        return self._positions[self._pointer]
+
+
+class JoinOperator(PlanOperator):
+    """CNode sort-merge join (paper, Algorithm 1)."""
+
+    def __init__(self, left: PlanOperator, right: PlanOperator) -> None:
+        self.left = left
+        self.right = right
+        self.arity = left.arity + right.arity
+        self._node: int | None = None
+
+    def advance_node(self) -> int | None:
+        left_node = self.left.advance_node()
+        right_node = self.right.advance_node()
+        while (
+            left_node is not None
+            and right_node is not None
+            and left_node != right_node
+        ):
+            if left_node < right_node:
+                left_node = self.left.advance_node()
+            else:
+                right_node = self.right.advance_node()
+        if left_node is None or right_node is None:
+            self._node = None
+            return None
+        self._node = left_node
+        return left_node
+
+    def current_node(self) -> int | None:
+        return self._node
+
+    def advance_position(self, index: int, min_offset: int) -> bool:
+        self._check_index(index)
+        if index < self.left.arity:
+            return self.left.advance_position(index, min_offset)
+        return self.right.advance_position(index - self.left.arity, min_offset)
+
+    def position(self, index: int) -> Position:
+        self._check_index(index)
+        if index < self.left.arity:
+            return self.left.position(index)
+        return self.right.position(index - self.left.arity)
+
+
+class SelectOperator(PlanOperator):
+    """Predicate selection driven by positive-predicate advance hints
+    (paper, Algorithm 2)."""
+
+    def __init__(
+        self,
+        operand: PlanOperator,
+        predicate: Predicate,
+        attr_indices: Sequence[int],
+        constants: Sequence[object] = (),
+    ) -> None:
+        self.operand = operand
+        self.predicate = predicate
+        self.attr_indices = tuple(attr_indices)
+        self.constants = tuple(constants)
+        self.arity = operand.arity
+        for idx in self.attr_indices:
+            if not 0 <= idx < self.arity:
+                raise EvaluationError(
+                    f"selection attribute {idx} out of range for arity {self.arity}"
+                )
+
+    def advance_node(self) -> int | None:
+        node = self.operand.advance_node()
+        while node is not None and not self._advance_until_satisfied():
+            node = self.operand.advance_node()
+        return node
+
+    def current_node(self) -> int | None:
+        return self.operand.current_node()
+
+    def advance_position(self, index: int, min_offset: int) -> bool:
+        self._check_index(index)
+        if not self.operand.advance_position(index, min_offset):
+            return False
+        return self._advance_until_satisfied()
+
+    def position(self, index: int) -> Position:
+        return self.operand.position(index)
+
+    # ------------------------------------------------------------- internals
+    def _advance_until_satisfied(self) -> bool:
+        """Advance the input until the predicate holds (single forward scan)."""
+        while True:
+            current = [self.operand.position(idx) for idx in self.attr_indices]
+            if self.predicate.holds(current, self.constants):
+                return True
+            hints = self.predicate.advance_hints(current, self.constants)
+            moved = False
+            for local_index, target in hints.items():
+                if target > current[local_index].offset:
+                    attr = self.attr_indices[local_index]
+                    if not self.operand.advance_position(attr, target):
+                        return False
+                    moved = True
+                    break
+            if not moved:
+                raise EvaluationError(
+                    f"predicate {self.predicate.name!r} produced no progressing "
+                    "advance hint; it does not satisfy the positive-predicate "
+                    "property"
+                )
+
+
+class ProjectOperator(PlanOperator):
+    """Projection (paper, Algorithm 3).  ``keep`` lists the attributes retained.
+
+    The common use in query plans is the final projection to ``CNode`` only
+    (``keep = ()``), for which only node-level iteration is needed.
+    """
+
+    def __init__(self, operand: PlanOperator, keep: Sequence[int] = ()) -> None:
+        self.operand = operand
+        self.keep = tuple(keep)
+        for idx in self.keep:
+            if not 0 <= idx < operand.arity:
+                raise EvaluationError(
+                    f"projection attribute {idx} out of range for arity "
+                    f"{operand.arity}"
+                )
+        self.arity = len(self.keep)
+
+    def advance_node(self) -> int | None:
+        return self.operand.advance_node()
+
+    def current_node(self) -> int | None:
+        return self.operand.current_node()
+
+    def advance_position(self, index: int, min_offset: int) -> bool:
+        self._check_index(index)
+        return self.operand.advance_position(self.keep[index], min_offset)
+
+    def position(self, index: int) -> Position:
+        self._check_index(index)
+        return self.operand.position(self.keep[index])
+
+
+class NodeUnionOperator(PlanOperator):
+    """Node-level union of two closed subplans (paper, Algorithm 4).
+
+    Both inputs must already be node-level (arity 0); each node id is
+    produced exactly once, in ascending order.
+    """
+
+    arity = 0
+
+    def __init__(self, left: PlanOperator, right: PlanOperator) -> None:
+        if left.arity != 0 or right.arity != 0:
+            raise EvaluationError("node-level union requires arity-0 inputs")
+        self.left = left
+        self.right = right
+        self._left_node: int | None = None
+        self._right_node: int | None = None
+        self._started = False
+        self._node: int | None = None
+
+    def advance_node(self) -> int | None:
+        if not self._started:
+            self._left_node = self.left.advance_node()
+            self._right_node = self.right.advance_node()
+            self._started = True
+        else:
+            if self._node is not None:
+                if self._left_node == self._node:
+                    self._left_node = self.left.advance_node()
+                if self._right_node == self._node:
+                    self._right_node = self.right.advance_node()
+        if self._left_node is None and self._right_node is None:
+            self._node = None
+        elif self._left_node is None:
+            self._node = self._right_node
+        elif self._right_node is None:
+            self._node = self._left_node
+        else:
+            self._node = min(self._left_node, self._right_node)
+        return self._node
+
+    def current_node(self) -> int | None:
+        return self._node
+
+    def advance_position(self, index: int, min_offset: int) -> bool:
+        raise EvaluationError("node-level union supports node iteration only")
+
+    def position(self, index: int) -> Position:
+        raise EvaluationError("node-level union has no position attributes")
+
+
+class NodeDifferenceOperator(PlanOperator):
+    """Node-level set difference (paper, Algorithm 5): left nodes not in right."""
+
+    arity = 0
+
+    def __init__(self, left: PlanOperator, right: PlanOperator) -> None:
+        if right.arity != 0:
+            raise EvaluationError("node-level difference requires an arity-0 right input")
+        self.left = left
+        self.right = right
+        self._right_node: int | None = None
+        self._right_started = False
+        self._node: int | None = None
+
+    def advance_node(self) -> int | None:
+        while True:
+            node = self.left.advance_node()
+            if node is None:
+                self._node = None
+                return None
+            if not self._right_started:
+                self._right_node = self.right.advance_node()
+                self._right_started = True
+            while self._right_node is not None and self._right_node < node:
+                self._right_node = self.right.advance_node()
+            if self._right_node is None or self._right_node != node:
+                self._node = node
+                return node
+
+    def current_node(self) -> int | None:
+        return self._node
+
+    def advance_position(self, index: int, min_offset: int) -> bool:
+        raise EvaluationError("node-level difference supports node iteration only")
+
+    def position(self, index: int) -> Position:
+        raise EvaluationError("node-level difference has no position attributes")
+
+
+def collect_nodes(operator: PlanOperator) -> list[int]:
+    """Drive ``advance_node`` to exhaustion and collect the node ids."""
+    result: list[int] = []
+    node = operator.advance_node()
+    while node is not None:
+        result.append(node)
+        node = operator.advance_node()
+    return result

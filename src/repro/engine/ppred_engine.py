@@ -1,0 +1,132 @@
+"""The PPRED evaluation engine (paper, Section 5.5).
+
+PPRED queries -- positive predicates only, negation restricted to closed
+subqueries -- are evaluated in a *single* forward scan over the query-token
+inverted lists.  The engine turns the extracted plan
+(:mod:`repro.engine.plan`) into a tree of pipelined operators
+(:mod:`repro.engine.operators`): one :class:`ScanOperator` per token binding,
+a left-deep chain of :class:`JoinOperator`, one :class:`SelectOperator` per
+predicate, and a final projection to CNode, exactly as in Figure 4 of the
+paper.  Closed OR/AND-NOT subqueries become node-level union / difference.
+
+Complexity: ``O(entries_per_token · pos_per_entry · toks_Q ·
+(preds_Q + ops_Q + 1))`` -- linear in the inverted-list data touched.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import UnsupportedQueryError
+from repro.index.cursor import CursorFactory, CursorStats
+from repro.index.inverted_index import InvertedIndex
+from repro.languages import ast
+from repro.model.predicates import Polarity, PredicateRegistry, default_registry
+from repro.engine import operators as ops
+from repro.engine.plan import (
+    BlockPlan,
+    DifferencePlan,
+    IntersectPlan,
+    PredicateSpec,
+    UnionPlan,
+    extract_plan,
+    plan_polarities,
+)
+
+
+class PPredEngine:
+    """Single-scan evaluation of positive-predicate queries."""
+
+    name = "ppred"
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        registry: PredicateRegistry | None = None,
+    ) -> None:
+        self.index = index
+        self.registry = registry or default_registry()
+
+    # ------------------------------------------------------------------ API
+    def evaluate(self, query: ast.QueryNode) -> list[int]:
+        """Node ids satisfying ``query``, ascending."""
+        return self.evaluate_with_stats(query)[0]
+
+    def evaluate_with_stats(
+        self, query: ast.QueryNode
+    ) -> tuple[list[int], CursorStats]:
+        """Evaluate and also report how much inverted-list data was scanned."""
+        plan = extract_plan(query, self.registry)
+        self._check_polarities(plan)
+        factory = CursorFactory()
+        operator = self.build_operator(plan, factory)
+        nodes = ops.collect_nodes(operator)
+        return nodes, factory.collect_stats()
+
+    # ----------------------------------------------------------- plan -> ops
+    def build_operator(self, plan, factory: CursorFactory) -> ops.PlanOperator:
+        """Build the pipelined operator tree for an extracted plan."""
+        if isinstance(plan, BlockPlan):
+            return self._build_block(plan, factory)
+        if isinstance(plan, UnionPlan):
+            return ops.NodeUnionOperator(
+                self.build_operator(plan.left, factory),
+                self.build_operator(plan.right, factory),
+            )
+        if isinstance(plan, DifferencePlan):
+            return ops.NodeDifferenceOperator(
+                self.build_operator(plan.left, factory),
+                self.build_operator(plan.right, factory),
+            )
+        if isinstance(plan, IntersectPlan):
+            return ops.JoinOperator(
+                self.build_operator(plan.left, factory),
+                self.build_operator(plan.right, factory),
+            )
+        raise UnsupportedQueryError(f"unknown plan node {type(plan).__name__}")
+
+    def _build_block(self, block: BlockPlan, factory: CursorFactory) -> ops.PlanOperator:
+        tree = self._build_positive_part(block, factory)
+        tree = ops.ProjectOperator(tree, keep=())
+        for negated in block.negated:
+            tree = ops.NodeDifferenceOperator(
+                tree, self.build_operator(negated, factory)
+            )
+        return tree
+
+    def _build_positive_part(
+        self, block: BlockPlan, factory: CursorFactory
+    ) -> ops.PlanOperator:
+        scans = [
+            ops.ScanOperator(self.index.open_cursor(token, factory))
+            for _, token in block.bindings
+        ]
+        tree: ops.PlanOperator | None = None
+        for scan in scans:
+            tree = scan if tree is None else ops.JoinOperator(tree, scan)
+        for conjunct in block.closed_conjuncts:
+            nested = self.build_operator(conjunct, factory)
+            tree = nested if tree is None else ops.JoinOperator(tree, nested)
+        if tree is None:
+            raise UnsupportedQueryError("empty conjunctive block")
+        for spec in block.predicates:
+            tree = self._apply_predicate(tree, block, spec)
+        return tree
+
+    def _apply_predicate(
+        self, tree: ops.PlanOperator, block: BlockPlan, spec: PredicateSpec
+    ) -> ops.PlanOperator:
+        predicate = self.registry.get(spec.name)
+        attr_indices = [block.attribute_of(var) for var in spec.variables]
+        return ops.SelectOperator(tree, predicate, attr_indices, spec.constants)
+
+    # ------------------------------------------------------------- validation
+    def _check_polarities(self, plan) -> None:
+        polarities = plan_polarities(plan, self.registry)
+        if Polarity.NEGATIVE in polarities:
+            raise UnsupportedQueryError(
+                "query uses negative predicates; use the NPRED engine"
+            )
+        if Polarity.GENERAL in polarities:
+            raise UnsupportedQueryError(
+                "query uses predicates without positive advance semantics; "
+                "use the COMP engine"
+            )

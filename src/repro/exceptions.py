@@ -1,0 +1,76 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError` so that callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError``,
+``KeyError`` from internal bugs, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class CorpusError(ReproError):
+    """Raised for invalid documents, collections, or corpus construction."""
+
+
+class IndexError_(ReproError):
+    """Raised for inverted-index construction or access problems.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``; exported as ``InvertedIndexError`` from the package root.
+    """
+
+
+class QuerySyntaxError(ReproError):
+    """Raised when a surface-language query cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        #: Character offset in the query string where the error was detected,
+        #: or ``None`` when the location is unknown.
+        self.position = position
+
+
+class QuerySemanticsError(ReproError):
+    """Raised when a parsed query is structurally invalid.
+
+    Examples: an unbound position variable in a COMP query, a predicate that
+    is not registered, or a query that is outside the language subset an
+    engine supports.
+    """
+
+
+class PredicateError(ReproError):
+    """Raised for unknown predicates or predicates applied with bad arity."""
+
+
+class TranslationError(ReproError):
+    """Raised when an FTC/FTA translation step receives an unsupported node."""
+
+
+class EvaluationError(ReproError):
+    """Raised when query evaluation fails (engine/plan mismatch, bad state)."""
+
+
+class UnsupportedQueryError(EvaluationError):
+    """Raised when a query is handed to an engine that cannot evaluate it.
+
+    For example a query with negative predicates given to the PPRED engine,
+    or a query using ``EVERY`` given to the NPRED engine.
+    """
+
+
+class ScoringError(ReproError):
+    """Raised for scoring-model misuse (unknown model, missing statistics)."""
+
+
+class StorageError(ReproError):
+    """Raised when persisting or loading an index from disk fails."""
+
+
+class WorkloadError(ReproError):
+    """Raised when an experiment workload cannot be generated as requested."""

@@ -1,0 +1,35 @@
+"""Inverted-list substrate: postings, cursors, index, statistics, storage."""
+
+from repro.index.cursor import CursorFactory, CursorStats, InvertedListCursor
+from repro.index.inverted_index import (
+    ANY_TOKEN,
+    InvertedIndex,
+    build_index,
+    merge_node_ids,
+)
+from repro.index.postings import PostingEntry, PostingList
+from repro.index.statistics import ComplexityParameters, IndexStatistics
+from repro.index.storage import (
+    load_collection,
+    load_index,
+    save_collection,
+    save_index,
+)
+
+__all__ = [
+    "CursorFactory",
+    "CursorStats",
+    "InvertedListCursor",
+    "ANY_TOKEN",
+    "InvertedIndex",
+    "build_index",
+    "merge_node_ids",
+    "PostingEntry",
+    "PostingList",
+    "ComplexityParameters",
+    "IndexStatistics",
+    "load_collection",
+    "load_index",
+    "save_collection",
+    "save_index",
+]

@@ -1,0 +1,137 @@
+"""Sequential cursors over inverted lists.
+
+The paper restricts access to inverted lists to *sequential scans* through a
+cursor API (Section 5.1.2):
+
+* ``nextEntry()``   -- advance to the next entry and return its node id
+  (``None`` when exhausted);
+* ``getPositions()`` -- the position list of the current entry.
+
+Both operations are O(1).  All evaluation engines in :mod:`repro.engine` read
+inverted lists exclusively through this API, so the number of cursor
+operations is a faithful proxy for the paper's complexity parameters.  The
+cursor counts its operations (entries and positions touched) to support the
+cost-accounting benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.index.postings import PostingEntry, PostingList
+from repro.model.positions import Position
+
+
+@dataclass
+class CursorStats:
+    """Operation counters of a cursor (or aggregated over many cursors)."""
+
+    next_entry_calls: int = 0
+    get_positions_calls: int = 0
+    positions_returned: int = 0
+
+    def merge(self, other: "CursorStats") -> None:
+        """Accumulate another counter set into this one."""
+        self.next_entry_calls += other.next_entry_calls
+        self.get_positions_calls += other.get_positions_calls
+        self.positions_returned += other.positions_returned
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "next_entry_calls": self.next_entry_calls,
+            "get_positions_calls": self.get_positions_calls,
+            "positions_returned": self.positions_returned,
+        }
+
+
+class InvertedListCursor:
+    """A forward-only cursor over a :class:`PostingList`.
+
+    The cursor starts *before* the first entry: the first ``next_entry()``
+    call moves to the first entry.  ``get_positions()`` may only be called
+    when the cursor is on an entry.
+    """
+
+    __slots__ = ("_entries", "_index", "stats", "token")
+
+    def __init__(self, posting_list: PostingList) -> None:
+        self.token = posting_list.token
+        self._entries = posting_list.entries()
+        self._index = -1
+        self.stats = CursorStats()
+
+    # ----------------------------------------------------------- paper API
+    def next_entry(self) -> int | None:
+        """Advance to the next entry; return its node id or ``None`` at the end."""
+        self.stats.next_entry_calls += 1
+        self._index += 1
+        if self._index >= len(self._entries):
+            self._index = len(self._entries)
+            return None
+        return self._entries[self._index].node_id
+
+    def get_positions(self) -> list[Position]:
+        """Positions of the current entry (requires a prior successful next_entry)."""
+        entry = self._current_entry()
+        self.stats.get_positions_calls += 1
+        self.stats.positions_returned += len(entry.positions)
+        return list(entry.positions)
+
+    # -------------------------------------------------------- conveniences
+    def current_node(self) -> int | None:
+        """Node id of the current entry, or ``None`` before the start / at the end."""
+        if 0 <= self._index < len(self._entries):
+            return self._entries[self._index].node_id
+        return None
+
+    def exhausted(self) -> bool:
+        """True once ``next_entry()`` has returned ``None``."""
+        return self._index >= len(self._entries)
+
+    def advance_to(self, node_id: int) -> int | None:
+        """Advance (by repeated ``next_entry``) until the current node id is
+        ``>= node_id``; return it, or ``None`` if the list is exhausted.
+
+        This is sugar used by merge-style operators; it still performs only
+        sequential accesses and is charged per entry skipped.
+        """
+        current = self.current_node()
+        if current is not None and current >= node_id:
+            return current
+        while True:
+            current = self.next_entry()
+            if current is None or current >= node_id:
+                return current
+
+    def _current_entry(self) -> PostingEntry:
+        if not 0 <= self._index < len(self._entries):
+            raise RuntimeError(
+                "get_positions() called while the cursor is not on an entry"
+            )
+        return self._entries[self._index]
+
+
+@dataclass
+class CursorFactory:
+    """Creates cursors for an index and aggregates their statistics.
+
+    Evaluation engines obtain every cursor through a factory so that the
+    total amount of inverted-list I/O per query can be reported, mirroring
+    the paper's complexity parameters.
+    """
+
+    aggregate: CursorStats = field(default_factory=CursorStats)
+    _open_cursors: list[InvertedListCursor] = field(default_factory=list)
+
+    def open(self, posting_list: PostingList) -> InvertedListCursor:
+        cursor = InvertedListCursor(posting_list)
+        self._open_cursors.append(cursor)
+        return cursor
+
+    def collect_stats(self) -> CursorStats:
+        """Aggregate statistics over every cursor opened through this factory."""
+        total = CursorStats()
+        total.merge(self.aggregate)
+        for cursor in self._open_cursors:
+            total.merge(cursor.stats)
+        return total

@@ -1,0 +1,128 @@
+"""Posting lists: the physical representation of inverted lists.
+
+The paper's data model (Section 5.1.2): for each token ``tok`` there is an
+inverted list ``IL_tok`` whose entries are ``(cn, PosList)`` pairs -- a
+context node id plus the ordered list of positions of ``tok`` in that node.
+Entries are ordered by node id, positions by document order.  There is also
+``IL_ANY`` holding *all* positions of every node.
+
+:class:`PostingEntry` and :class:`PostingList` implement that model, including
+the invariants (sorted node ids, sorted positions, non-empty position lists).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import IndexError_
+from repro.model.positions import Position
+
+
+@dataclass(frozen=True)
+class PostingEntry:
+    """One ``(cn, PosList)`` entry of an inverted list."""
+
+    node_id: int
+    positions: tuple[Position, ...]
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise IndexError_(
+                f"posting entry for node {self.node_id} has no positions"
+            )
+        offsets = [pos.offset for pos in self.positions]
+        if offsets != sorted(offsets):
+            raise IndexError_(
+                f"positions of node {self.node_id} must be sorted by offset"
+            )
+        if len(set(offsets)) != len(offsets):
+            raise IndexError_(
+                f"positions of node {self.node_id} contain duplicates"
+            )
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def position_offsets(self) -> list[int]:
+        """The raw integer offsets of this entry's positions."""
+        return [pos.offset for pos in self.positions]
+
+
+class PostingList:
+    """An ordered sequence of :class:`PostingEntry` objects for one token."""
+
+    __slots__ = ("token", "_entries", "_node_ids")
+
+    def __init__(self, token: str, entries: Iterable[PostingEntry] = ()) -> None:
+        self.token = token
+        self._entries: list[PostingEntry] = []
+        self._node_ids: list[int] = []
+        for entry in entries:
+            self.append(entry)
+
+    # --------------------------------------------------------------- builder
+    def append(self, entry: PostingEntry) -> None:
+        """Append an entry; node ids must arrive in strictly increasing order."""
+        if self._node_ids and entry.node_id <= self._node_ids[-1]:
+            raise IndexError_(
+                f"posting entries for {self.token!r} must have strictly "
+                f"increasing node ids (got {entry.node_id} after "
+                f"{self._node_ids[-1]})"
+            )
+        self._entries.append(entry)
+        self._node_ids.append(entry.node_id)
+
+    def add_occurrences(self, node_id: int, positions: Sequence[Position]) -> None:
+        """Convenience: build and append an entry from raw positions."""
+        self.append(PostingEntry(node_id, tuple(positions)))
+
+    # ------------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[PostingEntry]:
+        return iter(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def entries(self) -> list[PostingEntry]:
+        """All entries in node-id order (a copy)."""
+        return list(self._entries)
+
+    def node_ids(self) -> list[int]:
+        """The node ids having at least one occurrence of the token."""
+        return list(self._node_ids)
+
+    def entry_for(self, node_id: int) -> PostingEntry | None:
+        """The entry of ``node_id`` or ``None`` (random access; testing only).
+
+        Query evaluation never uses this -- the paper restricts inverted
+        lists to sequential access -- but tests and scoring setup do.
+        """
+        idx = bisect.bisect_left(self._node_ids, node_id)
+        if idx < len(self._node_ids) and self._node_ids[idx] == node_id:
+            return self._entries[idx]
+        return None
+
+    def document_frequency(self) -> int:
+        """``df(t)``: the number of entries (nodes containing the token)."""
+        return len(self._entries)
+
+    def total_positions(self) -> int:
+        """Total number of positions over all entries."""
+        return sum(len(entry) for entry in self._entries)
+
+    def max_positions_per_entry(self) -> int:
+        """``pos_per_entry`` restricted to this list."""
+        if not self._entries:
+            return 0
+        return max(len(entry) for entry in self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"PostingList(token={self.token!r}, entries={len(self._entries)}, "
+            f"positions={self.total_positions()})"
+        )

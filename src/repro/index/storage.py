@@ -1,0 +1,108 @@
+"""On-disk persistence for collections and inverted indexes.
+
+The format is a single JSON document (optionally gzip-compressed) holding the
+tokenized collection; the inverted index is rebuilt on load.  Rebuilding is
+cheap relative to tokenization and keeps the on-disk format independent of
+the in-memory index layout, which makes the format stable across versions.
+
+The format is versioned; loading a file with an unknown version raises
+:class:`~repro.exceptions.StorageError`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.corpus.collection import Collection
+from repro.corpus.document import ContextNode
+from repro.corpus.tokenizer import TokenOccurrence
+from repro.exceptions import StorageError
+from repro.index.inverted_index import InvertedIndex
+from repro.model.positions import Position
+
+FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: ContextNode) -> dict[str, Any]:
+    return {
+        "id": node.node_id,
+        "metadata": dict(node.metadata),
+        "occurrences": [
+            [occ.token, occ.position.offset, occ.position.sentence,
+             occ.position.paragraph]
+            for occ in node.occurrences
+        ],
+    }
+
+
+def _node_from_dict(payload: dict[str, Any]) -> ContextNode:
+    try:
+        occurrences = tuple(
+            TokenOccurrence(token, Position(offset, sentence, paragraph))
+            for token, offset, sentence, paragraph in payload["occurrences"]
+        )
+        return ContextNode(payload["id"], occurrences, payload.get("metadata", {}))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"malformed node record: {exc}") from exc
+
+
+def save_collection(collection: Collection, path: Path | str) -> None:
+    """Serialise a collection to ``path`` (gzip if the suffix is ``.gz``)."""
+    path = Path(path)
+    document = {
+        "format": "repro-collection",
+        "version": FORMAT_VERSION,
+        "name": collection.name,
+        "nodes": [_node_to_dict(node) for node in collection],
+    }
+    payload = json.dumps(document).encode("utf-8")
+    try:
+        if path.suffix == ".gz":
+            with gzip.open(path, "wb") as handle:
+                handle.write(payload)
+        else:
+            path.write_bytes(payload)
+    except OSError as exc:
+        raise StorageError(f"cannot write {path}: {exc}") from exc
+
+
+def load_collection(path: Path | str) -> Collection:
+    """Load a collection previously written by :func:`save_collection`."""
+    path = Path(path)
+    try:
+        if path.suffix == ".gz":
+            with gzip.open(path, "rb") as handle:
+                payload = handle.read()
+        else:
+            payload = path.read_bytes()
+    except OSError as exc:
+        raise StorageError(f"cannot read {path}: {exc}") from exc
+    try:
+        document = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"{path} is not valid JSON: {exc}") from exc
+    if document.get("format") != "repro-collection":
+        raise StorageError(f"{path} is not a repro collection file")
+    if document.get("version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported collection format version {document.get('version')}"
+        )
+    nodes = [_node_from_dict(record) for record in document.get("nodes", [])]
+    return Collection.from_nodes(nodes, document.get("name", "collection"))
+
+
+def save_index(index: InvertedIndex, path: Path | str) -> None:
+    """Persist an index by persisting its collection (the lists are rebuilt)."""
+    save_collection(index.collection, path)
+
+
+def load_index(path: Path | str, validate: bool = True) -> InvertedIndex:
+    """Load an index written by :func:`save_index` and optionally validate it."""
+    collection = load_collection(path)
+    index = InvertedIndex(collection)
+    if validate:
+        index.validate()
+    return index

@@ -1,0 +1,348 @@
+"""Surface abstract syntax shared by the BOOL, DIST and COMP languages.
+
+The three surface languages of the paper form a syntactic hierarchy
+(BOOL ⊂ DIST ⊂ COMP up to sugar), so they share one AST.  Each parser simply
+restricts which node types it may produce.  Every node knows how to
+
+* render itself back to query text (:meth:`QueryNode.to_text`),
+* report its free position variables (:meth:`QueryNode.free_variables`),
+* translate itself into the full-text calculus
+  (:meth:`QueryNode.to_calculus`), following the semantics given in
+  Sections 4.1--4.3 of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.exceptions import QuerySemanticsError
+from repro.model import calculus as c
+
+
+class _FreshVariables:
+    """Generator of fresh position-variable names for implicit quantifiers."""
+
+    def __init__(self, reserved: set[str]) -> None:
+        self._reserved = set(reserved)
+        self._counter = itertools.count(1)
+
+    def fresh(self) -> str:
+        while True:
+            candidate = f"_q{next(self._counter)}"
+            if candidate not in self._reserved:
+                self._reserved.add(candidate)
+                return candidate
+
+
+class QueryNode:
+    """Base class of surface query nodes."""
+
+    def to_text(self) -> str:
+        """Render the node back to (canonical) query syntax."""
+        raise NotImplementedError
+
+    def children(self) -> Sequence["QueryNode"]:
+        return ()
+
+    def free_variables(self) -> set[str]:
+        """Position variables used but not bound by SOME/EVERY in this node."""
+        free: set[str] = set()
+        for child in self.children():
+            free |= child.free_variables()
+        return free
+
+    def bound_variables(self) -> set[str]:
+        """Position variables bound anywhere inside this node."""
+        bound: set[str] = set()
+        for node in walk(self):
+            if isinstance(node, (SomeQuery, EveryQuery)):
+                bound.add(node.var)
+        return bound
+
+    def is_closed(self) -> bool:
+        """True iff the node has no free position variables."""
+        return not self.free_variables()
+
+    # ------------------------------------------------------------- calculus
+    def to_calculus(self) -> c.CalculusExpr:
+        """Translate to a calculus expression (may have free variables)."""
+        fresh = _FreshVariables(self.bound_variables() | self.free_variables())
+        return self._to_calculus(fresh)
+
+    def to_calculus_query(self) -> c.CalculusQuery:
+        """Translate a closed query to a calculus query."""
+        free = self.free_variables()
+        if free:
+            raise QuerySemanticsError(
+                f"query has unbound position variables: {sorted(free)}"
+            )
+        return c.CalculusQuery(self.to_calculus())
+
+    def _to_calculus(self, fresh: _FreshVariables) -> c.CalculusExpr:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self.to_text()!r}>"
+
+
+# --------------------------------------------------------------------------
+# Tokens
+# --------------------------------------------------------------------------
+@dataclass(frozen=True, repr=False)
+class TokenQuery(QueryNode):
+    """A bare string literal: the node must contain the token somewhere."""
+
+    token: str
+
+    def to_text(self) -> str:
+        return f"'{self.token}'"
+
+    def _to_calculus(self, fresh: _FreshVariables) -> c.CalculusExpr:
+        var = fresh.fresh()
+        return c.Exists(var, c.HasToken(var, self.token))
+
+
+@dataclass(frozen=True, repr=False)
+class AnyQuery(QueryNode):
+    """The universal token ``ANY``: the node must contain at least one token."""
+
+    def to_text(self) -> str:
+        return "ANY"
+
+    def _to_calculus(self, fresh: _FreshVariables) -> c.CalculusExpr:
+        var = fresh.fresh()
+        return c.Exists(var, c.HasPos(var))
+
+
+@dataclass(frozen=True, repr=False)
+class VarHasToken(QueryNode):
+    """``var HAS 'token'``: position variable ``var`` holds the token."""
+
+    var: str
+    token: str
+
+    def to_text(self) -> str:
+        return f"{self.var} HAS '{self.token}'"
+
+    def free_variables(self) -> set[str]:
+        return {self.var}
+
+    def _to_calculus(self, fresh: _FreshVariables) -> c.CalculusExpr:
+        return c.HasToken(self.var, self.token)
+
+
+@dataclass(frozen=True, repr=False)
+class VarHasAny(QueryNode):
+    """``var HAS ANY``: ``var`` is bound to some position of the node."""
+
+    var: str
+
+    def to_text(self) -> str:
+        return f"{self.var} HAS ANY"
+
+    def free_variables(self) -> set[str]:
+        return {self.var}
+
+    def _to_calculus(self, fresh: _FreshVariables) -> c.CalculusExpr:
+        return c.HasPos(self.var)
+
+
+# --------------------------------------------------------------------------
+# Boolean structure
+# --------------------------------------------------------------------------
+@dataclass(frozen=True, repr=False)
+class NotQuery(QueryNode):
+    """``NOT Query``."""
+
+    operand: QueryNode
+
+    def to_text(self) -> str:
+        return f"NOT ({self.operand.to_text()})"
+
+    def children(self) -> Sequence[QueryNode]:
+        return (self.operand,)
+
+    def _to_calculus(self, fresh: _FreshVariables) -> c.CalculusExpr:
+        return c.Not(self.operand._to_calculus(fresh))
+
+
+@dataclass(frozen=True, repr=False)
+class AndQuery(QueryNode):
+    """``Query AND Query``."""
+
+    left: QueryNode
+    right: QueryNode
+
+    def to_text(self) -> str:
+        return f"({self.left.to_text()} AND {self.right.to_text()})"
+
+    def children(self) -> Sequence[QueryNode]:
+        return (self.left, self.right)
+
+    def _to_calculus(self, fresh: _FreshVariables) -> c.CalculusExpr:
+        return c.And(self.left._to_calculus(fresh), self.right._to_calculus(fresh))
+
+
+@dataclass(frozen=True, repr=False)
+class OrQuery(QueryNode):
+    """``Query OR Query``."""
+
+    left: QueryNode
+    right: QueryNode
+
+    def to_text(self) -> str:
+        return f"({self.left.to_text()} OR {self.right.to_text()})"
+
+    def children(self) -> Sequence[QueryNode]:
+        return (self.left, self.right)
+
+    def _to_calculus(self, fresh: _FreshVariables) -> c.CalculusExpr:
+        return c.Or(self.left._to_calculus(fresh), self.right._to_calculus(fresh))
+
+
+# --------------------------------------------------------------------------
+# Quantifiers and predicates (COMP)
+# --------------------------------------------------------------------------
+@dataclass(frozen=True, repr=False)
+class SomeQuery(QueryNode):
+    """``SOME var Query``: existential quantification over node positions."""
+
+    var: str
+    operand: QueryNode
+
+    def to_text(self) -> str:
+        return f"SOME {self.var} ({self.operand.to_text()})"
+
+    def children(self) -> Sequence[QueryNode]:
+        return (self.operand,)
+
+    def free_variables(self) -> set[str]:
+        return self.operand.free_variables() - {self.var}
+
+    def _to_calculus(self, fresh: _FreshVariables) -> c.CalculusExpr:
+        return c.Exists(self.var, self.operand._to_calculus(fresh))
+
+
+@dataclass(frozen=True, repr=False)
+class EveryQuery(QueryNode):
+    """``EVERY var Query``: universal quantification over node positions."""
+
+    var: str
+    operand: QueryNode
+
+    def to_text(self) -> str:
+        return f"EVERY {self.var} ({self.operand.to_text()})"
+
+    def children(self) -> Sequence[QueryNode]:
+        return (self.operand,)
+
+    def free_variables(self) -> set[str]:
+        return self.operand.free_variables() - {self.var}
+
+    def _to_calculus(self, fresh: _FreshVariables) -> c.CalculusExpr:
+        return c.Forall(self.var, self.operand._to_calculus(fresh))
+
+
+@dataclass(frozen=True, repr=False)
+class PredQuery(QueryNode):
+    """``pred(var1, .., varp, c1, .., cq)``: a position-based predicate."""
+
+    name: str
+    variables: tuple[str, ...]
+    constants: tuple = ()
+
+    def to_text(self) -> str:
+        args = ", ".join(self.variables)
+        consts = "".join(f", {const}" for const in self.constants)
+        return f"{self.name}({args}{consts})"
+
+    def free_variables(self) -> set[str]:
+        return set(self.variables)
+
+    def _to_calculus(self, fresh: _FreshVariables) -> c.CalculusExpr:
+        return c.PredicateApplication(self.name, self.variables, self.constants)
+
+
+@dataclass(frozen=True, repr=False)
+class DistQuery(QueryNode):
+    """``dist(Token, Token, Integer)``: DIST's built-in distance construct.
+
+    ``first`` / ``second`` are token strings or ``None`` for ANY (Section 4.2:
+    if a token is ANY, the corresponding ``hasToken`` predicate is omitted).
+    """
+
+    first: str | None
+    second: str | None
+    limit: int
+
+    def to_text(self) -> str:
+        first = f"'{self.first}'" if self.first is not None else "ANY"
+        second = f"'{self.second}'" if self.second is not None else "ANY"
+        return f"dist({first}, {second}, {self.limit})"
+
+    def _to_calculus(self, fresh: _FreshVariables) -> c.CalculusExpr:
+        var1 = fresh.fresh()
+        var2 = fresh.fresh()
+        inner: c.CalculusExpr = c.PredicateApplication(
+            "distance", (var1, var2), (self.limit,)
+        )
+        if self.second is not None:
+            inner = c.And(c.HasToken(var2, self.second), inner)
+        second_level: c.CalculusExpr = c.Exists(var2, inner)
+        if self.first is not None:
+            second_level = c.And(c.HasToken(var1, self.first), second_level)
+        return c.Exists(var1, second_level)
+
+
+# --------------------------------------------------------------------------
+# Traversal helpers
+# --------------------------------------------------------------------------
+def walk(node: QueryNode) -> Iterator[QueryNode]:
+    """Pre-order traversal of a surface query tree."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+def query_tokens(node: QueryNode) -> set[str]:
+    """All string-literal tokens mentioned anywhere in the query."""
+    tokens: set[str] = set()
+    for item in walk(node):
+        if isinstance(item, TokenQuery):
+            tokens.add(item.token)
+        elif isinstance(item, VarHasToken):
+            tokens.add(item.token)
+        elif isinstance(item, DistQuery):
+            if item.first is not None:
+                tokens.add(item.first)
+            if item.second is not None:
+                tokens.add(item.second)
+    return tokens
+
+
+def query_predicates(node: QueryNode) -> list[PredQuery]:
+    """All predicate applications in the query (DistQuery not included)."""
+    return [item for item in walk(node) if isinstance(item, PredQuery)]
+
+
+def query_measures(node: QueryNode) -> dict[str, int]:
+    """The paper's query parameters ``toks_Q``, ``preds_Q``, ``ops_Q``.
+
+    ``toks_Q`` counts string literals and ANY occurrences; ``preds_Q`` counts
+    predicate applications (a ``dist`` construct counts as one predicate plus
+    its two tokens); ``ops_Q`` counts NOT/AND/OR/SOME/EVERY.
+    """
+    toks = preds = ops = 0
+    for item in walk(node):
+        if isinstance(item, (TokenQuery, AnyQuery, VarHasToken, VarHasAny)):
+            toks += 1
+        elif isinstance(item, DistQuery):
+            toks += 2
+            preds += 1
+        elif isinstance(item, PredQuery):
+            preds += 1
+        elif isinstance(item, (NotQuery, AndQuery, OrQuery, SomeQuery, EveryQuery)):
+            ops += 1
+    return {"toks_Q": toks, "preds_Q": preds, "ops_Q": ops}

@@ -1,0 +1,87 @@
+"""The BOOL language (paper, Section 4.1) and its BOOL-NONEG restriction.
+
+Grammar::
+
+    Query := Token | NOT Query | Query AND Query | Query OR Query
+    Token := StringLiteral | ANY
+
+BOOL-NONEG (Section 5.3) removes ANY and only allows NOT as the right operand
+of an AND (``Query AND NOT Query``), which is what lets its evaluation avoid
+the ``IL_ANY`` list entirely.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QuerySemanticsError
+from repro.languages import ast
+from repro.languages.parser import LanguageLevel, QueryParser
+from repro.model import calculus as c
+
+
+def parse_bool(text: str) -> ast.QueryNode:
+    """Parse a BOOL query string."""
+    return QueryParser(LanguageLevel.BOOL).parse(text)
+
+
+def bool_to_calculus(text: str) -> c.CalculusQuery:
+    """Parse a BOOL query and translate it to a calculus query."""
+    return parse_bool(text).to_calculus_query()
+
+
+def is_bool_query(node: ast.QueryNode) -> bool:
+    """True iff the surface AST only uses BOOL constructs."""
+    return all(
+        isinstance(
+            item,
+            (ast.TokenQuery, ast.AnyQuery, ast.NotQuery, ast.AndQuery, ast.OrQuery),
+        )
+        for item in ast.walk(node)
+    )
+
+
+def is_bool_noneg_query(node: ast.QueryNode) -> bool:
+    """True iff the AST fits the BOOL-NONEG grammar.
+
+    BOOL-NONEG forbids ANY everywhere and restricts negation to conjuncts
+    (``Query AND NOT Query``); in particular the query as a whole, and every
+    OR branch, must have at least one positive conjunct.
+    """
+    if not is_bool_query(node):
+        return False
+    if any(isinstance(item, ast.AnyQuery) for item in ast.walk(node)):
+        return False
+    return _noneg_ok(node)
+
+
+def _noneg_ok(node: ast.QueryNode) -> bool:
+    if isinstance(node, ast.TokenQuery):
+        return True
+    if isinstance(node, ast.OrQuery):
+        return _noneg_ok(node.left) and _noneg_ok(node.right)
+    if isinstance(node, ast.AndQuery):
+        conjuncts = _flatten_and(node)
+        positives = [conj for conj in conjuncts if not isinstance(conj, ast.NotQuery)]
+        negatives = [conj for conj in conjuncts if isinstance(conj, ast.NotQuery)]
+        if not positives:
+            return False
+        return all(_noneg_ok(conj) for conj in positives) and all(
+            _noneg_ok(conj.operand) for conj in negatives
+        )
+    if isinstance(node, ast.NotQuery):
+        return False
+    return False
+
+
+def _flatten_and(node: ast.QueryNode) -> list[ast.QueryNode]:
+    if isinstance(node, ast.AndQuery):
+        return _flatten_and(node.left) + _flatten_and(node.right)
+    return [node]
+
+
+def require_bool_noneg(node: ast.QueryNode) -> None:
+    """Raise :class:`QuerySemanticsError` unless ``node`` is BOOL-NONEG."""
+    if not is_bool_noneg_query(node):
+        raise QuerySemanticsError(
+            "query is not in BOOL-NONEG: negation must appear only as "
+            "'Query AND NOT Query' and ANY is not allowed"
+        )

@@ -1,0 +1,234 @@
+"""Programmatic query builders.
+
+Writing COMP by hand is verbose for common patterns (phrases, proximity,
+ordered windows).  These helpers build the corresponding surface ASTs
+directly, so applications can compose structured full-text conditions without
+string formatting.  Everything returned is an ordinary
+:class:`~repro.languages.ast.QueryNode` and can be combined further with
+:func:`all_of` / :func:`any_of` / :func:`not_` or passed straight to
+:meth:`repro.core.engine.FullTextEngine.search`.
+
+Example -- the paper's Use Case 10.4 ("efficient" before the phrase
+"task completion" with at most 10 intervening tokens)::
+
+    from repro.languages.builders import ordered_near, phrase, term
+
+    query = ordered_near(term("efficient"), phrase("task completion"), distance=10)
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.exceptions import QuerySemanticsError
+from repro.languages import ast
+
+_fresh_counter = itertools.count(1)
+
+
+def _fresh_var(prefix: str = "b") -> str:
+    return f"_{prefix}{next(_fresh_counter)}"
+
+
+# --------------------------------------------------------------------------
+# Atoms
+# --------------------------------------------------------------------------
+def term(token: str) -> ast.QueryNode:
+    """The node contains ``token`` (a bare keyword)."""
+    if not token or not token.strip():
+        raise QuerySemanticsError("a term must be a non-empty token")
+    return ast.TokenQuery(token.strip().lower())
+
+
+def keywords(*tokens: str) -> ast.QueryNode:
+    """Conjunctive keyword query: the node contains every token."""
+    return all_of(*(term(token) for token in tokens))
+
+
+# --------------------------------------------------------------------------
+# Boolean combinators
+# --------------------------------------------------------------------------
+def all_of(*queries: ast.QueryNode) -> ast.QueryNode:
+    """Conjunction of one or more queries."""
+    if not queries:
+        raise QuerySemanticsError("all_of() needs at least one query")
+    result = queries[0]
+    for query in queries[1:]:
+        result = ast.AndQuery(result, query)
+    return result
+
+
+def any_of(*queries: ast.QueryNode) -> ast.QueryNode:
+    """Disjunction of one or more queries."""
+    if not queries:
+        raise QuerySemanticsError("any_of() needs at least one query")
+    result = queries[0]
+    for query in queries[1:]:
+        result = ast.OrQuery(result, query)
+    return result
+
+
+def not_(query: ast.QueryNode) -> ast.QueryNode:
+    """Negation of a query."""
+    return ast.NotQuery(query)
+
+
+def excluding(positive: ast.QueryNode, negative: ast.QueryNode) -> ast.QueryNode:
+    """``positive AND NOT negative`` -- the BOOL-NONEG-friendly negation shape."""
+    return ast.AndQuery(positive, ast.NotQuery(negative))
+
+
+# --------------------------------------------------------------------------
+# Position-based patterns (built on COMP)
+# --------------------------------------------------------------------------
+def _tokenize_phrase(text: "str | Sequence[str]") -> list[str]:
+    if isinstance(text, str):
+        tokens = [token for token in text.lower().split() if token]
+    else:
+        tokens = [str(token).lower() for token in text]
+    if not tokens:
+        raise QuerySemanticsError("a phrase needs at least one token")
+    return tokens
+
+
+def phrase(text: "str | Sequence[str]") -> ast.QueryNode:
+    """The tokens of ``text`` appear consecutively and in order.
+
+    Adjacency is expressed exactly as in the paper: ``ordered(p_i, p_{i+1})``
+    together with ``distance(p_i, p_{i+1}, 0)`` for each consecutive pair.
+    """
+    tokens = _tokenize_phrase(text)
+    if len(tokens) == 1:
+        return term(tokens[0])
+    variables = [_fresh_var("ph") for _ in tokens]
+    conjuncts: list[ast.QueryNode] = [
+        ast.VarHasToken(var, token) for var, token in zip(variables, tokens)
+    ]
+    for left, right in zip(variables, variables[1:]):
+        conjuncts.append(ast.PredQuery("ordered", (left, right)))
+        conjuncts.append(ast.PredQuery("distance", (left, right), (0,)))
+    return _close(all_of(*conjuncts), variables)
+
+
+def near(
+    first: "str | ast.QueryNode",
+    second: "str | ast.QueryNode",
+    distance: int,
+    ordered: bool = False,
+    same_paragraph: bool = False,
+    same_sentence: bool = False,
+) -> ast.QueryNode:
+    """Two terms (or single-token queries) within ``distance`` intervening tokens.
+
+    Optional flags add ``ordered`` / ``samepara`` / ``samesentence``
+    constraints.  For multi-token operands use :func:`ordered_near`, which
+    anchors on the operands' phrase structure.
+    """
+    first_token = _as_token(first)
+    second_token = _as_token(second)
+    var1, var2 = _fresh_var("nr"), _fresh_var("nr")
+    conjuncts: list[ast.QueryNode] = [
+        ast.VarHasToken(var1, first_token),
+        ast.VarHasToken(var2, second_token),
+        ast.PredQuery("distance", (var1, var2), (distance,)),
+    ]
+    if ordered:
+        conjuncts.append(ast.PredQuery("ordered", (var1, var2)))
+    if same_paragraph:
+        conjuncts.append(ast.PredQuery("samepara", (var1, var2)))
+    if same_sentence:
+        conjuncts.append(ast.PredQuery("samesentence", (var1, var2)))
+    return _close(all_of(*conjuncts), [var1, var2])
+
+
+def ordered_near(
+    first: "str | ast.QueryNode",
+    second: "str | ast.QueryNode",
+    distance: int,
+) -> ast.QueryNode:
+    """``first`` occurs before ``second`` with at most ``distance`` tokens between.
+
+    Each operand may be a keyword or a :func:`phrase`; for phrases the order
+    and distance constraints anchor on the phrase's first token, as in the
+    paper's Example 1 ("the word 'efficient' and the phrase 'task completion'
+    in that order with at most 10 intervening tokens").
+    """
+    first_node, first_anchor = _as_anchored(first)
+    second_node, second_anchor = _as_anchored(second)
+    constraints = all_of(
+        ast.PredQuery("ordered", (first_anchor, second_anchor)),
+        ast.PredQuery("distance", (first_anchor, second_anchor), (distance,)),
+    )
+    combined = all_of(first_node, second_node, constraints)
+    return _close(combined, sorted(combined.free_variables()))
+
+
+def not_near(first: str, second: str, distance: int) -> ast.QueryNode:
+    """Both terms occur, with *more* than ``distance`` intervening tokens
+    for at least one pair (the NPRED ``not_distance`` pattern)."""
+    var1, var2 = _fresh_var("nn"), _fresh_var("nn")
+    body = all_of(
+        ast.VarHasToken(var1, _as_token(first)),
+        ast.VarHasToken(var2, _as_token(second)),
+        ast.PredQuery("not_distance", (var1, var2), (distance,)),
+    )
+    return _close(body, [var1, var2])
+
+
+def within_same(scope: str, *tokens: str) -> ast.QueryNode:
+    """All ``tokens`` occur within the same ``scope`` ('paragraph' or 'sentence')."""
+    predicate = {"paragraph": "samepara", "sentence": "samesentence"}.get(scope)
+    if predicate is None:
+        raise QuerySemanticsError("scope must be 'paragraph' or 'sentence'")
+    if len(tokens) < 2:
+        raise QuerySemanticsError("within_same() needs at least two tokens")
+    variables = [_fresh_var("sc") for _ in tokens]
+    conjuncts: list[ast.QueryNode] = [
+        ast.VarHasToken(var, _as_token(token))
+        for var, token in zip(variables, tokens)
+    ]
+    for other in variables[1:]:
+        conjuncts.append(ast.PredQuery(predicate, (variables[0], other)))
+    return _close(all_of(*conjuncts), variables)
+
+
+# --------------------------------------------------------------------------
+# Internals
+# --------------------------------------------------------------------------
+def _close(body: ast.QueryNode, variables: Iterable[str]) -> ast.QueryNode:
+    result = body
+    for var in reversed(list(variables)):
+        result = ast.SomeQuery(var, result)
+    return result
+
+
+def _as_token(operand: "str | ast.QueryNode") -> str:
+    if isinstance(operand, ast.TokenQuery):
+        return operand.token
+    if isinstance(operand, str):
+        return operand.strip().lower()
+    raise QuerySemanticsError(
+        "this builder expects a single keyword (string or term()); "
+        "use ordered_near() for phrase operands"
+    )
+
+
+def _as_anchored(operand: "str | ast.QueryNode") -> tuple[ast.QueryNode, str]:
+    """Return an *open* query fragment plus the variable anchoring its start."""
+    if isinstance(operand, str) or isinstance(operand, ast.TokenQuery):
+        var = _fresh_var("an")
+        return ast.VarHasToken(var, _as_token(operand)), var
+    if isinstance(operand, ast.SomeQuery):
+        # Strip the SOME quantifiers produced by phrase()/near() so the
+        # variables can be re-closed around the combined constraint; the
+        # anchor is the first (outermost) quantified variable.
+        anchor = operand.var
+        node: ast.QueryNode = operand
+        while isinstance(node, ast.SomeQuery):
+            node = node.operand
+        return node, anchor
+    raise QuerySemanticsError(
+        f"cannot anchor a {type(operand).__name__} operand; pass a keyword, "
+        "term(), phrase() or near() result"
+    )

@@ -1,0 +1,149 @@
+"""Classification of surface queries into the paper's language hierarchy.
+
+The evaluation engines form a hierarchy (Figure 3): BOOL-NONEG ⊂ BOOL,
+PPRED ⊂ NPRED ⊂ COMP.  Given a parsed surface query, :func:`classify_query`
+determines the *cheapest* class whose evaluation algorithm can run it:
+
+* ``BOOL_NONEG`` -- pure conjunctive/disjunctive keyword queries whose
+  negations appear only as ``... AND NOT subquery``;
+* ``BOOL``       -- keyword queries that need the ``IL_ANY`` list (free-standing
+  NOT, the universal token ANY);
+* ``PPRED``      -- queries with position variables and *positive* predicates,
+  negation restricted to closed subqueries under an AND;
+* ``NPRED``      -- like PPRED but also using *negative* predicates;
+* ``COMP``       -- everything else (EVERY, general predicates, unrestricted
+  negation mixed with predicates, ANY combined with variables, ...).
+
+The classifier is purely syntactic, mirroring the grammars of Sections 4--5.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.languages import ast
+from repro.languages.bool_lang import is_bool_noneg_query, is_bool_query
+from repro.model.predicates import Polarity, PredicateRegistry, default_registry
+
+
+class LanguageClass(enum.Enum):
+    """The evaluation classes of the paper's complexity hierarchy."""
+
+    BOOL_NONEG = "BOOL-NONEG"
+    BOOL = "BOOL"
+    PPRED = "PPRED"
+    NPRED = "NPRED"
+    COMP = "COMP"
+
+
+#: Partial order of the hierarchy: every class can also be run by the engines
+#: of the classes listed after it.
+SUPERSETS: dict[LanguageClass, tuple[LanguageClass, ...]] = {
+    LanguageClass.BOOL_NONEG: (
+        LanguageClass.BOOL,
+        LanguageClass.PPRED,
+        LanguageClass.NPRED,
+        LanguageClass.COMP,
+    ),
+    LanguageClass.BOOL: (LanguageClass.COMP,),
+    LanguageClass.PPRED: (LanguageClass.NPRED, LanguageClass.COMP),
+    LanguageClass.NPRED: (LanguageClass.COMP,),
+    LanguageClass.COMP: (),
+}
+
+
+def classify_query(
+    node: ast.QueryNode, registry: PredicateRegistry | None = None
+) -> LanguageClass:
+    """The cheapest language class able to evaluate ``node``."""
+    registry = registry or default_registry()
+
+    if is_bool_query(node):
+        return (
+            LanguageClass.BOOL_NONEG
+            if is_bool_noneg_query(node)
+            else LanguageClass.BOOL
+        )
+
+    if _uses_every(node):
+        return LanguageClass.COMP
+    if _uses_any(node):
+        return LanguageClass.COMP
+    if not _negations_are_restricted(node):
+        return LanguageClass.COMP
+
+    polarities = _predicate_polarities(node, registry)
+    if Polarity.GENERAL in polarities:
+        return LanguageClass.COMP
+    if Polarity.NEGATIVE in polarities:
+        return LanguageClass.NPRED
+    return LanguageClass.PPRED
+
+
+def can_evaluate(query_class: LanguageClass, engine_class: LanguageClass) -> bool:
+    """True iff an engine of ``engine_class`` can evaluate ``query_class`` queries."""
+    return engine_class is query_class or engine_class in SUPERSETS[query_class]
+
+
+# --------------------------------------------------------------------------
+# Structural checks
+# --------------------------------------------------------------------------
+def _uses_every(node: ast.QueryNode) -> bool:
+    return any(isinstance(item, ast.EveryQuery) for item in ast.walk(node))
+
+
+def _uses_any(node: ast.QueryNode) -> bool:
+    return any(
+        isinstance(item, (ast.AnyQuery, ast.VarHasAny)) for item in ast.walk(node)
+    )
+
+
+def _predicate_polarities(
+    node: ast.QueryNode, registry: PredicateRegistry
+) -> set[Polarity]:
+    polarities: set[Polarity] = set()
+    for item in ast.walk(node):
+        if isinstance(item, ast.PredQuery):
+            polarities.add(registry.polarity_of(item.name))
+        elif isinstance(item, ast.DistQuery):
+            polarities.add(Polarity.POSITIVE)
+    return polarities
+
+
+def _negations_are_restricted(node: ast.QueryNode) -> bool:
+    """PPRED/NPRED restriction: NOT only as ``... AND NOT closed-subquery``."""
+    if isinstance(node, ast.NotQuery):
+        return False
+    return _check(node)
+
+
+def _check(node: ast.QueryNode) -> bool:
+    if isinstance(node, ast.AndQuery):
+        conjuncts = _flatten_and(node)
+        positives = [c for c in conjuncts if not isinstance(c, ast.NotQuery)]
+        negatives = [c for c in conjuncts if isinstance(c, ast.NotQuery)]
+        if not positives:
+            return False
+        if any(not neg.operand.is_closed() for neg in negatives):
+            return False
+        return all(_check(pos) for pos in positives) and all(
+            _check(neg.operand) for neg in negatives
+        )
+    if isinstance(node, ast.NotQuery):
+        return False
+    if isinstance(node, ast.OrQuery):
+        # The pipelined engines combine OR branches at node level, which
+        # requires each branch to be a closed subquery; an OR over open
+        # fragments (sharing an externally bound variable) needs COMP.
+        if not node.left.is_closed() or not node.right.is_closed():
+            return False
+        return _check(node.left) and _check(node.right)
+    if isinstance(node, (ast.SomeQuery, ast.EveryQuery)):
+        return _check(node.operand)
+    return True
+
+
+def _flatten_and(node: ast.QueryNode) -> list[ast.QueryNode]:
+    if isinstance(node, ast.AndQuery):
+        return _flatten_and(node.left) + _flatten_and(node.right)
+    return [node]

@@ -1,0 +1,92 @@
+"""The COMP language (paper, Section 4.3): a complete full-text language.
+
+Grammar::
+
+    Query := Token | NOT Query | Query AND Query | Query OR Query
+           | SOME Var Query | EVERY Var Query | Preds
+    Token := StringLiteral | ANY | Var HAS StringLiteral | Var HAS ANY
+    Preds := distance(Var, Var, Integer) | ordered(Var, Var) | ...
+
+COMP generalises BOOL with explicit position variables (bound by SOME/EVERY,
+used by HAS and by predicates); Theorem 6 shows it expresses every calculus
+query over the registered predicate set.  This module also provides the
+constructive half of that theorem: :func:`calculus_to_comp` converts any
+calculus query back into a COMP surface query.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TranslationError
+from repro.languages import ast
+from repro.languages.parser import LanguageLevel, QueryParser
+from repro.model import calculus as c
+from repro.model.predicates import PredicateRegistry, default_registry
+
+
+def parse_comp(
+    text: str, registry: PredicateRegistry | None = None
+) -> ast.QueryNode:
+    """Parse a COMP query string (free position variables are rejected)."""
+    return QueryParser(LanguageLevel.COMP, registry).parse_closed(text)
+
+
+def parse_comp_open(
+    text: str, registry: PredicateRegistry | None = None
+) -> ast.QueryNode:
+    """Parse a COMP query fragment that may contain free position variables."""
+    return QueryParser(LanguageLevel.COMP, registry).parse(text)
+
+
+def comp_to_calculus(
+    text: str, registry: PredicateRegistry | None = None
+) -> c.CalculusQuery:
+    """Parse a COMP query and translate it into a calculus query."""
+    return parse_comp(text, registry).to_calculus_query()
+
+
+# --------------------------------------------------------------------------
+# Theorem 6: FTC -> COMP
+# --------------------------------------------------------------------------
+def calculus_to_comp(query: c.CalculusQuery) -> ast.QueryNode:
+    """Translate a calculus query into an equivalent COMP surface query.
+
+    This is the constructive content of Theorem 6 (completeness of COMP):
+    every calculus construct has a direct COMP counterpart.
+    """
+    return _expr_to_comp(query.expr)
+
+
+def calculus_expr_to_comp(expr: c.CalculusExpr) -> ast.QueryNode:
+    """Translate an open calculus expression into a COMP fragment."""
+    return _expr_to_comp(expr)
+
+
+def _expr_to_comp(expr: c.CalculusExpr) -> ast.QueryNode:
+    if isinstance(expr, c.HasPos):
+        return ast.VarHasAny(expr.var)
+    if isinstance(expr, c.HasToken):
+        return ast.VarHasToken(expr.var, expr.token)
+    if isinstance(expr, c.PredicateApplication):
+        return ast.PredQuery(expr.name, expr.variables, expr.constants)
+    if isinstance(expr, c.Not):
+        return ast.NotQuery(_expr_to_comp(expr.operand))
+    if isinstance(expr, c.And):
+        return ast.AndQuery(_expr_to_comp(expr.left), _expr_to_comp(expr.right))
+    if isinstance(expr, c.Or):
+        return ast.OrQuery(_expr_to_comp(expr.left), _expr_to_comp(expr.right))
+    if isinstance(expr, c.Exists):
+        return ast.SomeQuery(expr.var, _expr_to_comp(expr.operand))
+    if isinstance(expr, c.Forall):
+        return ast.EveryQuery(expr.var, _expr_to_comp(expr.operand))
+    raise TranslationError(f"unknown calculus node {type(expr).__name__}")
+
+
+def comp_round_trip(text: str, registry: PredicateRegistry | None = None) -> str:
+    """Parse COMP text, go through the calculus and render back to COMP text.
+
+    Useful in documentation and tests to demonstrate that COMP and the
+    calculus are interchangeable representations.
+    """
+    registry = registry or default_registry()
+    query = comp_to_calculus(text, registry)
+    return calculus_to_comp(query).to_text()

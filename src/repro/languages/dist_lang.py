@@ -1,0 +1,48 @@
+"""The DIST language (paper, Section 4.2).
+
+Grammar::
+
+    Query := Token | NOT Query | Query AND Query | Query OR Query
+           | dist(Token, Token, Integer)
+    Token := StringLiteral | ANY
+
+``dist(t1, t2, d)`` requires the two tokens to occur with at most ``d``
+intervening tokens (the ``distance`` predicate); when a token is ANY the
+corresponding ``hasToken`` conjunct is omitted.  Theorem 5 shows that DIST is
+still incomplete: it cannot, for example, require two tokens *not* to appear
+next to each other.
+"""
+
+from __future__ import annotations
+
+from repro.languages import ast
+from repro.languages.parser import LanguageLevel, QueryParser
+from repro.model import calculus as c
+
+
+def parse_dist(text: str) -> ast.QueryNode:
+    """Parse a DIST query string."""
+    return QueryParser(LanguageLevel.DIST).parse(text)
+
+
+def dist_to_calculus(text: str) -> c.CalculusQuery:
+    """Parse a DIST query and translate it to a calculus query."""
+    return parse_dist(text).to_calculus_query()
+
+
+def is_dist_query(node: ast.QueryNode) -> bool:
+    """True iff the surface AST only uses DIST constructs."""
+    return all(
+        isinstance(
+            item,
+            (
+                ast.TokenQuery,
+                ast.AnyQuery,
+                ast.NotQuery,
+                ast.AndQuery,
+                ast.OrQuery,
+                ast.DistQuery,
+            ),
+        )
+        for item in ast.walk(node)
+    )

@@ -1,0 +1,148 @@
+"""Lexer shared by the BOOL, DIST and COMP query parsers.
+
+Token kinds:
+
+* ``STRING``  -- a single-quoted token literal, e.g. ``'usability'``;
+* ``INTEGER`` -- a non-negative integer literal (predicate constants);
+* ``KEYWORD`` -- one of AND, OR, NOT, SOME, EVERY, HAS, ANY (case-insensitive);
+* ``IDENT``   -- a position-variable name or predicate name;
+* ``LPAREN`` / ``RPAREN`` / ``COMMA``.
+
+The lexer records character offsets so that syntax errors point at the
+offending location.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import QuerySyntaxError
+
+KEYWORDS = frozenset({"AND", "OR", "NOT", "SOME", "EVERY", "HAS", "ANY"})
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<STRING>'(?:[^'\\]|\\.)*')
+  | (?P<INTEGER>\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+    """,
+    re.VERBOSE,
+)
+
+
+class TokenKind(enum.Enum):
+    """Lexical token categories."""
+
+    STRING = "STRING"
+    INTEGER = "INTEGER"
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class LexToken:
+    """One lexical token: kind, decoded value, and source offset."""
+
+    kind: TokenKind
+    value: str
+    offset: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.kind.value}({self.value!r}@{self.offset})"
+
+
+def tokenize(text: str) -> list[LexToken]:
+    """Tokenize a query string; raises :class:`QuerySyntaxError` on bad input."""
+    return list(iter_tokens(text))
+
+
+def iter_tokens(text: str) -> Iterator[LexToken]:
+    """Yield the lexical tokens of ``text``, ending with an EOF token."""
+    offset = 0
+    length = len(text)
+    while offset < length:
+        match = _TOKEN_RE.match(text, offset)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[offset]!r} at offset {offset}",
+                position=offset,
+            )
+        kind = match.lastgroup
+        value = match.group(0)
+        if kind == "WS":
+            offset = match.end()
+            continue
+        if kind == "STRING":
+            literal = value[1:-1].replace("\\'", "'").replace("\\\\", "\\")
+            yield LexToken(TokenKind.STRING, literal, offset)
+        elif kind == "INTEGER":
+            yield LexToken(TokenKind.INTEGER, value, offset)
+        elif kind == "IDENT":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                yield LexToken(TokenKind.KEYWORD, upper, offset)
+            else:
+                yield LexToken(TokenKind.IDENT, value, offset)
+        elif kind == "LPAREN":
+            yield LexToken(TokenKind.LPAREN, value, offset)
+        elif kind == "RPAREN":
+            yield LexToken(TokenKind.RPAREN, value, offset)
+        elif kind == "COMMA":
+            yield LexToken(TokenKind.COMMA, value, offset)
+        offset = match.end()
+    yield LexToken(TokenKind.EOF, "", length)
+
+
+class TokenStream:
+    """A peekable stream of lexical tokens used by the recursive-descent parsers."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self._tokens = tokenize(text)
+        self._index = 0
+
+    def peek(self) -> LexToken:
+        """The next token without consuming it."""
+        return self._tokens[self._index]
+
+    def advance(self) -> LexToken:
+        """Consume and return the next token."""
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def accept(self, kind: TokenKind, value: str | None = None) -> LexToken | None:
+        """Consume the next token iff it matches ``kind`` (and ``value``)."""
+        token = self.peek()
+        if token.kind is kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, value: str | None = None) -> LexToken:
+        """Consume the next token or raise a descriptive syntax error."""
+        token = self.accept(kind, value)
+        if token is None:
+            actual = self.peek()
+            expected = value or kind.value
+            raise QuerySyntaxError(
+                f"expected {expected} but found {actual.value or 'end of query'!r} "
+                f"at offset {actual.offset}",
+                position=actual.offset,
+            )
+        return token
+
+    def at_end(self) -> bool:
+        """True when only the EOF token remains."""
+        return self.peek().kind is TokenKind.EOF

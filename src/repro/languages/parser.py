@@ -1,0 +1,217 @@
+"""Recursive-descent parser shared by BOOL, DIST and COMP.
+
+The three languages are syntactic restrictions of one another, so a single
+parser with a feature level covers all of them:
+
+* ``LanguageLevel.BOOL``  -- string literals, ANY, NOT/AND/OR;
+* ``LanguageLevel.DIST``  -- BOOL plus ``dist(Token, Token, Integer)``;
+* ``LanguageLevel.COMP``  -- DIST plus position variables (``var HAS ...``),
+  the SOME/EVERY quantifiers and arbitrary registered predicates.
+
+Operator precedence (loosest to tightest): ``OR``, ``AND``, prefix operators
+(``NOT``, ``SOME var``, ``EVERY var``), primaries.  Parentheses group.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import QuerySemanticsError, QuerySyntaxError
+from repro.languages import ast
+from repro.languages.lexer import TokenKind, TokenStream
+from repro.model.predicates import PredicateRegistry, default_registry
+
+
+class LanguageLevel(enum.IntEnum):
+    """Which syntactic features the parser accepts."""
+
+    BOOL = 1
+    DIST = 2
+    COMP = 3
+
+
+class QueryParser:
+    """A configurable recursive-descent parser producing surface ASTs."""
+
+    def __init__(
+        self,
+        level: LanguageLevel = LanguageLevel.COMP,
+        registry: PredicateRegistry | None = None,
+    ) -> None:
+        self.level = level
+        self.registry = registry or default_registry()
+
+    # ------------------------------------------------------------------ API
+    def parse(self, text: str) -> ast.QueryNode:
+        """Parse ``text`` into a surface AST; raise on syntax errors."""
+        if not text or not text.strip():
+            raise QuerySyntaxError("empty query")
+        stream = TokenStream(text)
+        node = self._parse_or(stream)
+        if not stream.at_end():
+            leftover = stream.peek()
+            raise QuerySyntaxError(
+                f"unexpected input {leftover.value!r} at offset {leftover.offset}",
+                position=leftover.offset,
+            )
+        return node
+
+    def parse_closed(self, text: str) -> ast.QueryNode:
+        """Parse and additionally require that no position variable is free."""
+        node = self.parse(text)
+        free = node.free_variables()
+        if free:
+            raise QuerySemanticsError(
+                f"unbound position variables in query: {sorted(free)}"
+            )
+        return node
+
+    # ------------------------------------------------------------ grammar
+    def _parse_or(self, stream: TokenStream) -> ast.QueryNode:
+        node = self._parse_and(stream)
+        while stream.accept(TokenKind.KEYWORD, "OR"):
+            right = self._parse_and(stream)
+            node = ast.OrQuery(node, right)
+        return node
+
+    def _parse_and(self, stream: TokenStream) -> ast.QueryNode:
+        node = self._parse_unary(stream)
+        while stream.accept(TokenKind.KEYWORD, "AND"):
+            right = self._parse_unary(stream)
+            node = ast.AndQuery(node, right)
+        return node
+
+    def _parse_unary(self, stream: TokenStream) -> ast.QueryNode:
+        if stream.accept(TokenKind.KEYWORD, "NOT"):
+            return ast.NotQuery(self._parse_unary(stream))
+        if stream.peek().kind is TokenKind.KEYWORD and stream.peek().value in (
+            "SOME",
+            "EVERY",
+        ):
+            return self._parse_quantifier(stream)
+        return self._parse_primary(stream)
+
+    def _parse_quantifier(self, stream: TokenStream) -> ast.QueryNode:
+        keyword = stream.advance()
+        self._require_level(
+            LanguageLevel.COMP,
+            f"the {keyword.value} quantifier",
+            keyword.offset,
+        )
+        var = stream.expect(TokenKind.IDENT).value
+        operand = self._parse_unary(stream)
+        if keyword.value == "SOME":
+            return ast.SomeQuery(var, operand)
+        return ast.EveryQuery(var, operand)
+
+    def _parse_primary(self, stream: TokenStream) -> ast.QueryNode:
+        token = stream.peek()
+        if stream.accept(TokenKind.LPAREN):
+            node = self._parse_or(stream)
+            stream.expect(TokenKind.RPAREN)
+            return node
+        if token.kind is TokenKind.STRING:
+            stream.advance()
+            return ast.TokenQuery(token.value)
+        if token.kind is TokenKind.KEYWORD and token.value == "ANY":
+            stream.advance()
+            return ast.AnyQuery()
+        if token.kind is TokenKind.IDENT:
+            return self._parse_identifier(stream)
+        raise QuerySyntaxError(
+            f"unexpected {token.value or 'end of query'!r} at offset {token.offset}",
+            position=token.offset,
+        )
+
+    def _parse_identifier(self, stream: TokenStream) -> ast.QueryNode:
+        ident = stream.advance()
+        following = stream.peek()
+        if following.kind is TokenKind.KEYWORD and following.value == "HAS":
+            self._require_level(LanguageLevel.COMP, "the HAS construct", ident.offset)
+            stream.advance()
+            if stream.accept(TokenKind.KEYWORD, "ANY"):
+                return ast.VarHasAny(ident.value)
+            literal = stream.expect(TokenKind.STRING)
+            return ast.VarHasToken(ident.value, literal.value)
+        if following.kind is TokenKind.LPAREN:
+            return self._parse_call(stream, ident.value, ident.offset)
+        raise QuerySyntaxError(
+            f"bare identifier {ident.value!r} at offset {ident.offset}; token "
+            "literals must be quoted",
+            position=ident.offset,
+        )
+
+    def _parse_call(
+        self, stream: TokenStream, name: str, offset: int
+    ) -> ast.QueryNode:
+        stream.expect(TokenKind.LPAREN)
+        if name.lower() == "dist" and self.level >= LanguageLevel.DIST:
+            node = self._parse_dist_arguments(stream)
+            stream.expect(TokenKind.RPAREN)
+            return node
+        self._require_level(
+            LanguageLevel.COMP, f"the predicate {name!r}", offset
+        )
+        if name not in self.registry:
+            raise QuerySemanticsError(f"unknown predicate {name!r}")
+        variables: list[str] = []
+        constants: list = []
+        while True:
+            arg = stream.advance()
+            if arg.kind is TokenKind.IDENT:
+                if constants:
+                    raise QuerySyntaxError(
+                        "position variables must precede constants in "
+                        f"{name!r} at offset {arg.offset}",
+                        position=arg.offset,
+                    )
+                variables.append(arg.value)
+            elif arg.kind is TokenKind.INTEGER:
+                constants.append(int(arg.value))
+            elif arg.kind is TokenKind.STRING:
+                constants.append(arg.value)
+            else:
+                raise QuerySyntaxError(
+                    f"unexpected predicate argument {arg.value!r} at offset "
+                    f"{arg.offset}",
+                    position=arg.offset,
+                )
+            if not stream.accept(TokenKind.COMMA):
+                break
+        stream.expect(TokenKind.RPAREN)
+        predicate = self.registry.get(name)
+        predicate.check_arity(variables, constants)
+        return ast.PredQuery(name, tuple(variables), tuple(constants))
+
+    def _parse_dist_arguments(self, stream: TokenStream) -> ast.QueryNode:
+        first = self._parse_dist_token(stream)
+        stream.expect(TokenKind.COMMA)
+        second = self._parse_dist_token(stream)
+        stream.expect(TokenKind.COMMA)
+        limit = stream.expect(TokenKind.INTEGER)
+        return ast.DistQuery(first, second, int(limit.value))
+
+    def _parse_dist_token(self, stream: TokenStream) -> str | None:
+        token = stream.peek()
+        if token.kind is TokenKind.STRING:
+            stream.advance()
+            return token.value
+        if token.kind is TokenKind.KEYWORD and token.value == "ANY":
+            stream.advance()
+            return None
+        raise QuerySyntaxError(
+            "dist() arguments must be string literals or ANY "
+            f"(offset {token.offset})",
+            position=token.offset,
+        )
+
+    # ------------------------------------------------------------- helpers
+    def _require_level(
+        self, required: LanguageLevel, feature: str, offset: int
+    ) -> None:
+        if self.level < required:
+            raise QuerySyntaxError(
+                f"{feature} is not available in the "
+                f"{LanguageLevel(self.level).name} language (offset {offset})",
+                position=offset,
+            )

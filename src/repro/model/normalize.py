@@ -1,0 +1,253 @@
+"""Normal forms for calculus expressions and the Theorem 4 construction.
+
+This module implements the equivalence transformations used in the paper's
+proofs and by the query classifier:
+
+* :func:`to_nnf` -- negation normal form ("sink negations", step 1 of the
+  Theorem 4 normalisation): negations are pushed down to the atoms
+  ``hasPos`` / ``hasToken`` / predicate applications, double negations are
+  removed, and quantifiers are flipped accordingly.
+* :func:`eliminate_forall` -- replace ``∀p (hasPos ⇒ e)`` by
+  ``¬∃p (hasPos ∧ ¬e)`` (step 3 of the normalisation).
+* :func:`calculus_to_bool` -- the constructive proof of **Theorem 4**: when
+  the token universe ``T`` is finite and ``Preds = ∅``, every calculus query
+  can be expressed in BOOL.  The function produces a
+  :class:`repro.languages.ast.QueryNode` surface query.
+
+The BOOL query produced by :func:`calculus_to_bool` can be exponentially
+larger than the input (it may enumerate the complement of a token set over
+the whole vocabulary), exactly as the paper observes ("it is not always
+practical").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import TranslationError
+from repro.model import calculus as c
+
+
+# --------------------------------------------------------------------------
+# Negation normal form and quantifier elimination
+# --------------------------------------------------------------------------
+def to_nnf(expr: c.CalculusExpr) -> c.CalculusExpr:
+    """Push negations down to atoms (sink negations)."""
+    return _nnf(expr, negate=False)
+
+
+def _nnf(expr: c.CalculusExpr, negate: bool) -> c.CalculusExpr:
+    if isinstance(expr, (c.HasPos, c.HasToken, c.PredicateApplication)):
+        return c.Not(expr) if negate else expr
+    if isinstance(expr, c.Not):
+        return _nnf(expr.operand, not negate)
+    if isinstance(expr, c.And):
+        left = _nnf(expr.left, negate)
+        right = _nnf(expr.right, negate)
+        return c.Or(left, right) if negate else c.And(left, right)
+    if isinstance(expr, c.Or):
+        left = _nnf(expr.left, negate)
+        right = _nnf(expr.right, negate)
+        return c.And(left, right) if negate else c.Or(left, right)
+    if isinstance(expr, c.Exists):
+        inner = _nnf(expr.operand, negate)
+        return c.Forall(expr.var, inner) if negate else c.Exists(expr.var, inner)
+    if isinstance(expr, c.Forall):
+        inner = _nnf(expr.operand, negate)
+        return c.Exists(expr.var, inner) if negate else c.Forall(expr.var, inner)
+    raise TranslationError(f"unknown calculus node {type(expr).__name__}")
+
+
+def eliminate_forall(expr: c.CalculusExpr) -> c.CalculusExpr:
+    """Rewrite every universal quantifier as a negated existential."""
+    if isinstance(expr, (c.HasPos, c.HasToken, c.PredicateApplication)):
+        return expr
+    if isinstance(expr, c.Not):
+        return c.Not(eliminate_forall(expr.operand))
+    if isinstance(expr, c.And):
+        return c.And(eliminate_forall(expr.left), eliminate_forall(expr.right))
+    if isinstance(expr, c.Or):
+        return c.Or(eliminate_forall(expr.left), eliminate_forall(expr.right))
+    if isinstance(expr, c.Exists):
+        return c.Exists(expr.var, eliminate_forall(expr.operand))
+    if isinstance(expr, c.Forall):
+        return c.Not(c.Exists(expr.var, c.Not(eliminate_forall(expr.operand))))
+    raise TranslationError(f"unknown calculus node {type(expr).__name__}")
+
+
+def is_nnf(expr: c.CalculusExpr) -> bool:
+    """True iff every negation in the expression applies directly to an atom."""
+    if isinstance(expr, c.Not):
+        return isinstance(
+            expr.operand, (c.HasPos, c.HasToken, c.PredicateApplication)
+        )
+    return all(is_nnf(child) for child in expr.children())
+
+
+# --------------------------------------------------------------------------
+# Theorem 4: BOOL completeness for finite token universes, Preds = ∅
+# --------------------------------------------------------------------------
+def calculus_to_bool(query: c.CalculusQuery, vocabulary: Sequence[str]):
+    """Translate a Preds = ∅ calculus query into a BOOL surface query.
+
+    ``vocabulary`` is the finite token universe ``T``.  The construction
+    follows the proof of Theorem 4: normalise the expression so that every
+    quantifier scopes a conjunction of (possibly negated) ``hasToken`` atoms
+    over its own variable, and map each such existential block to a BOOL
+    token (or to an OR over the complement of the excluded tokens).
+
+    Raises :class:`TranslationError` if the query uses position predicates
+    (they are outside BOOL by Theorem 5) or if a quantifier scope mixes
+    variables in a way the restricted grammar cannot express.
+    """
+    # Imported here to avoid a circular import at module load time: the
+    # languages package depends on the model package, not the other way
+    # around, except for this constructive proof.
+    from repro.languages import ast as surface
+
+    if c.used_predicates(query.expr):
+        raise TranslationError(
+            "Theorem 4 applies only to Preds = ∅ queries; this query uses "
+            f"predicates {sorted(c.used_predicates(query.expr))}"
+        )
+    vocabulary = list(dict.fromkeys(vocabulary))
+    if not vocabulary:
+        raise TranslationError("the token universe T must not be empty")
+
+    # Universal quantifiers become negated existentials (proof step 3); the
+    # Boolean skeleton over the resulting ∃-blocks maps 1:1 onto BOOL, so
+    # negation normal form is applied only *inside* each quantifier scope
+    # (in :func:`_existential_block_to_bool`), never across quantifiers.
+    normalised = eliminate_forall(query.expr)
+    return _to_bool(normalised, vocabulary, surface)
+
+
+def _to_bool(expr: c.CalculusExpr, vocabulary: Sequence[str], surface):
+    """Recursive skeleton: boolean structure maps 1:1, quantifiers become tokens."""
+    if isinstance(expr, c.And):
+        return surface.AndQuery(
+            _to_bool(expr.left, vocabulary, surface),
+            _to_bool(expr.right, vocabulary, surface),
+        )
+    if isinstance(expr, c.Or):
+        return surface.OrQuery(
+            _to_bool(expr.left, vocabulary, surface),
+            _to_bool(expr.right, vocabulary, surface),
+        )
+    if isinstance(expr, c.Not):
+        return surface.NotQuery(_to_bool(expr.operand, vocabulary, surface))
+    if isinstance(expr, c.Exists):
+        return _existential_block_to_bool(expr, vocabulary, surface)
+    if isinstance(expr, c.Forall):
+        # Defensive: eliminate_forall() ran first, but a caller may hand us a
+        # raw sub-expression.  Rewrite and translate the negated existential.
+        rewritten = c.Not(c.Exists(expr.var, c.Not(expr.operand)))
+        return _to_bool(rewritten, vocabulary, surface)
+    raise TranslationError(
+        f"cannot express {expr.to_text()} in BOOL: free atoms must appear "
+        "under a quantifier"
+    )
+
+
+def _existential_block_to_bool(
+    expr: c.Exists, vocabulary: Sequence[str], surface
+):
+    """Translate ``∃p B(p)`` where B is a boolean combination of atoms over p."""
+    var = expr.var
+    disjuncts = _scope_dnf(to_nnf(expr.operand), var)
+    branches = []
+    for literals in disjuncts:
+        branches.append(_disjunct_to_bool(literals, vocabulary, surface))
+    result = branches[0]
+    for branch in branches[1:]:
+        result = surface.OrQuery(result, branch)
+    return result
+
+
+def _scope_dnf(
+    expr: c.CalculusExpr, var: str
+) -> list[list[tuple[bool, str | None]]]:
+    """DNF of a quantifier scope as lists of literals.
+
+    A literal is ``(positive, token)`` where ``token is None`` stands for the
+    ``hasPos`` atom (the universal token ANY).  Raises if the scope refers to
+    any variable other than ``var`` or contains nested quantifiers -- those
+    queries fall outside the restricted form used in the Theorem 4 proof.
+    """
+    if isinstance(expr, c.HasPos):
+        _require_var(expr.var, var)
+        return [[(True, None)]]
+    if isinstance(expr, c.HasToken):
+        _require_var(expr.var, var)
+        return [[(True, expr.token)]]
+    if isinstance(expr, c.Not):
+        operand = expr.operand
+        if isinstance(operand, c.HasToken):
+            _require_var(operand.var, var)
+            return [[(False, operand.token)]]
+        if isinstance(operand, c.HasPos):
+            _require_var(operand.var, var)
+            return [[(False, None)]]
+        raise TranslationError(
+            "quantifier scope is not in negation normal form: "
+            f"{expr.to_text()}"
+        )
+    if isinstance(expr, c.Or):
+        return _scope_dnf(expr.left, var) + _scope_dnf(expr.right, var)
+    if isinstance(expr, c.And):
+        result = []
+        for left in _scope_dnf(expr.left, var):
+            for right in _scope_dnf(expr.right, var):
+                result.append(left + right)
+        return result
+    raise TranslationError(
+        f"quantifier scope {expr.to_text()} is outside the restricted form "
+        "handled by the Theorem 4 construction (nested quantifiers sharing "
+        "variables are not supported)"
+    )
+
+
+def _require_var(found: str, expected: str) -> None:
+    if found != expected:
+        raise TranslationError(
+            f"quantifier scope mentions foreign variable {found!r}; the "
+            "Theorem 4 construction requires grouped scopes"
+        )
+
+
+def _disjunct_to_bool(literals, vocabulary: Sequence[str], surface):
+    """One DNF disjunct of a quantifier scope -> a BOOL query."""
+    positive_tokens = {tok for positive, tok in literals if positive and tok}
+    negative_tokens = {tok for positive, tok in literals if not positive and tok}
+    has_negated_any = any(not positive and tok is None for positive, tok in literals)
+
+    empty_query = _empty_bool_query(vocabulary, surface)
+    if has_negated_any:
+        # ¬hasPos(p) under ∃p hasPos(p) ∧ ... is unsatisfiable.
+        return empty_query
+    if len(positive_tokens) > 1:
+        # One position cannot hold two different tokens.
+        return empty_query
+    if positive_tokens:
+        token = next(iter(positive_tokens))
+        if token in negative_tokens:
+            return empty_query
+        return surface.TokenQuery(token)
+    if negative_tokens:
+        complement = [tok for tok in vocabulary if tok not in negative_tokens]
+        if not complement:
+            return empty_query
+        result = surface.TokenQuery(complement[0])
+        for token in complement[1:]:
+            result = surface.OrQuery(result, surface.TokenQuery(token))
+        return result
+    # Only the hasPos literal: any token at all.
+    return surface.AnyQuery()
+
+
+def _empty_bool_query(vocabulary: Sequence[str], surface):
+    """A BOOL query that matches nothing: ANY AND NOT (t1 OR ... OR tc)."""
+    all_tokens = surface.TokenQuery(vocabulary[0])
+    for token in vocabulary[1:]:
+        all_tokens = surface.OrQuery(all_tokens, surface.TokenQuery(token))
+    return surface.AndQuery(surface.AnyQuery(), surface.NotQuery(all_tokens))

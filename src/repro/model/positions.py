@@ -1,0 +1,120 @@
+"""Position model for full-text search.
+
+The paper (Section 2.1) models each context node as a set of token positions
+together with a ``Token`` function mapping positions to tokens.  The position
+model is deliberately extensible: "More expressive positions that capture the
+notions of lines, sentences and paragraphs can be used, and this will enable
+more sophisticated predicates on positions."
+
+This module provides :class:`Position`, a small immutable value that carries
+
+* ``offset``    -- the ordinal of the token within the context node (0-based);
+* ``sentence``  -- the ordinal of the sentence containing the token;
+* ``paragraph`` -- the ordinal of the paragraph containing the token.
+
+Positions are totally ordered by ``offset`` (sentence and paragraph ordinals
+are monotone in the offset, so this ordering is consistent with document
+order).  All position-based predicates (``distance``, ``ordered``,
+``samepara``, ``samesentence``, ...) operate on :class:`Position` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterable, Sequence
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Position:
+    """A token position inside a single context node.
+
+    The ``offset`` is the authoritative ordering key; ``sentence`` and
+    ``paragraph`` carry the structural information needed by scope
+    predicates.  Two positions are equal iff their offsets are equal --
+    structural fields are derived from the offset within a given node, so
+    comparing them again would be redundant.
+    """
+
+    offset: int
+    sentence: int = 0
+    paragraph: int = 0
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"position offset must be >= 0, got {self.offset}")
+        if self.sentence < 0 or self.paragraph < 0:
+            raise ValueError("sentence/paragraph ordinals must be >= 0")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Position):
+            return self.offset == other.offset
+        if isinstance(other, int):
+            return self.offset == other
+        return NotImplemented
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, Position):
+            return self.offset < other.offset
+        if isinstance(other, int):
+            return self.offset < other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.offset)
+
+    def __int__(self) -> int:
+        return self.offset
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Position({self.offset}, sentence={self.sentence}, "
+            f"paragraph={self.paragraph})"
+        )
+
+    def shifted(self, delta: int) -> "Position":
+        """Return a copy of this position with the offset shifted by ``delta``.
+
+        The structural fields are preserved; this is primarily useful in
+        tests and synthetic-data construction.
+        """
+        return Position(self.offset + delta, self.sentence, self.paragraph)
+
+
+def as_offset(value: "Position | int") -> int:
+    """Return the integer offset of ``value`` (a Position or a plain int)."""
+    if isinstance(value, Position):
+        return value.offset
+    return int(value)
+
+
+def positions_from_offsets(
+    offsets: Iterable[int],
+    sentence_of: Sequence[int] | None = None,
+    paragraph_of: Sequence[int] | None = None,
+) -> list[Position]:
+    """Build :class:`Position` objects from raw offsets.
+
+    ``sentence_of`` / ``paragraph_of`` are optional dense lookup tables
+    indexed by offset; when omitted the structural ordinals default to 0.
+    """
+    result: list[Position] = []
+    for off in offsets:
+        sent = sentence_of[off] if sentence_of is not None else 0
+        para = paragraph_of[off] if paragraph_of is not None else 0
+        result.append(Position(off, sent, para))
+    return result
+
+
+def intervening_tokens(first: Position, second: Position) -> int:
+    """Number of tokens strictly between two positions.
+
+    This is the quantity bounded by the paper's ``distance`` predicate:
+    ``distance(p1, p2, d)`` holds iff there are at most ``d`` intervening
+    tokens between ``p1`` and ``p2`` (in either order).
+    """
+    lo, hi = sorted((first.offset, second.offset))
+    if lo == hi:
+        return 0
+    return hi - lo - 1

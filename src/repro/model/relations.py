@@ -1,0 +1,326 @@
+"""Full-text relations: the data model of the full-text algebra.
+
+A full-text relation (paper, Section 2.3) has schema
+``R[CNode, att1, ..., attm]`` where ``CNode`` ranges over context-node ids and
+each ``att_i`` over positions *of that node*.  This module provides
+:class:`FullTextRelation` -- an in-memory, materialised relation with optional
+per-tuple scores -- and the relational operations the algebra needs:
+projection (always keeping ``CNode``), CNode-equi-join, predicate selection,
+union, intersection and difference.
+
+Scores
+------
+Every operation accepts an optional :class:`ScoreCombiner`.  When provided,
+the operation applies the corresponding scoring transformation of the paper's
+scoring framework (Section 3); when omitted the result carries no scores.
+Concrete combiners (TF-IDF and probabilistic) live in :mod:`repro.scoring`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Protocol, Sequence
+
+from repro.exceptions import EvaluationError
+from repro.model.positions import Position
+from repro.model.predicates import Predicate
+
+#: A tuple of a full-text relation: the node id followed by the positions.
+Row = tuple
+
+
+class ScoreCombiner(Protocol):
+    """Scoring transformations applied by the algebra operators.
+
+    Each method mirrors one of the per-operator score formulae in Section 3
+    of the paper.  Implementations: ``TfIdfScoring`` and
+    ``ProbabilisticScoring`` in :mod:`repro.scoring`.
+    """
+
+    def combine_join(
+        self, left_score: float, right_score: float, left_size: int, right_size: int
+    ) -> float:
+        """Score of a joined tuple from the two input tuple scores."""
+        ...
+
+    def combine_projection(self, scores: Sequence[float]) -> float:
+        """Score of an output tuple from the scores of the tuples collapsing into it."""
+        ...
+
+    def transform_selection(
+        self,
+        score: float,
+        predicate: Predicate,
+        positions: Sequence[Position],
+        constants: Sequence[object],
+    ) -> float:
+        """Score of a selected tuple (may scale by predicate-specific factor)."""
+        ...
+
+    def combine_union(self, left_score: float, right_score: float) -> float:
+        """Score of a tuple present in the union (missing side scores 0)."""
+        ...
+
+    def combine_intersection(self, left_score: float, right_score: float) -> float:
+        """Score of a tuple present in both inputs of an intersection."""
+        ...
+
+    def transform_difference(self, left_score: float) -> float:
+        """Score of a tuple surviving a set difference."""
+        ...
+
+
+@dataclass
+class FullTextRelation:
+    """A materialised full-text relation with optional per-tuple scores."""
+
+    arity: int  #: number of position attributes (CNode excluded)
+    rows: list[Row] = field(default_factory=list)
+    scores: dict[Row, float] | None = None
+
+    # ------------------------------------------------------------ validation
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise EvaluationError("relation arity cannot be negative")
+        for row in self.rows:
+            self._check_row(row)
+
+    def _check_row(self, row: Row) -> None:
+        if len(row) != self.arity + 1:
+            raise EvaluationError(
+                f"row {row!r} does not match arity {self.arity} (+ CNode)"
+            )
+
+    # --------------------------------------------------------------- builders
+    @classmethod
+    def empty(cls, arity: int) -> "FullTextRelation":
+        return cls(arity)
+
+    @classmethod
+    def from_rows(
+        cls,
+        arity: int,
+        rows: Iterable[Row],
+        scores: dict[Row, float] | None = None,
+    ) -> "FullTextRelation":
+        relation = cls(arity, sorted(set(rows)), scores)
+        return relation
+
+    def add(self, row: Row, score: float | None = None) -> None:
+        """Add a row (duplicates are ignored, scores accumulate by max)."""
+        self._check_row(row)
+        if row not in self._row_set():
+            self.rows.append(row)
+            self._row_set().add(row)
+        if score is not None:
+            if self.scores is None:
+                self.scores = {}
+            self.scores[row] = max(score, self.scores.get(row, float("-inf")))
+
+    def _row_set(self) -> set[Row]:
+        cached = self.__dict__.get("_row_set_cache")
+        if cached is None:
+            cached = set(self.rows)
+            self.__dict__["_row_set_cache"] = cached
+        return cached
+
+    # -------------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(sorted(self.rows))
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self._row_set()
+
+    def node_ids(self) -> list[int]:
+        """Distinct node ids present in the relation, sorted."""
+        return sorted({row[0] for row in self.rows})
+
+    def score_of(self, row: Row) -> float:
+        """Score of ``row`` (0.0 when the relation carries no scores)."""
+        if self.scores is None:
+            return 0.0
+        return self.scores.get(row, 0.0)
+
+    def node_scores(self) -> dict[int, float]:
+        """Aggregate scores per node id (sum over the node's tuples)."""
+        result: dict[int, float] = {}
+        if self.scores is None:
+            return {node_id: 0.0 for node_id in self.node_ids()}
+        for row in self.rows:
+            result[row[0]] = result.get(row[0], 0.0) + self.score_of(row)
+        return result
+
+    def rows_for_node(self, node_id: int) -> list[Row]:
+        """All tuples of a given node, sorted lexicographically by offsets."""
+        return sorted(
+            (row for row in self.rows if row[0] == node_id),
+            key=_row_sort_key,
+        )
+
+    # ------------------------------------------------------------- operators
+    def project(
+        self,
+        keep: Sequence[int],
+        combiner: ScoreCombiner | None = None,
+    ) -> "FullTextRelation":
+        """Project onto the position attributes in ``keep`` (CNode always kept).
+
+        ``keep`` lists *position attribute indices* (0-based, CNode excluded)
+        in the desired output order; repeating or reordering attributes is
+        allowed, matching standard relational projection.
+        """
+        for idx in keep:
+            if not 0 <= idx < self.arity:
+                raise EvaluationError(
+                    f"projection index {idx} out of range for arity {self.arity}"
+                )
+        groups: dict[Row, list[Row]] = {}
+        for row in self.rows:
+            out = (row[0],) + tuple(row[1 + idx] for idx in keep)
+            groups.setdefault(out, []).append(row)
+        result = FullTextRelation(len(keep))
+        scores: dict[Row, float] = {}
+        for out_row, members in groups.items():
+            result.add(out_row)
+            if combiner is not None and self.scores is not None:
+                scores[out_row] = combiner.combine_projection(
+                    [self.score_of(member) for member in members]
+                )
+        if combiner is not None and self.scores is not None:
+            result.scores = scores
+        return result
+
+    def join(
+        self, other: "FullTextRelation", combiner: ScoreCombiner | None = None
+    ) -> "FullTextRelation":
+        """CNode-equi-join; position attributes of both inputs are concatenated."""
+        by_node: dict[int, list[Row]] = {}
+        for row in other.rows:
+            by_node.setdefault(row[0], []).append(row)
+        left_sizes = _per_node_counts(self.rows)
+        right_sizes = _per_node_counts(other.rows)
+        result = FullTextRelation(self.arity + other.arity)
+        scores: dict[Row, float] = {}
+        use_scores = (
+            combiner is not None
+            and self.scores is not None
+            and other.scores is not None
+        )
+        for left_row in self.rows:
+            for right_row in by_node.get(left_row[0], ()):
+                out = left_row + right_row[1:]
+                result.add(out)
+                if use_scores:
+                    scores[out] = combiner.combine_join(
+                        self.score_of(left_row),
+                        other.score_of(right_row),
+                        left_sizes.get(left_row[0], 1),
+                        right_sizes.get(right_row[0], 1),
+                    )
+        if use_scores:
+            result.scores = scores
+        return result
+
+    def select(
+        self,
+        predicate: Predicate,
+        attr_indices: Sequence[int],
+        constants: Sequence[object] = (),
+        combiner: ScoreCombiner | None = None,
+    ) -> "FullTextRelation":
+        """Keep tuples whose positions at ``attr_indices`` satisfy ``predicate``."""
+        for idx in attr_indices:
+            if not 0 <= idx < self.arity:
+                raise EvaluationError(
+                    f"selection index {idx} out of range for arity {self.arity}"
+                )
+        result = FullTextRelation(self.arity)
+        scores: dict[Row, float] = {}
+        for row in self.rows:
+            positions = [row[1 + idx] for idx in attr_indices]
+            if predicate(positions, constants):
+                result.add(row)
+                if combiner is not None and self.scores is not None:
+                    scores[row] = combiner.transform_selection(
+                        self.score_of(row), predicate, positions, constants
+                    )
+        if combiner is not None and self.scores is not None:
+            result.scores = scores
+        return result
+
+    def union(
+        self, other: "FullTextRelation", combiner: ScoreCombiner | None = None
+    ) -> "FullTextRelation":
+        """Set union (schemas must have the same arity)."""
+        self._check_compatible(other)
+        result = FullTextRelation(self.arity)
+        scores: dict[Row, float] = {}
+        for row in set(self.rows) | set(other.rows):
+            result.add(row)
+            if combiner is not None:
+                scores[row] = combiner.combine_union(
+                    self.score_of(row), other.score_of(row)
+                )
+        if combiner is not None and (self.scores is not None or other.scores is not None):
+            result.scores = scores
+        return result
+
+    def intersection(
+        self, other: "FullTextRelation", combiner: ScoreCombiner | None = None
+    ) -> "FullTextRelation":
+        """Set intersection (schemas must have the same arity)."""
+        self._check_compatible(other)
+        result = FullTextRelation(self.arity)
+        scores: dict[Row, float] = {}
+        for row in set(self.rows) & set(other.rows):
+            result.add(row)
+            if combiner is not None:
+                scores[row] = combiner.combine_intersection(
+                    self.score_of(row), other.score_of(row)
+                )
+        if combiner is not None and self.scores is not None and other.scores is not None:
+            result.scores = scores
+        return result
+
+    def difference(
+        self, other: "FullTextRelation", combiner: ScoreCombiner | None = None
+    ) -> "FullTextRelation":
+        """Set difference (schemas must have the same arity)."""
+        self._check_compatible(other)
+        result = FullTextRelation(self.arity)
+        scores: dict[Row, float] = {}
+        other_rows = set(other.rows)
+        for row in self.rows:
+            if row not in other_rows:
+                result.add(row)
+                if combiner is not None and self.scores is not None:
+                    scores[row] = combiner.transform_difference(self.score_of(row))
+        if combiner is not None and self.scores is not None:
+            result.scores = scores
+        return result
+
+    # ------------------------------------------------------------- internals
+    def _check_compatible(self, other: "FullTextRelation") -> None:
+        if self.arity != other.arity:
+            raise EvaluationError(
+                f"set operation on relations of arity {self.arity} and {other.arity}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FullTextRelation(arity={self.arity}, rows={len(self.rows)})"
+
+
+def _row_sort_key(row: Row) -> tuple:
+    return (row[0],) + tuple(
+        pos.offset if isinstance(pos, Position) else pos for pos in row[1:]
+    )
+
+
+def _per_node_counts(rows: Iterable[Row]) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for row in rows:
+        counts[row[0]] = counts.get(row[0], 0) + 1
+    return counts

@@ -1,0 +1,19 @@
+"""Scoring framework: per-tuple scores and per-operator transformations."""
+
+from repro.scoring.base import (
+    ScoringModel,
+    available_models,
+    get_model,
+    register_model,
+)
+from repro.scoring.probabilistic import ProbabilisticScoring
+from repro.scoring.tfidf import TfIdfScoring
+
+__all__ = [
+    "ScoringModel",
+    "available_models",
+    "get_model",
+    "register_model",
+    "ProbabilisticScoring",
+    "TfIdfScoring",
+]

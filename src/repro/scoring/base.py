@@ -1,0 +1,120 @@
+"""Scoring framework (paper, Section 3).
+
+The paper deliberately does not hard-code a scoring method.  Instead it
+extends the model with (1) per-tuple scoring information and (2) per-operator
+scoring transformations.  This module defines the two abstractions the rest
+of the library works with:
+
+* :class:`ScoringModel` -- a named scoring method.  It provides
+
+  - ``base_score(node_id, position, token)``: the *static*, precomputable
+    score attached to each tuple of an ``R_token`` relation (paper: "all of
+    the scoring information in ``R_t`` can be precomputed");
+  - ``prepare(query_tokens)``: fold query-dependent factors (e.g. the
+    ``||q||_2`` normalisation of TF-IDF) into the model before evaluation;
+  - ``document_score(node_id)``: the direct document-level score of a node
+    with respect to the prepared query tokens -- used to rank results of the
+    pipelined engines and as the reference value in the Theorem 2 test;
+  - the :class:`~repro.model.relations.ScoreCombiner` operator
+    transformations, so the materialising algebra evaluator can propagate
+    scores through arbitrary expressions.
+
+* :func:`get_model` -- look a model up by name (``"tfidf"``,
+  ``"probabilistic"``); the registry is extensible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.exceptions import ScoringError
+from repro.index.statistics import IndexStatistics
+from repro.model.positions import Position
+from repro.model.predicates import Predicate
+
+
+class ScoringModel:
+    """Base class of scoring methods pluggable into the framework."""
+
+    name: str = "scoring-model"
+
+    def __init__(self, statistics: IndexStatistics) -> None:
+        self.statistics = statistics
+        self._query_tokens: tuple[str, ...] = ()
+
+    # ----------------------------------------------------------- query setup
+    def prepare(self, query_tokens: Sequence[str]) -> None:
+        """Fold the query-dependent factors of the model for ``query_tokens``."""
+        self._query_tokens = tuple(query_tokens)
+
+    @property
+    def query_tokens(self) -> tuple[str, ...]:
+        return self._query_tokens
+
+    # ----------------------------------------------------------- tuple scores
+    def base_score(self, node_id: int, position: Position, token: str) -> float:
+        """Initial score of an ``R_token`` tuple (precomputed + query factors)."""
+        raise NotImplementedError
+
+    def document_score(self, node_id: int) -> float:
+        """Document-level score of ``node_id`` for the prepared query tokens."""
+        raise NotImplementedError
+
+    def rank(self, node_ids: Iterable[int]) -> list[tuple[int, float]]:
+        """Rank node ids by document score, descending (ties by node id)."""
+        scored = [(node_id, self.document_score(node_id)) for node_id in node_ids]
+        return sorted(scored, key=lambda pair: (-pair[1], pair[0]))
+
+    # ------------------------------------------------ operator transformations
+    # Defaults implement "no transformation"; concrete models override the
+    # formulas from Sections 3.1 / 3.2.
+    def combine_join(
+        self, left_score: float, right_score: float, left_size: int, right_size: int
+    ) -> float:
+        return left_score * right_score
+
+    def combine_projection(self, scores: Sequence[float]) -> float:
+        return max(scores) if scores else 0.0
+
+    def transform_selection(
+        self,
+        score: float,
+        predicate: Predicate,
+        positions: Sequence[Position],
+        constants: Sequence[object],
+    ) -> float:
+        return score
+
+    def combine_union(self, left_score: float, right_score: float) -> float:
+        return max(left_score, right_score)
+
+    def combine_intersection(self, left_score: float, right_score: float) -> float:
+        return min(left_score, right_score)
+
+    def transform_difference(self, left_score: float) -> float:
+        return left_score
+
+
+_MODEL_FACTORIES: dict[str, Callable[[IndexStatistics], ScoringModel]] = {}
+
+
+def register_model(
+    name: str, factory: Callable[[IndexStatistics], ScoringModel]
+) -> None:
+    """Register a scoring-model factory under ``name`` (case-insensitive)."""
+    _MODEL_FACTORIES[name.lower()] = factory
+
+
+def get_model(name: str, statistics: IndexStatistics) -> ScoringModel:
+    """Instantiate a registered scoring model by name."""
+    factory = _MODEL_FACTORIES.get(name.lower())
+    if factory is None:
+        raise ScoringError(
+            f"unknown scoring model {name!r}; available: {sorted(_MODEL_FACTORIES)}"
+        )
+    return factory(statistics)
+
+
+def available_models() -> list[str]:
+    """Names of all registered scoring models."""
+    return sorted(_MODEL_FACTORIES)

@@ -1,0 +1,112 @@
+"""Probabilistic relational scoring (paper, Section 3.2; Fuhr & Rölleke PRA).
+
+Every tuple carries a probability in ``[0, 1]`` that it is relevant; each
+algebra operator transforms the probabilities of its inputs:
+
+* projection:   ``1 - Π (1 - s_i)`` over the collapsing tuples;
+* join:         ``s1 · s2``;
+* selection:    ``s · f`` where ``f`` is a predicate-specific factor in
+  ``[0, 1]`` -- for ``distance(p1, p2, d)`` the paper suggests
+  ``f = 1 - |p1 - p2| / d``;
+* union:        ``1 - (1 - s1)(1 - s2)``;
+* intersection: ``s1 · s2``;
+* difference:   ``s1 · (1 - s2)``; with set semantics the surviving tuples
+  have ``s2 = 0`` so the left score is kept.
+
+The base tuple probability uses the normalised IDF ``idf(t) / (1 + idf(t))``
+(the paper only requires "a value between 0 and 1 ... computed using a
+variety of techniques, including TF and IDF").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.index.statistics import IndexStatistics
+from repro.model.positions import Position
+from repro.model.predicates import Predicate
+from repro.scoring.base import ScoringModel, register_model
+
+
+def _clamp(value: float) -> float:
+    return min(1.0, max(0.0, value))
+
+
+class ProbabilisticScoring(ScoringModel):
+    """The probabilistic-relational-algebra instantiation of the framework."""
+
+    name = "probabilistic"
+
+    # ----------------------------------------------------------- tuple scores
+    def token_probability(self, token: str) -> float:
+        """Base probability that a tuple of ``R_token`` is relevant."""
+        idf = self.statistics.idf(token)
+        return _clamp(idf / (1.0 + idf))
+
+    def base_score(self, node_id: int, position: Position, token: str) -> float:
+        return self.token_probability(token)
+
+    # --------------------------------------------------------- document score
+    def document_score(self, node_id: int) -> float:
+        """Probability that the node is relevant to at least one query token.
+
+        Occurrences are treated as independent evidence:
+        ``p(n, t) = 1 - (1 - p_t)^{occurs(n, t)}`` per token, combined
+        disjunctively over the query tokens.
+        """
+        node = self.statistics._index.collection.get(node_id)
+        not_relevant = 1.0
+        for token in dict.fromkeys(self._query_tokens):
+            occurs = node.occurrence_count(token)
+            if occurs == 0:
+                continue
+            per_token = 1.0 - (1.0 - self.token_probability(token)) ** occurs
+            not_relevant *= 1.0 - per_token
+        return _clamp(1.0 - not_relevant)
+
+    # ------------------------------------------------ operator transformations
+    def combine_join(
+        self, left_score: float, right_score: float, left_size: int, right_size: int
+    ) -> float:
+        return _clamp(left_score * right_score)
+
+    def combine_projection(self, scores: Sequence[float]) -> float:
+        not_relevant = 1.0
+        for score in scores:
+            not_relevant *= 1.0 - _clamp(score)
+        return _clamp(1.0 - not_relevant)
+
+    def transform_selection(
+        self,
+        score: float,
+        predicate: Predicate,
+        positions: Sequence[Position],
+        constants: Sequence[object],
+    ) -> float:
+        return _clamp(score * self.predicate_factor(predicate, positions, constants))
+
+    def predicate_factor(
+        self,
+        predicate: Predicate,
+        positions: Sequence[Position],
+        constants: Sequence[object],
+    ) -> float:
+        """The ``f`` factor of a selection: closeness-based for ``distance``."""
+        if predicate.name == "distance" and len(positions) == 2 and constants:
+            limit = max(int(constants[0]), 1)
+            gap = abs(positions[0].offset - positions[1].offset)
+            return _clamp(1.0 - gap / (limit + 1))
+        return 1.0
+
+    def combine_union(self, left_score: float, right_score: float) -> float:
+        return _clamp(1.0 - (1.0 - _clamp(left_score)) * (1.0 - _clamp(right_score)))
+
+    def combine_intersection(self, left_score: float, right_score: float) -> float:
+        return _clamp(left_score * right_score)
+
+    def transform_difference(self, left_score: float) -> float:
+        return _clamp(left_score)
+
+
+register_model("probabilistic", ProbabilisticScoring)
+register_model("pra", ProbabilisticScoring)

@@ -1,0 +1,131 @@
+"""TF-IDF scoring (paper, Section 3.1).
+
+Formulae used (all straight from the paper):
+
+* ``tf(n, t) = occurs(n, t) / unique_tokens(n)``
+* ``idf(t)   = ln(1 + db_size / df(t))``
+* ``score(n) = Σ_{t ∈ q} w(t) · tf(n, t) · idf(t) / (||n||_2 · ||q||_2)``
+
+The per-tuple *static* score stored with each ``R_t`` tuple is
+``idf(t) / (unique_tokens(n) · ||n||_2)``; at query time it is multiplied by
+``idf(t) / (unique_search_tokens · ||q||_2)``, giving
+
+    tuple.score = idf(t)² / (unique_tokens(n) · unique_search_tokens · ||n||_2 · ||q||_2)
+
+so that summing the tuple scores of ``R_t`` for a node reproduces exactly the
+node's TF-IDF contribution for ``t`` (the identity exploited in the paper's
+Theorem 2, with the token weight ``w(t) = idf(t) / unique_search_tokens``).
+
+Operator transformations (score conservation, Section 3.1):
+
+* join:        ``t3 = t1/|R2| + t2/|R1|`` with ``|R|`` the *per-node* tuple
+  counts (this is the reading under which the paper's Theorem 2 argument
+  goes through);
+* projection:  sum of the collapsing tuples' scores;
+* selection:   unchanged;
+* union:       sum (a missing tuple scores 0);
+* intersection: minimum;
+* difference:  keep the left score.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.index.statistics import IndexStatistics
+from repro.model.positions import Position
+from repro.model.predicates import Predicate
+from repro.scoring.base import ScoringModel, register_model
+
+
+class TfIdfScoring(ScoringModel):
+    """The TF-IDF instantiation of the scoring framework."""
+
+    name = "tfidf"
+
+    def __init__(self, statistics: IndexStatistics) -> None:
+        super().__init__(statistics)
+        self._query_norm = 1.0
+        self._unique_search_tokens = 1
+        self._node_norms: dict[int, float] = {}
+
+    # ----------------------------------------------------------- query setup
+    def prepare(self, query_tokens: Sequence[str]) -> None:
+        super().prepare(query_tokens)
+        unique = list(dict.fromkeys(query_tokens))
+        self._unique_search_tokens = max(len(unique), 1)
+        weights = {token: self.token_weight(token) for token in unique}
+        self._query_norm = self.statistics.query_l2_norm(weights) or 1.0
+
+    def token_weight(self, token: str) -> float:
+        """``w(t)``: the query-token weight making Theorem 2's identity hold."""
+        return self.statistics.idf(token) / max(self._unique_search_tokens, 1)
+
+    # ----------------------------------------------------------- tuple scores
+    def static_score(self, node_id: int, token: str) -> float:
+        """The precomputable part ``idf(t) / (unique_tokens(n) · ||n||_2)``."""
+        unique_tokens = max(self.statistics.unique_token_count(node_id), 1)
+        return self.statistics.idf(token) / (unique_tokens * self._node_norm(node_id))
+
+    def query_factor(self, token: str) -> float:
+        """The query-dependent factor ``idf(t) / (unique_search_tokens · ||q||_2)``."""
+        return self.statistics.idf(token) / (
+            max(self._unique_search_tokens, 1) * self._query_norm
+        )
+
+    def base_score(self, node_id: int, position: Position, token: str) -> float:
+        return self.static_score(node_id, token) * self.query_factor(token)
+
+    # --------------------------------------------------------- document score
+    def document_score(self, node_id: int) -> float:
+        """Classic cosine TF-IDF of the node against the prepared query."""
+        node = self.statistics._index.collection.get(node_id)
+        unique_query_tokens = dict.fromkeys(self._query_tokens)
+        total = 0.0
+        for token in unique_query_tokens:
+            occurs = node.occurrence_count(token)
+            if occurs == 0:
+                continue
+            unique_tokens = max(self.statistics.unique_token_count(node_id), 1)
+            tf = occurs / unique_tokens
+            total += self.token_weight(token) * tf * self.statistics.idf(token)
+        return total / (self._node_norm(node_id) * self._query_norm)
+
+    # ------------------------------------------------ operator transformations
+    def combine_join(
+        self, left_score: float, right_score: float, left_size: int, right_size: int
+    ) -> float:
+        return left_score / max(right_size, 1) + right_score / max(left_size, 1)
+
+    def combine_projection(self, scores: Sequence[float]) -> float:
+        return float(sum(scores))
+
+    def transform_selection(
+        self,
+        score: float,
+        predicate: Predicate,
+        positions: Sequence[Position],
+        constants: Sequence[object],
+    ) -> float:
+        return score
+
+    def combine_union(self, left_score: float, right_score: float) -> float:
+        return left_score + right_score
+
+    def combine_intersection(self, left_score: float, right_score: float) -> float:
+        return min(left_score, right_score)
+
+    def transform_difference(self, left_score: float) -> float:
+        return left_score
+
+    # ------------------------------------------------------------- internals
+    def _node_norm(self, node_id: int) -> float:
+        norm = self._node_norms.get(node_id)
+        if norm is None:
+            norm = self.statistics.node_l2_norm(node_id) or 1.0
+            self._node_norms[node_id] = norm
+        return norm
+
+
+register_model("tfidf", TfIdfScoring)
+register_model("tf-idf", TfIdfScoring)

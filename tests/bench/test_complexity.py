@@ -1,0 +1,75 @@
+"""Tests for the analytic complexity hierarchy (Figure 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.complexity import (
+    HIERARCHY,
+    QueryParameters,
+    bool_bound,
+    bool_noneg_bound,
+    comp_bound,
+    dominates,
+    hierarchy_table,
+    npred_bound,
+    ppred_bound,
+)
+from repro.index.statistics import ComplexityParameters
+
+DATA = ComplexityParameters(
+    cnodes=6000, pos_per_cnode=400, entries_per_token=3600, pos_per_entry=25
+)
+QUERY = QueryParameters(toks_q=3, preds_q=2, ops_q=4)
+
+
+def test_formulas_match_figure3():
+    assert bool_noneg_bound(DATA, QUERY) == 3600 * 3 * 5
+    assert bool_bound(DATA, QUERY) == 6000 * 3 * 5
+    assert ppred_bound(DATA, QUERY) == 3600 * 25 * 3 * 7
+    assert comp_bound(DATA, QUERY) == 6000 * (400**3) * 7
+    assert npred_bound(DATA, QUERY, arity=2) == ppred_bound(DATA, QUERY) * min(
+        2**2, math.factorial(3)
+    )
+
+
+def test_hierarchy_ordering_on_realistic_parameters():
+    # BOOL-NONEG <= BOOL, PPRED <= NPRED <= COMP for inverted lists that are
+    # (much) smaller than the full position space.
+    assert dominates("BOOL-NONEG", "BOOL", DATA, QUERY)
+    assert dominates("PPRED", "NPRED", DATA, QUERY)
+    assert dominates("NPRED", "COMP", DATA, QUERY)
+    assert dominates("BOOL", "COMP", DATA, QUERY)
+
+
+def test_npred_threads_capped_by_factorial():
+    many_predicates = QueryParameters(toks_q=3, preds_q=10, ops_q=0)
+    assert npred_bound(DATA, many_predicates, arity=2) == ppred_bound(
+        DATA, many_predicates
+    ) * math.factorial(3)
+
+
+def test_bounds_scale_with_their_driving_parameter():
+    bigger_lists = ComplexityParameters(
+        cnodes=6000, pos_per_cnode=400, entries_per_token=7200, pos_per_entry=25
+    )
+    assert ppred_bound(bigger_lists, QUERY) == 2 * ppred_bound(DATA, QUERY)
+    assert comp_bound(bigger_lists, QUERY) == comp_bound(DATA, QUERY)
+
+    longer_docs = ComplexityParameters(
+        cnodes=6000, pos_per_cnode=800, entries_per_token=3600, pos_per_entry=25
+    )
+    assert comp_bound(longer_docs, QUERY) == 8 * comp_bound(DATA, QUERY)
+    assert ppred_bound(longer_docs, QUERY) == ppred_bound(DATA, QUERY)
+
+
+def test_hierarchy_table_lists_every_language():
+    table = dict(hierarchy_table(DATA, QUERY))
+    assert set(table) == set(HIERARCHY)
+    assert all(value > 0 for value in table.values())
+
+
+def test_query_parameter_helper():
+    assert QUERY.operator_factor == 7

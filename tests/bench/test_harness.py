@@ -1,0 +1,95 @@
+"""Tests for the experiment harness and reporting (smoke scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import SERIES, ExperimentHarness, ExperimentTable
+from repro.bench.reporting import (
+    ordering_check,
+    render_report,
+    shape_summary,
+    table_to_csv,
+    table_to_text,
+)
+from repro.corpus.synthetic import generate_inex_like_collection
+from repro.exceptions import WorkloadError
+from repro.index import InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def harness() -> ExperimentHarness:
+    collection = generate_inex_like_collection(
+        num_nodes=40, tokens_per_node=60, pos_per_entry=2
+    )
+    return ExperimentHarness(InvertedIndex(collection), repeats=1)
+
+
+@pytest.fixture(scope="module")
+def point(harness):
+    return harness.run_point(
+        3, ["usability", "software", "testing"], num_tokens=3, num_predicates=2
+    )
+
+
+def test_run_point_measures_every_series(point):
+    assert set(point.measurements) == set(SERIES)
+    for measurement in point.measurements.values():
+        assert measurement.elapsed_seconds >= 0
+        assert measurement.matches >= 0
+
+
+def test_all_engines_report_consistent_match_counts_for_positive_series(point):
+    # PPRED, NPRED and COMP all evaluate the same positive-predicate query.
+    matches = {
+        name: point.measurements[name].matches
+        for name in ("PPRED-POS", "NPRED-POS", "COMP-POS")
+    }
+    assert len(set(matches.values())) == 1, matches
+
+
+def test_negative_series_agree_with_each_other(point):
+    assert (
+        point.measurements["NPRED-NEG"].matches
+        == point.measurements["COMP-NEG"].matches
+    )
+
+
+def test_time_engine_rejects_unknown_engine(harness):
+    from repro.bench.workload import bool_query
+
+    with pytest.raises(WorkloadError):
+        harness.time_engine("quantum", bool_query(["usability"]))
+
+
+def test_repeats_must_be_positive():
+    collection = generate_inex_like_collection(num_nodes=10, pos_per_entry=2)
+    with pytest.raises(WorkloadError):
+        ExperimentHarness(InvertedIndex(collection), repeats=0)
+
+
+def test_experiment_table_rows_and_series(point):
+    table = ExperimentTable("demo", "query tokens", [point])
+    rows = table.to_rows()
+    assert rows[0]["query tokens"] == 3
+    assert set(table.series_names()) == set(SERIES)
+    curve = table.series("BOOL")
+    assert curve and curve[0][0] == 3
+
+
+def test_reporting_renders_text_and_csv(point):
+    table = ExperimentTable("demo", "query tokens", [point])
+    text = table_to_text(table)
+    assert "demo" in text and "BOOL (ms)" in text
+    csv_text = table_to_csv(table)
+    assert csv_text.splitlines()[0].startswith("query tokens,")
+    assert render_report([table])
+
+
+def test_ordering_check_and_shape_summary(point):
+    table = ExperimentTable("demo", "query tokens", [point])
+    # A series is trivially "not slower" than itself.
+    assert ordering_check(table, "BOOL", "BOOL")
+    summary = shape_summary(table)
+    assert summary, "shape summary should contain at least one claim"
+    assert all(line.startswith("[") for line in summary)

@@ -1,0 +1,83 @@
+"""Tests for the benchmark workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workload import (
+    WorkloadSpec,
+    bool_query,
+    predicate_query,
+    workload_queries,
+)
+from repro.exceptions import WorkloadError
+from repro.languages import ast
+from repro.languages.classify import LanguageClass, classify_query
+
+TOKENS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+
+def test_bool_query_is_a_conjunction_with_requested_tokens():
+    query = bool_query(TOKENS[:3])
+    assert classify_query(query) is LanguageClass.BOOL_NONEG
+    assert ast.query_tokens(query) == {"alpha", "beta", "gamma"}
+    assert ast.query_measures(query)["toks_Q"] == 3
+
+
+def test_bool_query_requires_tokens():
+    with pytest.raises(WorkloadError):
+        bool_query([])
+
+
+@pytest.mark.parametrize("num_tokens", [1, 2, 3, 4, 5])
+@pytest.mark.parametrize("num_predicates", [0, 1, 2, 3, 4])
+def test_positive_query_has_requested_measures(num_tokens, num_predicates):
+    if num_predicates > 0 and num_tokens < 2:
+        pytest.skip("predicates need two tokens")
+    spec = WorkloadSpec(
+        num_tokens=num_tokens,
+        num_predicates=num_predicates,
+        predicate_kind="positive" if num_predicates else "none",
+        tokens=TOKENS,
+    )
+    query = predicate_query(spec)
+    measures = ast.query_measures(query)
+    assert measures["toks_Q"] == num_tokens
+    assert measures["preds_Q"] == num_predicates
+    assert query.is_closed()
+
+
+def test_positive_queries_classify_as_ppred_and_negative_as_npred():
+    positive = predicate_query(
+        WorkloadSpec(num_tokens=3, num_predicates=2, predicate_kind="positive", tokens=TOKENS)
+    )
+    negative = predicate_query(
+        WorkloadSpec(num_tokens=3, num_predicates=2, predicate_kind="negative", tokens=TOKENS)
+    )
+    assert classify_query(positive) is LanguageClass.PPRED
+    assert classify_query(negative) is LanguageClass.NPRED
+
+
+def test_without_predicates_classification_is_ppred_or_cheaper():
+    query = predicate_query(
+        WorkloadSpec(num_tokens=2, num_predicates=0, predicate_kind="none", tokens=TOKENS)
+    )
+    assert classify_query(query) in (LanguageClass.PPRED, LanguageClass.BOOL_NONEG)
+
+
+def test_workload_queries_bundle():
+    queries = workload_queries(TOKENS, num_tokens=3, num_predicates=2)
+    assert set(queries) == {"BOOL", "POSITIVE", "NEGATIVE"}
+    zero_pred = workload_queries(TOKENS, num_tokens=3, num_predicates=0)
+    assert "NEGATIVE" not in zero_pred
+
+
+def test_invalid_specs_raise():
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(num_tokens=0, tokens=TOKENS)
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(num_tokens=1, num_predicates=1, tokens=TOKENS)
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(num_tokens=3, tokens=TOKENS[:2])
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(num_tokens=2, predicate_kind="sideways", tokens=TOKENS)

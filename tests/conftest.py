@@ -1,0 +1,119 @@
+"""Shared fixtures: small hand-built collections and indexes.
+
+The fixtures mirror the paper's running examples:
+
+* ``figure1_collection`` -- a miniature of the Figure 1 book document plus a
+  few companions, with paragraph/sentence structure, used by position and
+  predicate tests;
+* ``witness_collections`` -- the documents from the incompleteness proofs
+  (Theorems 3 and 5);
+* ``small_synthetic`` -- a deterministic synthetic collection large enough to
+  exercise the engines but small enough for the oracle evaluator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection, ContextNode, node_from_paragraphs
+from repro.corpus.synthetic import SyntheticSpec, generate_collection
+from repro.index import InvertedIndex
+
+
+@pytest.fixture(scope="session")
+def figure1_collection() -> Collection:
+    """Four documents with controlled paragraph/sentence structure."""
+    book = node_from_paragraphs(
+        0,
+        [
+            # paragraph 0 (two sentences of 6 tokens each)
+            [
+                "usability", "definition", "usability", "of", "a", "software",
+                "measures", "how", "well", "the", "software", "supports",
+            ],
+            # paragraph 1
+            [
+                "achieving", "an", "efficient", "software", "task", "completion",
+            ],
+            # paragraph 2
+            ["more", "on", "usability", "of", "a", "software"],
+        ],
+        sentence_length=6,
+        metadata={"title": "usability-book"},
+    )
+    testing = node_from_paragraphs(
+        1,
+        [
+            ["software", "testing", "and", "usability", "testing", "differ"],
+            ["efficient", "testing", "of", "task", "completion", "matters"],
+        ],
+        sentence_length=6,
+        metadata={"title": "testing-article"},
+    )
+    databases = node_from_paragraphs(
+        2,
+        [
+            ["databases", "support", "full", "text", "search"],
+            ["inverted", "lists", "make", "retrieval", "efficient"],
+        ],
+        sentence_length=5,
+        metadata={"title": "databases-article"},
+    )
+    unrelated = node_from_paragraphs(
+        3,
+        [["networks", "route", "packets", "between", "hosts"]],
+        sentence_length=5,
+        metadata={"title": "networks-note"},
+    )
+    return Collection.from_nodes([book, testing, databases, unrelated], "figure1")
+
+
+@pytest.fixture(scope="session")
+def figure1_index(figure1_collection: Collection) -> InvertedIndex:
+    return InvertedIndex(figure1_collection)
+
+
+@pytest.fixture(scope="session")
+def theorem3_collection() -> Collection:
+    """CN1 = {t1}; CN2 = {t1, t2}: the Theorem 3 witness documents."""
+    return Collection.from_nodes(
+        [
+            ContextNode.from_tokens(1, ["t1"]),
+            ContextNode.from_tokens(2, ["t1", "t2"]),
+        ],
+        "theorem3",
+    )
+
+
+@pytest.fixture(scope="session")
+def theorem5_collection() -> Collection:
+    """CN1 = t1 t2 t1; CN2 = t1 t2 t1 t2: the Theorem 5 witness documents."""
+    return Collection.from_nodes(
+        [
+            ContextNode.from_tokens(1, ["t1", "t2", "t1"]),
+            ContextNode.from_tokens(2, ["t1", "t2", "t1", "t2"]),
+        ],
+        "theorem5",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_synthetic() -> Collection:
+    """A deterministic 40-node synthetic collection with planted query tokens."""
+    spec = SyntheticSpec(
+        num_nodes=40,
+        tokens_per_node=60,
+        vocabulary_size=150,
+        query_tokens=("alpha", "beta", "gamma"),
+        query_token_document_frequency=0.6,
+        query_token_positions_per_entry=3,
+        sentence_length=8,
+        paragraph_length=20,
+        seed=7,
+    )
+    return generate_collection(spec, name="small-synthetic")
+
+
+@pytest.fixture(scope="session")
+def small_synthetic_index(small_synthetic: Collection) -> InvertedIndex:
+    return InvertedIndex(small_synthetic)

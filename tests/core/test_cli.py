@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_argument_parser, main
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    documents = {
+        "usability.txt": "usability of an efficient software supports task completion",
+        "testing.txt": "software testing and usability testing",
+        "databases.txt": "databases index tokens for retrieval",
+    }
+    directory = tmp_path / "docs"
+    directory.mkdir()
+    for name, text in documents.items():
+        (directory / name).write_text(text, encoding="utf-8")
+    return directory
+
+
+@pytest.fixture
+def index_file(corpus_dir, tmp_path):
+    output = tmp_path / "collection.json"
+    assert main(["index", str(corpus_dir), "-o", str(output)]) == 0
+    return output
+
+
+def test_index_command_reports_summary(corpus_dir, tmp_path, capsys):
+    output = tmp_path / "out.json.gz"
+    code = main(["index", str(corpus_dir), "-o", str(output)])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert output.exists()
+    assert "indexed 3 documents" in captured
+
+
+def test_index_command_accepts_individual_files(corpus_dir, tmp_path):
+    files = sorted(str(path) for path in corpus_dir.glob("*.txt"))
+    output = tmp_path / "files.json"
+    assert main(["index", *files, "-o", str(output)]) == 0
+
+
+def test_search_command_prints_ranked_results(index_file, capsys):
+    code = main(
+        ["search", str(index_file), "'usability' AND 'software'", "--top-k", "5"]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "match(es)" in captured
+    assert "node" in captured
+
+
+def test_search_command_with_comp_query_and_forced_engine(index_file, capsys):
+    code = main(
+        [
+            "search",
+            str(index_file),
+            "SOME p1 SOME p2 (p1 HAS 'task' AND p2 HAS 'completion' "
+            "AND distance(p1, p2, 0))",
+            "--engine",
+            "comp",
+            "--scoring",
+            "none",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "via comp" in captured
+
+
+def test_search_command_reports_errors_gracefully(index_file, capsys):
+    code = main(["search", str(index_file), "'unterminated"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "error:" in captured.err
+
+
+def test_explain_command(capsys):
+    code = main(["explain", "dist('task', 'completion', 5)"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "PPRED" in captured
+    assert "ppred" in captured
+    assert "hasToken" in captured
+
+
+def test_info_command(index_file, capsys):
+    code = main(["info", str(index_file)])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "nodes" in captured
+    assert "cnodes" in captured
+    assert "COMP" in captured
+
+
+def test_experiment_command_single_figure_smoke(capsys):
+    code = main(["experiment", "--figure", "6", "--scale", "smoke"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "Figure 6" in captured
+    assert "BOOL" in captured
+
+
+def test_experiment_command_figure3(capsys):
+    code = main(["experiment", "--figure", "3", "--scale", "smoke"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "complexity hierarchy" in captured
+    assert "PPRED" in captured
+
+
+def test_parser_requires_a_command():
+    parser = build_argument_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

@@ -1,0 +1,46 @@
+"""Tests for query parsing/classification at the core layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import Query, parse_query
+from repro.exceptions import QuerySemanticsError, QuerySyntaxError
+from repro.languages.classify import LanguageClass
+
+
+def test_parse_query_auto_accepts_all_languages():
+    assert parse_query("'a' AND 'b'").language_class is LanguageClass.BOOL_NONEG
+    assert parse_query("dist('a', 'b', 2)").language_class is LanguageClass.PPRED
+    assert (
+        parse_query("EVERY p (p HAS 'a')").language_class is LanguageClass.COMP
+    )
+
+
+def test_parse_query_with_explicit_language_levels():
+    assert parse_query("'a' AND NOT 'b'", language="bool").language == "bool"
+    assert parse_query("dist('a', 'b', 1)", language="dist").language == "dist"
+    with pytest.raises(QuerySyntaxError):
+        parse_query("dist('a', 'b', 1)", language="bool")
+    with pytest.raises(QuerySyntaxError):
+        parse_query("SOME p (p HAS 'a')", language="dist")
+
+
+def test_parse_query_rejects_unknown_language():
+    with pytest.raises(QuerySyntaxError):
+        parse_query("'a'", language="sparql")
+
+
+def test_parse_query_rejects_open_queries():
+    with pytest.raises(QuerySemanticsError):
+        parse_query("p HAS 'a'")
+
+
+def test_query_exposes_calculus_measures_and_tokens():
+    query = parse_query(
+        "SOME p1 SOME p2 (p1 HAS 'alpha' AND p2 HAS 'beta' AND distance(p1, p2, 4))"
+    )
+    assert isinstance(query, Query)
+    assert query.tokens() == {"alpha", "beta"}
+    assert query.measures() == {"toks_Q": 2, "preds_Q": 1, "ops_Q": 4}
+    assert "hasToken(p1, 'alpha')" in query.to_calculus().to_text()

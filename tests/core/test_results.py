@@ -1,0 +1,53 @@
+"""Tests for the SearchResults container."""
+
+from __future__ import annotations
+
+from repro.core.results import SearchResult, SearchResults
+from repro.languages.classify import LanguageClass
+
+
+def make_results() -> SearchResults:
+    return SearchResults(
+        query_text="'a'",
+        results=[
+            SearchResult(3, 0.9, "alpha ..."),
+            SearchResult(1, 0.5, "beta ..."),
+            SearchResult(2, 0.1, "gamma ..."),
+        ],
+        language_class=LanguageClass.BOOL_NONEG,
+        engine="bool",
+        elapsed_seconds=0.001,
+    )
+
+
+def test_node_ids_and_scores_follow_rank_order():
+    results = make_results()
+    assert results.node_ids == [3, 1, 2]
+    assert results.scores == {3: 0.9, 1: 0.5, 2: 0.1}
+
+
+def test_total_matches_defaults_to_result_count():
+    assert make_results().total_matches == 3
+
+
+def test_top_preserves_metadata_and_total():
+    results = make_results()
+    top = results.top(2)
+    assert top.node_ids == [3, 1]
+    assert top.total_matches == 3
+    assert top.engine == "bool"
+
+
+def test_container_protocols():
+    results = make_results()
+    assert len(results) == 3
+    assert bool(results)
+    assert [r.node_id for r in results] == [3, 1, 2]
+    empty = SearchResults("'x'", [], LanguageClass.BOOL, "bool", 0.0)
+    assert not empty
+    assert empty.total_matches == 0
+
+
+def test_summary_mentions_engine_and_class():
+    summary = make_results().summary()
+    assert "BOOL-NONEG" in summary and "bool" in summary

@@ -1,0 +1,93 @@
+"""Tests for Collection: ordering, subsetting, statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection, ContextNode
+from repro.exceptions import CorpusError
+
+
+@pytest.fixture
+def collection() -> Collection:
+    return Collection.from_texts(
+        [
+            "usability of software",
+            "software testing",
+            "databases and retrieval",
+        ]
+    )
+
+
+def test_from_texts_assigns_consecutive_ids(collection):
+    assert collection.node_ids() == [0, 1, 2]
+    assert len(collection) == 3
+
+
+def test_iteration_is_in_ascending_id_order():
+    nodes = [
+        ContextNode.from_tokens(5, ["a"]),
+        ContextNode.from_tokens(1, ["b"]),
+        ContextNode.from_tokens(3, ["c"]),
+    ]
+    collection = Collection.from_nodes(nodes)
+    assert [node.node_id for node in collection] == [1, 3, 5]
+
+
+def test_duplicate_node_ids_rejected():
+    with pytest.raises(CorpusError):
+        Collection.from_nodes(
+            [ContextNode.from_tokens(1, ["a"]), ContextNode.from_tokens(1, ["b"])]
+        )
+
+
+def test_get_and_contains(collection):
+    assert collection.get(1).contains("testing")
+    assert 2 in collection
+    assert 99 not in collection
+    with pytest.raises(CorpusError):
+        collection.get(99)
+
+
+def test_subset_restricts_to_requested_ids(collection):
+    subset = collection.subset([0, 2])
+    assert subset.node_ids() == [0, 2]
+    with pytest.raises(CorpusError):
+        collection.subset([0, 42])
+
+
+def test_filter_by_predicate(collection):
+    filtered = collection.filter(lambda node: node.contains("software"))
+    assert filtered.node_ids() == [0, 1]
+
+
+def test_document_frequency(collection):
+    assert collection.document_frequency("software") == 2
+    assert collection.document_frequency("databases") == 1
+    assert collection.document_frequency("missing") == 0
+
+
+def test_vocabulary_and_token_counts(collection):
+    vocab = collection.vocabulary()
+    assert {"usability", "software", "testing", "databases"} <= vocab
+    assert collection.total_token_count() == sum(
+        len(collection.get(nid)) for nid in collection.node_ids()
+    )
+
+
+def test_max_positions_per_node(collection):
+    assert collection.max_positions_per_node() == 3
+    assert Collection.from_nodes([]).max_positions_per_node() == 0
+
+
+def test_describe_summary(collection):
+    summary = collection.describe()
+    assert summary["nodes"] == 3
+    assert summary["max_positions_per_node"] == 3
+    assert summary["vocabulary"] == len(collection.vocabulary())
+
+
+def test_from_named_texts_stores_titles():
+    collection = Collection.from_named_texts({"doc-a": "alpha", "doc-b": "beta"})
+    titles = [collection.get(nid).metadata["title"] for nid in collection.node_ids()]
+    assert titles == ["doc-a", "doc-b"]

@@ -1,0 +1,71 @@
+"""Tests for file loaders and markup stripping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.loaders import (
+    collection_from_strings,
+    load_directory,
+    load_text_files,
+    strip_markup,
+)
+from repro.exceptions import CorpusError
+
+
+def test_strip_markup_removes_tags_keeps_text():
+    text = "<book id='1'><author>Elina Rose</author> usability</book>"
+    stripped = strip_markup(text)
+    assert "book" not in stripped.split()  # the tag is gone
+    assert "Elina" in stripped and "usability" in stripped
+
+
+def test_strip_markup_handles_plain_text():
+    assert strip_markup("no tags here") == "no tags here"
+
+
+def test_load_text_files(tmp_path):
+    first = tmp_path / "a.txt"
+    second = tmp_path / "b.txt"
+    first.write_text("alpha beta gamma", encoding="utf-8")
+    second.write_text("delta epsilon", encoding="utf-8")
+    collection = load_text_files([first, second])
+    assert collection.node_ids() == [0, 1]
+    assert collection.get(0).contains("alpha")
+    assert collection.get(1).metadata["path"].endswith("b.txt")
+
+
+def test_load_text_files_with_markup_stripping(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text("<p>usability of <b>software</b></p>", encoding="utf-8")
+    collection = load_text_files([path], strip_tags=True)
+    node = collection.get(0)
+    assert node.contains("usability") and node.contains("software")
+    assert not node.contains("p")
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(CorpusError):
+        load_text_files([tmp_path / "missing.txt"])
+
+
+def test_load_directory_recursive(tmp_path):
+    (tmp_path / "sub").mkdir()
+    (tmp_path / "one.txt").write_text("first document", encoding="utf-8")
+    (tmp_path / "sub" / "two.txt").write_text("second document", encoding="utf-8")
+    collection = load_directory(tmp_path)
+    assert len(collection) == 2
+
+
+def test_load_directory_requires_matches(tmp_path):
+    with pytest.raises(CorpusError):
+        load_directory(tmp_path, pattern="*.none")
+    with pytest.raises(CorpusError):
+        load_directory(tmp_path / "does-not-exist")
+
+
+def test_collection_from_strings():
+    collection = collection_from_strings(["alpha beta", "<p>gamma</p>"], strip_tags=True)
+    assert collection.get(0).contains("alpha")
+    assert collection.get(1).contains("gamma")
+    assert not collection.get(1).contains("p")

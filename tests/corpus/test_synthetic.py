@@ -1,0 +1,99 @@
+"""Tests for the synthetic corpus generator (determinism, planted tokens)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.synthetic import (
+    DEFAULT_QUERY_TOKENS,
+    SyntheticSpec,
+    generate_collection,
+    generate_inex_like_collection,
+)
+from repro.exceptions import CorpusError
+
+
+def small_spec(**overrides) -> SyntheticSpec:
+    defaults = dict(
+        num_nodes=30,
+        tokens_per_node=50,
+        vocabulary_size=100,
+        query_tokens=("alpha", "beta"),
+        query_token_document_frequency=1.0,
+        query_token_positions_per_entry=4,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return SyntheticSpec(**defaults)
+
+
+def test_generation_is_deterministic_for_a_given_seed():
+    first = generate_collection(small_spec())
+    second = generate_collection(small_spec())
+    for nid in first.node_ids():
+        assert first.get(nid).tokens == second.get(nid).tokens
+
+
+def test_different_seeds_give_different_collections():
+    first = generate_collection(small_spec(seed=1))
+    second = generate_collection(small_spec(seed=2))
+    assert any(
+        first.get(nid).tokens != second.get(nid).tokens for nid in first.node_ids()
+    )
+
+
+def test_requested_number_of_nodes_and_lengths():
+    collection = generate_collection(small_spec())
+    assert len(collection) == 30
+    assert all(len(collection.get(nid)) == 50 for nid in collection.node_ids())
+
+
+def test_query_tokens_planted_with_full_document_frequency():
+    collection = generate_collection(small_spec())
+    assert collection.document_frequency("alpha") == 30
+    assert collection.document_frequency("beta") == 30
+
+
+def test_positions_per_entry_is_respected():
+    collection = generate_collection(small_spec())
+    for nid in collection.node_ids():
+        assert collection.get(nid).occurrence_count("alpha") == 4
+
+
+def test_partial_document_frequency_plants_in_a_fraction_of_nodes():
+    spec = small_spec(query_token_document_frequency=0.5, num_nodes=200, seed=3)
+    collection = generate_collection(spec)
+    df = collection.document_frequency("alpha")
+    assert 60 <= df <= 140  # roughly half, generous tolerance
+
+
+def test_structure_fields_are_populated():
+    collection = generate_collection(small_spec())
+    node = collection.get(0)
+    assert node.paragraph_count() >= 1
+    assert node.sentence_count() >= 1
+
+
+def test_invalid_specs_are_rejected():
+    with pytest.raises(CorpusError):
+        small_spec(num_nodes=0)
+    with pytest.raises(CorpusError):
+        small_spec(query_token_document_frequency=0.0)
+    with pytest.raises(CorpusError):
+        small_spec(tokens_per_node=5, query_token_positions_per_entry=4)
+
+
+def test_inex_like_collection_defaults():
+    collection = generate_inex_like_collection(num_nodes=50, pos_per_entry=3)
+    assert len(collection) == 50
+    # Designated query tokens exist in the collection vocabulary.
+    assert set(DEFAULT_QUERY_TOKENS) <= collection.vocabulary()
+
+
+def test_inex_like_collection_grows_documents_to_fit_planted_tokens():
+    collection = generate_inex_like_collection(
+        num_nodes=10, tokens_per_node=10, pos_per_entry=5
+    )
+    # 8 query tokens x 5 occurrences would not fit in 10 tokens; the helper
+    # grows the documents instead of failing.
+    assert collection.max_positions_per_node() >= 5 * len(DEFAULT_QUERY_TOKENS)

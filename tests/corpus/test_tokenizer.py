@@ -1,0 +1,112 @@
+"""Tests for the tokenizer: offsets, sentences, paragraphs, filters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.tokenizer import Tokenizer, default_tokenizer, make_stopword_filter
+
+
+def test_offsets_are_consecutive_from_zero():
+    occurrences = default_tokenizer().tokenize("one two three four")
+    assert [occ.position.offset for occ in occurrences] == [0, 1, 2, 3]
+
+
+def test_tokens_are_lowercased_by_default():
+    assert default_tokenizer().tokens_only("Usability Of SOFTWARE") == [
+        "usability",
+        "of",
+        "software",
+    ]
+
+
+def test_lowercasing_can_be_disabled():
+    tokenizer = Tokenizer(lowercase=False)
+    assert tokenizer.tokens_only("Usability Of") == ["Usability", "Of"]
+
+
+def test_punctuation_is_not_a_token():
+    tokens = default_tokenizer().tokens_only("alpha, beta; gamma: delta!")
+    assert tokens == ["alpha", "beta", "gamma", "delta"]
+
+
+def test_numbers_are_tokens():
+    assert default_tokenizer().tokens_only("chapter 12 section 3") == [
+        "chapter",
+        "12",
+        "section",
+        "3",
+    ]
+
+
+def test_sentence_boundaries_advance_sentence_ordinal():
+    occurrences = default_tokenizer().tokenize("first sentence. second one. third")
+    sentences = [occ.position.sentence for occ in occurrences]
+    assert sentences == [0, 0, 1, 1, 2]
+
+
+def test_consecutive_sentence_terminators_do_not_create_empty_sentences():
+    occurrences = default_tokenizer().tokenize("one... two")
+    sentences = [occ.position.sentence for occ in occurrences]
+    assert sentences == [0, 1]
+
+
+def test_paragraphs_split_on_blank_lines():
+    text = "alpha beta\n\ngamma delta\n\n\nepsilon"
+    occurrences = default_tokenizer().tokenize(text)
+    paragraphs = [occ.position.paragraph for occ in occurrences]
+    assert paragraphs == [0, 0, 1, 1, 2]
+
+
+def test_paragraph_end_terminates_sentence():
+    text = "alpha beta\n\ngamma"
+    occurrences = default_tokenizer().tokenize(text)
+    assert occurrences[0].position.sentence == 0
+    assert occurrences[2].position.sentence == 1
+
+
+def test_empty_and_whitespace_text_produce_no_tokens():
+    assert default_tokenizer().tokenize("") == []
+    assert default_tokenizer().tokenize("   \n\n\t ") == []
+
+
+def test_offsets_continue_across_paragraphs():
+    occurrences = default_tokenizer().tokenize("a b\n\nc d")
+    assert [occ.position.offset for occ in occurrences] == [0, 1, 2, 3]
+
+
+def test_extra_token_chars_keep_hyphenated_words_together():
+    tokenizer = Tokenizer(extra_token_chars="-")
+    assert tokenizer.tokens_only("full-text search") == ["full-text", "search"]
+
+
+def test_stopword_filter_drops_tokens_without_consuming_positions():
+    tokenizer = Tokenizer(filters=[make_stopword_filter(["of", "the"])])
+    occurrences = tokenizer.tokenize("usability of the software")
+    assert [occ.token for occ in occurrences] == ["usability", "software"]
+    assert [occ.position.offset for occ in occurrences] == [0, 1]
+
+
+def test_custom_rewriting_filter():
+    def crude_stemmer(token: str) -> str:
+        return token[:-1] if token.endswith("s") else token
+
+    tokenizer = Tokenizer(filters=[crude_stemmer])
+    assert tokenizer.tokens_only("databases measures tokens") == [
+        "database",
+        "measure",
+        "token",
+    ]
+
+
+def test_iter_tokens_is_lazy_and_matches_tokenize():
+    tokenizer = default_tokenizer()
+    text = "alpha beta. gamma\n\ndelta"
+    assert list(tokenizer.iter_tokens(text)) == tokenizer.tokenize(text)
+
+
+@pytest.mark.parametrize("text", ["word", "word.", ".word", "..word.."])
+def test_single_word_always_has_offset_zero(text):
+    occurrences = default_tokenizer().tokenize(text)
+    assert len(occurrences) == 1
+    assert occurrences[0].position.offset == 0

@@ -1,0 +1,84 @@
+"""Tests for the BOOL merge engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.bool_engine import BoolEngine
+from repro.exceptions import UnsupportedQueryError
+from repro.index import InvertedIndex
+from repro.languages.bool_lang import parse_bool
+from repro.languages.parser import LanguageLevel, QueryParser
+from repro.scoring import TfIdfScoring
+
+
+@pytest.fixture(scope="module")
+def engine(figure1_index) -> BoolEngine:
+    return BoolEngine(figure1_index)
+
+
+def evaluate(engine: BoolEngine, text: str) -> list[int]:
+    return engine.evaluate(parse_bool(text))
+
+
+def test_single_token(engine):
+    assert evaluate(engine, "'usability'") == [0, 1]
+    assert evaluate(engine, "'databases'") == [2]
+    assert evaluate(engine, "'missing'") == []
+
+
+def test_conjunction_and_disjunction(engine):
+    assert evaluate(engine, "'usability' AND 'software'") == [0, 1]
+    assert evaluate(engine, "'usability' AND 'databases'") == []
+    assert evaluate(engine, "'usability' OR 'databases'") == [0, 1, 2]
+
+
+def test_negation_complements_over_the_whole_context(engine):
+    assert evaluate(engine, "NOT 'usability'") == [2, 3]
+    assert evaluate(engine, "'efficient' AND NOT 'usability'") == [2]
+
+
+def test_any_token(engine):
+    assert evaluate(engine, "ANY") == [0, 1, 2, 3]
+    assert evaluate(engine, "ANY AND NOT 'efficient'") == [3]
+
+
+def test_nested_boolean_structure(engine):
+    assert evaluate(engine, "('usability' OR 'databases') AND NOT 'testing'") == [0, 2]
+
+
+def test_paper_example_merge_query(engine):
+    # (’software’ AND ’usability’ AND NOT ’databases’) OR ’networks’
+    result = evaluate(
+        engine, "('software' AND 'usability' AND NOT 'databases') OR 'networks'"
+    )
+    assert result == [0, 1, 3]
+
+
+def test_rejects_non_bool_queries(engine):
+    comp = QueryParser(LanguageLevel.COMP).parse("SOME p (p HAS 'a')")
+    with pytest.raises(UnsupportedQueryError):
+        engine.evaluate(comp)
+
+
+def test_cursor_statistics_are_reported(figure1_index):
+    engine = BoolEngine(figure1_index)
+    nodes, stats = engine.evaluate_with_stats(parse_bool("'usability' AND 'software'"))
+    assert nodes == [0, 1]
+    assert stats.next_entry_calls > 0
+
+
+def test_scored_evaluation_ranks_matching_nodes(figure1_index):
+    scoring = TfIdfScoring(figure1_index.statistics)
+    engine = BoolEngine(figure1_index, scoring=scoring)
+    scores = engine.evaluate_scored(parse_bool("'usability' OR 'databases'"))
+    assert set(scores) == {0, 1, 2}
+    assert all(score > 0 for score in scores.values())
+
+
+def test_scored_negation_complements_scores(figure1_index):
+    scoring = TfIdfScoring(figure1_index.statistics)
+    engine = BoolEngine(figure1_index, scoring=scoring)
+    scores = engine.evaluate_scored(parse_bool("NOT 'usability'"))
+    assert set(scores) == {2, 3}
+    assert all(0.0 <= score <= 1.0 for score in scores.values())

@@ -1,0 +1,91 @@
+"""Tests for the naive (materialising) COMP engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.naive_engine import NaiveCompEngine
+from repro.languages.parser import LanguageLevel, QueryParser
+from repro.model.calculus import CalculusEvaluator
+from repro.scoring import TfIdfScoring
+
+_PARSER = QueryParser(LanguageLevel.COMP)
+
+
+@pytest.fixture(scope="module")
+def engine(figure1_index) -> NaiveCompEngine:
+    return NaiveCompEngine(figure1_index)
+
+
+def evaluate(engine: NaiveCompEngine, text: str) -> list[int]:
+    return engine.evaluate(_PARSER.parse_closed(text))
+
+
+def test_basic_keyword_queries(engine):
+    assert evaluate(engine, "'usability' AND 'software'") == [0, 1]
+    assert evaluate(engine, "'usability' OR 'databases'") == [0, 1, 2]
+    assert evaluate(engine, "NOT 'usability'") == [2, 3]
+
+
+def test_every_quantifier_is_supported(engine):
+    assert evaluate(engine, "EVERY p (p HAS 'usability')") == []
+    # Every position of node 3 holds one of the five listed words.
+    assert evaluate(
+        engine,
+        "EVERY p (p HAS 'networks' OR p HAS 'route' OR p HAS 'packets' "
+        "OR p HAS 'between' OR p HAS 'hosts')",
+    ) == [3]
+
+
+def test_position_level_negation(engine):
+    # Nodes containing a token other than 'usability' (all but none here,
+    # so use a more selective witness): nodes with a token other than every
+    # token of node 3.
+    assert evaluate(engine, "SOME p (NOT p HAS 'networks')") == [0, 1, 2, 3]
+    assert evaluate(
+        engine,
+        "SOME p (NOT p HAS 'networks' AND NOT p HAS 'route' AND NOT p HAS "
+        "'packets' AND NOT p HAS 'between' AND NOT p HAS 'hosts')",
+    ) == [0, 1, 2]
+
+
+def test_negated_predicate_inside_block(engine):
+    result = evaluate(
+        engine,
+        "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' "
+        "AND NOT distance(p1, p2, 1))",
+    )
+    # Node 0 has distant usability/software pairs; node 1's only pair
+    # (usability@3, software@0) also has two intervening tokens.
+    assert result == [0, 1]
+
+
+def test_results_match_the_calculus_oracle(engine, figure1_collection):
+    oracle = CalculusEvaluator()
+    for text in [
+        "'efficient' AND ('usability' OR 'databases')",
+        "dist('task', 'completion', 0)",
+        "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' "
+        "AND samepara(p1, p2))",
+        "EVERY p (NOT p HAS 'usability')",
+    ]:
+        query = _PARSER.parse_closed(text)
+        expected = oracle.evaluate_query(query.to_calculus_query(), figure1_collection)
+        assert engine.evaluate(query) == expected, text
+
+
+def test_evaluate_full_reports_algebra_plan(engine):
+    evaluation = engine.evaluate_full(_PARSER.parse_closed("'usability' AND 'software'"))
+    assert evaluation.node_ids == [0, 1]
+    assert "R['usability']" in evaluation.algebra_text
+    assert "join" in evaluation.algebra_text
+
+
+def test_scored_evaluation_populates_node_scores(figure1_index):
+    scoring = TfIdfScoring(figure1_index.statistics)
+    engine = NaiveCompEngine(figure1_index, scoring=scoring)
+    evaluation = engine.evaluate_full(
+        _PARSER.parse_closed("'usability' AND 'software'")
+    )
+    assert set(evaluation.scores) == {0, 1}
+    assert all(score > 0 for score in evaluation.scores.values())

@@ -1,0 +1,84 @@
+"""Direct unit tests of the fused NPRED block operator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection, ContextNode
+from repro.engine.npred_engine import NPredBlockOperator, _BoundPredicate
+from repro.engine.operators import ScanOperator, collect_nodes
+from repro.exceptions import EvaluationError
+from repro.index import InvertedIndex
+from repro.model.predicates import (
+    DistancePredicate,
+    NotDistancePredicate,
+    OrderedPredicate,
+)
+
+
+@pytest.fixture
+def index() -> InvertedIndex:
+    collection = Collection.from_nodes(
+        [
+            ContextNode.from_tokens(0, ["a", "b"]),
+            ContextNode.from_tokens(1, ["a", "x", "x", "x", "x", "x", "b"]),
+            ContextNode.from_tokens(2, ["b", "x", "x", "x", "x", "x", "a"]),
+            ContextNode.from_tokens(3, ["a"]),
+        ]
+    )
+    return InvertedIndex(collection)
+
+
+def scans(index, *tokens):
+    return [ScanOperator(index.open_cursor(token)) for token in tokens]
+
+
+def test_block_without_predicates_is_a_node_merge(index):
+    operator = NPredBlockOperator(scans(index, "a", "b"), [], ordering=())
+    assert collect_nodes(operator) == [0, 1, 2]
+
+
+def test_negative_predicate_with_both_orderings_covers_all_solutions(index):
+    bound = [_BoundPredicate(NotDistancePredicate(), (0, 1), (3,))]
+    forward = NPredBlockOperator(scans(index, "a", "b"), bound, ordering=(0, 1))
+    backward = NPredBlockOperator(scans(index, "a", "b"), bound, ordering=(1, 0))
+    combined = set(collect_nodes(forward)) | set(collect_nodes(backward))
+    assert combined == {1, 2}
+
+
+def test_single_ordering_misses_the_other_direction(index):
+    """Documents why multiple threads are necessary: one order finds only the
+    solutions compatible with it."""
+    bound = [_BoundPredicate(NotDistancePredicate(), (0, 1), (3,))]
+    forward = NPredBlockOperator(scans(index, "a", "b"), bound, ordering=(0, 1))
+    assert collect_nodes(forward) == [1]
+
+
+def test_positive_predicates_are_supported_inside_the_block(index):
+    bound = [
+        _BoundPredicate(OrderedPredicate(), (0, 1), ()),
+        _BoundPredicate(DistancePredicate(), (0, 1), (0,)),
+    ]
+    operator = NPredBlockOperator(scans(index, "a", "b"), bound, ordering=())
+    assert collect_nodes(operator) == [0]
+
+
+def test_constructor_validation(index):
+    with pytest.raises(EvaluationError):
+        NPredBlockOperator([], [], ordering=())
+    with pytest.raises(EvaluationError):
+        NPredBlockOperator(scans(index, "a", "b"), [], ordering=(0, 0))
+    with pytest.raises(EvaluationError):
+        NPredBlockOperator(scans(index, "a", "b"), [], ordering=(5,))
+    # A negative predicate must be covered by the ordering.
+    bound = [_BoundPredicate(NotDistancePredicate(), (0, 1), (3,))]
+    with pytest.raises(EvaluationError):
+        NPredBlockOperator(scans(index, "a", "b"), bound, ordering=(0,))
+
+
+def test_block_is_node_level_only(index):
+    operator = NPredBlockOperator(scans(index, "a", "b"), [], ordering=())
+    with pytest.raises(EvaluationError):
+        operator.advance_position(0, 1)
+    with pytest.raises(EvaluationError):
+        operator.position(0)

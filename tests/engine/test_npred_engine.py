@@ -1,0 +1,145 @@
+"""Tests for the NPRED permutation-thread engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection, ContextNode
+from repro.engine.npred_engine import NPredEngine
+from repro.engine.naive_engine import NaiveCompEngine
+from repro.exceptions import UnsupportedQueryError
+from repro.index import InvertedIndex
+from repro.languages.parser import LanguageLevel, QueryParser
+
+_PARSER = QueryParser(LanguageLevel.COMP)
+
+
+@pytest.fixture(scope="module")
+def index() -> InvertedIndex:
+    collection = Collection.from_nodes(
+        [
+            # 'a' and 'b' adjacent only
+            ContextNode.from_tokens(0, ["a", "b", "x", "x"]),
+            # 'a' and 'b' adjacent AND far apart
+            ContextNode.from_tokens(1, ["a", "b", "x", "x", "x", "x", "x", "a"]),
+            # far apart only (b before a)
+            ContextNode.from_tokens(2, ["b", "x", "x", "x", "x", "x", "a"]),
+            # only one of the tokens
+            ContextNode.from_tokens(3, ["a", "x"]),
+            # both tokens, b after a, gap of 2
+            ContextNode.from_tokens(4, ["a", "x", "x", "b"]),
+        ]
+    )
+    return InvertedIndex(collection)
+
+
+@pytest.fixture(scope="module")
+def engine(index) -> NPredEngine:
+    return NPredEngine(index)
+
+
+def evaluate(engine: NPredEngine, text: str) -> list[int]:
+    return engine.evaluate(_PARSER.parse_closed(text))
+
+
+NOT_DISTANCE_QUERY = (
+    "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_distance(p1, p2, 3))"
+)
+
+
+def test_not_distance_finds_far_apart_occurrences(engine):
+    # Nodes 1 and 2 have an 'a'/'b' pair separated by more than 3 tokens.
+    assert evaluate(engine, NOT_DISTANCE_QUERY) == [1, 2]
+
+
+def test_not_distance_requires_both_tokens(engine):
+    assert 3 not in evaluate(engine, NOT_DISTANCE_QUERY)
+
+
+def test_not_ordered(engine):
+    # not_ordered(p1, p2): 'a' does NOT occur strictly before 'b'.
+    result = evaluate(
+        engine, "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_ordered(p1, p2))"
+    )
+    # node 1: a@7 after b@1 -> yes; node 2: a@6 after b@0 -> yes.
+    assert result == [1, 2]
+
+
+def test_diffpos_two_occurrences_of_same_token(engine):
+    result = evaluate(
+        engine, "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'a' AND diffpos(p1, p2))"
+    )
+    assert result == [1]
+
+
+def test_mixed_positive_and_negative_predicates(engine):
+    # 'a' before 'b' (positive) but more than 1 token apart (negative).
+    result = evaluate(
+        engine,
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND ordered(p1, p2) "
+        "AND not_distance(p1, p2, 1))",
+    )
+    assert result == [4]
+
+
+def test_positive_only_queries_still_work(engine):
+    result = evaluate(
+        engine,
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND distance(p1, p2, 0))",
+    )
+    assert result == [0, 1]
+
+
+def test_and_not_closed_subquery(engine):
+    result = evaluate(engine, NOT_DISTANCE_QUERY + " AND NOT 'x'")
+    assert result == []
+
+
+def test_union_of_blocks(engine):
+    result = evaluate(engine, NOT_DISTANCE_QUERY + " OR 'b'")
+    assert result == [0, 1, 2, 4]
+
+
+def test_all_orders_and_minimal_orders_agree(index):
+    minimal = NPredEngine(index, orders="minimal")
+    exhaustive = NPredEngine(index, orders="all")
+    for text in [
+        NOT_DISTANCE_QUERY,
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_ordered(p1, p2))",
+        "SOME p1 SOME p2 SOME p3 (p1 HAS 'a' AND p2 HAS 'b' AND p3 HAS 'x' "
+        "AND not_distance(p1, p2, 2) AND ordered(p1, p3))",
+    ]:
+        query = _PARSER.parse_closed(text)
+        assert minimal.evaluate(query) == exhaustive.evaluate(query)
+
+
+def test_agrees_with_naive_comp_engine(index):
+    npred = NPredEngine(index)
+    comp = NaiveCompEngine(index)
+    for text in [
+        NOT_DISTANCE_QUERY,
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_ordered(p1, p2))",
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'a' AND diffpos(p1, p2))",
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND ordered(p1, p2) "
+        "AND not_distance(p1, p2, 1))",
+    ]:
+        query = _PARSER.parse_closed(text)
+        assert npred.evaluate(query) == comp.evaluate(query)
+
+
+def test_invalid_orders_value_rejected(index):
+    with pytest.raises(Exception):
+        NPredEngine(index, orders="bogus")
+
+
+def test_rejects_general_predicates(index):
+    from repro.model.predicates import FunctionPredicate, PredicateRegistry, default_registry
+
+    registry = default_registry().copy()
+    registry.register(FunctionPredicate("weird", 2, lambda p, c: True))
+    engine = NPredEngine(index, registry)
+    query = QueryParser(LanguageLevel.COMP, registry).parse_closed(
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND weird(p1, p2))"
+    )
+    with pytest.raises(UnsupportedQueryError):
+        engine.evaluate(query)

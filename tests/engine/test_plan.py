@@ -1,0 +1,118 @@
+"""Tests for the plan extraction used by the PPRED/NPRED engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UnsupportedQueryError
+from repro.engine.plan import (
+    BlockPlan,
+    DifferencePlan,
+    IntersectPlan,
+    UnionPlan,
+    describe_plan,
+    extract_plan,
+    plan_blocks,
+    plan_polarities,
+)
+from repro.languages.parser import LanguageLevel, QueryParser
+from repro.model.predicates import Polarity
+
+_PARSER = QueryParser(LanguageLevel.COMP)
+
+
+def plan(text: str):
+    return extract_plan(_PARSER.parse_closed(text))
+
+
+def test_simple_conjunctive_block():
+    block = plan(
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND distance(p1, p2, 5))"
+    )
+    assert isinstance(block, BlockPlan)
+    assert block.bindings == [("p1", "a"), ("p2", "b")]
+    assert [spec.name for spec in block.predicates] == ["distance"]
+    assert block.attribute_of("p2") == 1
+
+
+def test_anonymous_token_literals_get_fresh_variables():
+    block = plan("'a' AND 'b'")
+    assert [token for _, token in block.bindings] == ["a", "b"]
+    assert len({var for var, _ in block.bindings}) == 2
+
+
+def test_dist_construct_desugars_into_bindings_and_distance():
+    block = plan("dist('a', 'b', 3)")
+    assert [token for _, token in block.bindings] == ["a", "b"]
+    assert block.predicates[0].name == "distance"
+    assert block.predicates[0].constants == (3,)
+
+
+def test_negated_closed_subquery_becomes_difference_entry():
+    block = plan("SOME p1 (p1 HAS 'a') AND NOT ('b' AND 'c')")
+    assert isinstance(block, BlockPlan)
+    assert len(block.negated) == 1
+    assert isinstance(block.negated[0], BlockPlan)
+
+
+def test_or_of_closed_queries_becomes_union_plan():
+    result = plan("dist('a', 'b', 1) OR 'c'")
+    assert isinstance(result, UnionPlan)
+    assert isinstance(result.left, BlockPlan)
+    assert isinstance(result.right, BlockPlan)
+
+
+def test_closed_or_conjunct_inside_a_block():
+    block = plan("SOME p1 (p1 HAS 'a') AND ('b' OR 'c')")
+    assert isinstance(block, BlockPlan)
+    assert len(block.closed_conjuncts) == 1
+    assert isinstance(block.closed_conjuncts[0], UnionPlan)
+
+
+def test_plan_polarities(figure1_index):
+    positive = plan(
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND ordered(p1, p2))"
+    )
+    negative = plan(
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_ordered(p1, p2))"
+    )
+    assert plan_polarities(positive) == {Polarity.POSITIVE}
+    assert plan_polarities(negative) == {Polarity.NEGATIVE}
+
+
+def test_plan_blocks_traverses_nested_plans():
+    result = plan("(dist('a', 'b', 1) OR 'c') AND NOT 'd'")
+    blocks = plan_blocks(result)
+    assert len(blocks) >= 3
+
+
+def test_describe_plan_is_readable():
+    text = describe_plan(
+        plan("SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND distance(p1, p2, 5))")
+    )
+    assert "scan p1 <- 'a'" in text
+    assert "select distance(p1, p2, 5)" in text
+
+
+# --------------------------------------------------------------------------
+# Unsupported shapes
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text",
+    [
+        "NOT 'a'",                                 # free-standing negation
+        "ANY",                                     # universal token
+        "SOME p (p HAS ANY)",                      # ANY through a variable
+        "EVERY p (p HAS 'a')",                     # universal quantifier
+        "dist('a', ANY, 2)",                       # dist with ANY
+        "SOME p (p HAS 'a' OR p HAS 'b')",         # open OR branches
+    ],
+)
+def test_unsupported_queries_are_rejected(text):
+    with pytest.raises(UnsupportedQueryError):
+        plan(text)
+
+
+def test_predicate_variable_must_be_bound_to_a_token():
+    with pytest.raises(UnsupportedQueryError):
+        plan("SOME p1 SOME p2 (p1 HAS 'a' AND distance(p1, p2, 5) AND p1 HAS 'b')")

@@ -1,0 +1,167 @@
+"""Tests for the PPRED single-scan engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.ppred_engine import PPredEngine
+from repro.exceptions import UnsupportedQueryError
+from repro.languages.parser import LanguageLevel, QueryParser
+
+_PARSER = QueryParser(LanguageLevel.COMP)
+
+
+@pytest.fixture(scope="module")
+def engine(figure1_index) -> PPredEngine:
+    return PPredEngine(figure1_index)
+
+
+def evaluate(engine: PPredEngine, text: str) -> list[int]:
+    return engine.evaluate(_PARSER.parse_closed(text))
+
+
+def test_conjunction_of_tokens(engine):
+    assert evaluate(engine, "'usability' AND 'software'") == [0, 1]
+    assert evaluate(engine, "'usability' AND 'databases'") == []
+
+
+def test_distance_predicate(engine):
+    # 'task completion' as an adjacent phrase appears in nodes 0 and 1.
+    assert evaluate(engine, "dist('task', 'completion', 0)") == [0, 1]
+    # 'usability' within 2 tokens of 'software'.
+    assert (
+        evaluate(
+            engine,
+            "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' "
+            "AND distance(p1, p2, 2))",
+        )
+        == [0, 1]
+    )
+
+
+def test_ordered_predicate(engine):
+    # 'efficient' strictly before 'completion'.
+    assert (
+        evaluate(
+            engine,
+            "SOME p1 SOME p2 (p1 HAS 'efficient' AND p2 HAS 'completion' "
+            "AND ordered(p1, p2))",
+        )
+        == [0, 1]
+    )
+    # 'completion' before 'efficient' never happens.
+    assert (
+        evaluate(
+            engine,
+            "SOME p1 SOME p2 (p1 HAS 'completion' AND p2 HAS 'efficient' "
+            "AND ordered(p1, p2))",
+        )
+        == []
+    )
+
+
+def test_samepara_and_samesentence_predicates(engine):
+    # 'achieving' and 'completion' are in the same paragraph of node 0.
+    assert (
+        evaluate(
+            engine,
+            "SOME p1 SOME p2 (p1 HAS 'achieving' AND p2 HAS 'completion' "
+            "AND samepara(p1, p2))",
+        )
+        == [0]
+    )
+    # 'usability' and 'completion' are never in the same paragraph.
+    assert (
+        evaluate(
+            engine,
+            "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'completion' "
+            "AND samepara(p1, p2))",
+        )
+        == []
+    )
+
+
+def test_multiple_predicates_figure4_shape(engine):
+    # In node 1 the only 'usability' occurs *after* the only 'software', so
+    # the ordered() constraint leaves node 0 as the single answer.
+    query = (
+        "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' "
+        "AND samepara(p1, p2) AND distance(p1, p2, 5) AND ordered(p1, p2))"
+    )
+    assert evaluate(engine, query) == [0]
+    without_order = (
+        "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' "
+        "AND samepara(p1, p2) AND distance(p1, p2, 5))"
+    )
+    assert evaluate(engine, without_order) == [0, 1]
+
+
+def test_and_not_closed_subquery(engine):
+    assert (
+        evaluate(engine, "dist('task', 'completion', 0) AND NOT 'usability'") == []
+    )
+    assert (
+        evaluate(engine, "dist('task', 'completion', 0) AND NOT 'databases'")
+        == [0, 1]
+    )
+
+
+def test_union_of_closed_blocks(engine):
+    assert (
+        evaluate(engine, "dist('task', 'completion', 0) OR 'networks'") == [0, 1, 3]
+    )
+
+
+def test_closed_or_conjunct_inside_block(engine):
+    assert (
+        evaluate(engine, "'efficient' AND ('networks' OR 'databases')") == [2]
+    )
+
+
+def test_same_token_twice_with_samepos(engine):
+    # samepos is a positive predicate: trivially satisfied by scanning the
+    # same list twice and catching the positions up to each other.
+    assert (
+        evaluate(
+            engine,
+            "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'usability' "
+            "AND samepos(p1, p2))",
+        )
+        == [0, 1]
+    )
+
+
+def test_rejects_negative_predicates(engine):
+    with pytest.raises(UnsupportedQueryError):
+        evaluate(
+            engine,
+            "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_distance(p1, p2, 1))",
+        )
+
+
+def test_rejects_queries_needing_il_any(engine):
+    with pytest.raises(UnsupportedQueryError):
+        evaluate(engine, "NOT 'usability'")
+    with pytest.raises(UnsupportedQueryError):
+        evaluate(engine, "EVERY p (p HAS 'usability')")
+
+
+def test_cursor_stats_are_linear_in_list_sizes(figure1_index):
+    engine = PPredEngine(figure1_index)
+    query = _PARSER.parse_closed(
+        "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' "
+        "AND distance(p1, p2, 2))"
+    )
+    _, stats = engine.evaluate_with_stats(query)
+    total_entries = (
+        figure1_index.posting_list("usability").document_frequency()
+        + figure1_index.posting_list("software").document_frequency()
+    )
+    # Every inverted-list entry is visited at most once (plus the exhausted
+    # next_entry calls returning None).
+    assert stats.next_entry_calls <= total_entries + 2
+    total_positions = (
+        figure1_index.posting_list("usability").total_positions()
+        + figure1_index.posting_list("software").total_positions()
+    )
+    assert stats.positions_returned <= total_positions

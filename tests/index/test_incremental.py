@@ -1,0 +1,84 @@
+"""Tests for incremental index updates (appending documents)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection, ContextNode
+from repro.engine.ppred_engine import PPredEngine
+from repro.exceptions import CorpusError, IndexError_
+from repro.index import InvertedIndex
+from repro.languages.parser import LanguageLevel, QueryParser
+
+_PARSER = QueryParser(LanguageLevel.COMP)
+
+
+@pytest.fixture
+def index() -> InvertedIndex:
+    return InvertedIndex(
+        Collection.from_texts(["usability of software", "software testing"])
+    )
+
+
+def test_add_text_assigns_the_next_id_and_is_searchable(index):
+    new_id = index.add_text("efficient usability evaluation")
+    assert new_id == 2
+    assert index.document_frequency("usability") == 2
+    assert index.posting_list("usability").node_ids() == [0, 2]
+    assert index.any_list().node_ids() == [0, 1, 2]
+    index.validate()
+
+
+def test_appended_documents_are_visible_to_the_engines(index):
+    index.add_text("task completion requires efficient software")
+    query = _PARSER.parse_closed("dist('efficient', 'software', 0)")
+    assert PPredEngine(index).evaluate(query) == [2]
+
+
+def test_incremental_build_matches_batch_build():
+    texts = [
+        "usability of software",
+        "software testing and evaluation",
+        "efficient task completion",
+        "databases and retrieval",
+    ]
+    batch = InvertedIndex(Collection.from_texts(texts))
+
+    incremental = InvertedIndex(Collection.from_texts(texts[:1]))
+    for text in texts[1:]:
+        incremental.add_text(text)
+
+    assert incremental.tokens() == batch.tokens()
+    for token in batch.tokens():
+        assert [
+            (entry.node_id, entry.position_offsets())
+            for entry in incremental.posting_list(token)
+        ] == [
+            (entry.node_id, entry.position_offsets())
+            for entry in batch.posting_list(token)
+        ]
+
+
+def test_statistics_are_refreshed_after_appending(index):
+    before = index.statistics.node_count
+    index.add_text("completely new words here")
+    assert index.statistics.node_count == before + 1
+    assert index.statistics.document_frequency("completely") == 1
+
+
+def test_out_of_order_ids_are_rejected(index):
+    with pytest.raises(IndexError_):
+        index.add_node(ContextNode.from_tokens(0, ["duplicate"]))
+    with pytest.raises(IndexError_):
+        index.add_node(ContextNode.from_tokens(1, ["too", "small"]))
+    index.add_node(ContextNode.from_tokens(10, ["gap", "is", "fine"]))
+    assert index.next_node_id() == 11
+
+
+def test_collection_add_rejects_duplicates():
+    collection = Collection.from_texts(["one document"])
+    with pytest.raises(CorpusError):
+        collection.add(ContextNode.from_tokens(0, ["again"]))
+    collection.add(ContextNode.from_tokens(5, ["more"]))
+    assert collection.next_node_id() == 6
+    assert Collection.from_nodes([]).next_node_id() == 0

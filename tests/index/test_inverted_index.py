@@ -1,0 +1,91 @@
+"""Tests for inverted-index construction and the IL_ANY list."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection, ContextNode
+from repro.index import ANY_TOKEN, InvertedIndex, build_index, merge_node_ids
+
+
+@pytest.fixture
+def index(figure1_collection) -> InvertedIndex:
+    return InvertedIndex(figure1_collection)
+
+
+def test_posting_lists_cover_exactly_the_vocabulary(index, figure1_collection):
+    assert set(index.tokens()) == figure1_collection.vocabulary()
+
+
+def test_entries_are_sorted_by_node_id(index):
+    for posting_list in index.posting_lists():
+        node_ids = posting_list.node_ids()
+        assert node_ids == sorted(node_ids)
+
+
+def test_positions_match_the_documents(index, figure1_collection):
+    usability = index.posting_list("usability")
+    for entry in usability:
+        node = figure1_collection.get(entry.node_id)
+        expected = [pos.offset for pos in node.positions_of("usability")]
+        assert entry.position_offsets() == expected
+
+
+def test_absent_token_has_empty_posting_list(index):
+    posting_list = index.posting_list("definitely-not-a-token")
+    assert len(posting_list) == 0
+
+
+def test_any_list_has_one_entry_per_nonempty_node(index, figure1_collection):
+    any_list = index.any_list()
+    assert any_list.node_ids() == figure1_collection.node_ids()
+    for entry in any_list:
+        assert len(entry) == len(figure1_collection.get(entry.node_id))
+
+
+def test_any_list_skips_empty_nodes():
+    collection = Collection.from_nodes(
+        [ContextNode.from_tokens(0, ["a"]), ContextNode(1, ())]
+    )
+    index = InvertedIndex(collection)
+    assert index.any_list().node_ids() == [0]
+    index.validate()
+
+
+def test_document_frequency(index):
+    assert index.document_frequency("usability") == 2
+    assert index.document_frequency("efficient") == 3
+    assert index.document_frequency("missing") == 0
+
+
+def test_open_cursor_for_any_token(index, figure1_collection):
+    cursor = index.open_cursor(ANY_TOKEN)
+    seen = []
+    node = cursor.next_entry()
+    while node is not None:
+        seen.append(node)
+        node = cursor.next_entry()
+    assert seen == figure1_collection.node_ids()
+
+
+def test_validate_passes_on_freshly_built_index(index):
+    index.validate()
+
+
+def test_build_index_helper(figure1_collection):
+    assert build_index(figure1_collection).node_count() == len(figure1_collection)
+
+
+def test_merge_node_ids(index):
+    merged = merge_node_ids(
+        [index.posting_list("usability"), index.posting_list("databases")]
+    )
+    assert merged == sorted(
+        set(index.posting_list("usability").node_ids())
+        | set(index.posting_list("databases").node_ids())
+    )
+
+
+def test_node_count_and_ids(index, figure1_collection):
+    assert index.node_count() == len(figure1_collection)
+    assert index.node_ids() == figure1_collection.node_ids()

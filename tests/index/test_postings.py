@@ -1,0 +1,72 @@
+"""Tests for posting entries and posting lists."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import IndexError_
+from repro.index.postings import PostingEntry, PostingList
+from repro.model.positions import Position
+
+
+def positions(*offsets: int) -> tuple[Position, ...]:
+    return tuple(Position(offset) for offset in offsets)
+
+
+def test_entry_requires_positions():
+    with pytest.raises(IndexError_):
+        PostingEntry(1, ())
+
+
+def test_entry_requires_sorted_positions():
+    with pytest.raises(IndexError_):
+        PostingEntry(1, positions(5, 3))
+
+
+def test_entry_rejects_duplicate_positions():
+    with pytest.raises(IndexError_):
+        PostingEntry(1, positions(3, 3))
+
+
+def test_entry_accessors():
+    entry = PostingEntry(4, positions(1, 5, 9))
+    assert len(entry) == 3
+    assert entry.position_offsets() == [1, 5, 9]
+
+
+def test_posting_list_append_enforces_increasing_node_ids():
+    posting_list = PostingList("tok")
+    posting_list.add_occurrences(1, positions(0))
+    posting_list.add_occurrences(3, positions(2))
+    with pytest.raises(IndexError_):
+        posting_list.add_occurrences(2, positions(1))
+    with pytest.raises(IndexError_):
+        posting_list.add_occurrences(3, positions(5))
+
+
+def test_posting_list_accessors():
+    posting_list = PostingList("tok")
+    posting_list.add_occurrences(1, positions(0, 4))
+    posting_list.add_occurrences(7, positions(2, 3, 8))
+    assert posting_list.node_ids() == [1, 7]
+    assert posting_list.document_frequency() == 2
+    assert posting_list.total_positions() == 5
+    assert posting_list.max_positions_per_entry() == 3
+    assert len(posting_list) == 2
+    assert bool(posting_list)
+
+
+def test_posting_list_entry_for_random_access():
+    posting_list = PostingList("tok")
+    posting_list.add_occurrences(2, positions(0))
+    posting_list.add_occurrences(9, positions(1))
+    assert posting_list.entry_for(9).node_id == 9
+    assert posting_list.entry_for(5) is None
+
+
+def test_empty_posting_list():
+    posting_list = PostingList("tok")
+    assert not posting_list
+    assert posting_list.document_frequency() == 0
+    assert posting_list.max_positions_per_entry() == 0
+    assert posting_list.entries() == []

@@ -1,0 +1,87 @@
+"""Tests for corpus statistics: IDF, norms, complexity parameters."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.corpus import Collection
+from repro.index import InvertedIndex
+
+
+@pytest.fixture
+def index() -> InvertedIndex:
+    return InvertedIndex(
+        Collection.from_texts(
+            [
+                "usability of software software",
+                "software testing",
+                "databases",
+                "usability evaluation of databases",
+            ]
+        )
+    )
+
+
+def test_node_count(index):
+    assert index.statistics.node_count == 4
+
+
+def test_document_frequency(index):
+    stats = index.statistics
+    assert stats.document_frequency("software") == 2
+    assert stats.document_frequency("usability") == 2
+    assert stats.document_frequency("databases") == 2
+    assert stats.document_frequency("missing") == 0
+
+
+def test_idf_formula_matches_paper(index):
+    stats = index.statistics
+    assert stats.idf("software") == pytest.approx(math.log(1 + 4 / 2))
+    assert stats.idf("testing") == pytest.approx(math.log(1 + 4 / 1))
+
+
+def test_idf_of_missing_token_is_finite(index):
+    stats = index.statistics
+    assert stats.idf("missing") == pytest.approx(math.log(1 + 4 / 1))
+
+
+def test_unique_token_count_and_node_length(index):
+    stats = index.statistics
+    assert stats.node_length(0) == 4
+    assert stats.unique_token_count(0) == 3  # usability, of, software
+    assert stats.node_length(42) == 0
+
+
+def test_node_l2_norm_is_positive_and_matches_manual_computation(index):
+    stats = index.statistics
+    norm = stats.node_l2_norm(1)  # "software testing"
+    tf = 1 / 2
+    expected = math.sqrt(
+        (tf * stats.idf("software")) ** 2 + (tf * stats.idf("testing")) ** 2
+    )
+    assert norm == pytest.approx(expected)
+
+
+def test_query_l2_norm(index):
+    stats = index.statistics
+    weights = {"software": 1.0, "testing": 2.0}
+    expected = math.sqrt(
+        (1.0 * stats.idf("software")) ** 2 + (2.0 * stats.idf("testing")) ** 2
+    )
+    assert stats.query_l2_norm(weights) == pytest.approx(expected)
+    assert stats.query_l2_norm({}) == 1.0
+
+
+def test_complexity_parameters(index):
+    params = index.statistics.complexity_parameters()
+    assert params.cnodes == 4
+    assert params.pos_per_cnode == 4
+    assert params.entries_per_token == 2
+    assert params.pos_per_entry == 2  # "software" twice in node 0
+    assert params.as_dict()["cnodes"] == 4
+
+
+def test_vocabulary(index):
+    assert "usability" in index.statistics.vocabulary()

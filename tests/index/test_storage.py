@@ -1,0 +1,99 @@
+"""Tests for on-disk persistence of collections and indexes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus import Collection
+from repro.exceptions import StorageError
+from repro.index import InvertedIndex, load_collection, load_index, save_collection, save_index
+
+
+@pytest.fixture
+def collection() -> Collection:
+    return Collection.from_texts(
+        ["usability of software. second sentence", "software\n\nnew paragraph"],
+        name="persisted",
+    )
+
+
+def test_collection_round_trip(tmp_path, collection):
+    path = tmp_path / "collection.json"
+    save_collection(collection, path)
+    loaded = load_collection(path)
+    assert loaded.name == "persisted"
+    assert loaded.node_ids() == collection.node_ids()
+    for nid in collection.node_ids():
+        original, restored = collection.get(nid), loaded.get(nid)
+        assert original.tokens == restored.tokens
+        assert [p.sentence for p in original.positions()] == [
+            p.sentence for p in restored.positions()
+        ]
+        assert [p.paragraph for p in original.positions()] == [
+            p.paragraph for p in restored.positions()
+        ]
+
+
+def test_gzip_round_trip(tmp_path, collection):
+    path = tmp_path / "collection.json.gz"
+    save_collection(collection, path)
+    assert load_collection(path).node_ids() == collection.node_ids()
+
+
+def test_index_round_trip_produces_identical_postings(tmp_path, collection):
+    path = tmp_path / "index.json"
+    original = InvertedIndex(collection)
+    save_index(original, path)
+    restored = load_index(path)
+    assert restored.tokens() == original.tokens()
+    for token in original.tokens():
+        assert [
+            (e.node_id, e.position_offsets()) for e in restored.posting_list(token)
+        ] == [(e.node_id, e.position_offsets()) for e in original.posting_list(token)]
+
+
+def test_load_rejects_non_json(tmp_path):
+    path = tmp_path / "garbage.json"
+    path.write_text("not json at all", encoding="utf-8")
+    with pytest.raises(StorageError):
+        load_collection(path)
+
+
+def test_load_rejects_wrong_format(tmp_path):
+    path = tmp_path / "wrong.json"
+    path.write_text(json.dumps({"format": "something-else"}), encoding="utf-8")
+    with pytest.raises(StorageError):
+        load_collection(path)
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "future.json"
+    path.write_text(
+        json.dumps({"format": "repro-collection", "version": 999, "nodes": []}),
+        encoding="utf-8",
+    )
+    with pytest.raises(StorageError):
+        load_collection(path)
+
+
+def test_load_rejects_malformed_node_records(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text(
+        json.dumps(
+            {
+                "format": "repro-collection",
+                "version": 1,
+                "nodes": [{"id": 0}],
+            }
+        ),
+        encoding="utf-8",
+    )
+    with pytest.raises(StorageError):
+        load_collection(path)
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(StorageError):
+        load_collection(tmp_path / "missing.json")

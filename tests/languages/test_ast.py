@@ -1,0 +1,129 @@
+"""Tests for the surface AST: free variables, measures, calculus translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QuerySemanticsError
+from repro.languages import ast
+from repro.model import calculus as c
+
+
+def test_free_and_bound_variables():
+    node = ast.SomeQuery(
+        "p1",
+        ast.AndQuery(
+            ast.VarHasToken("p1", "a"),
+            ast.PredQuery("ordered", ("p1", "p2")),
+        ),
+    )
+    assert node.free_variables() == {"p2"}
+    assert node.bound_variables() == {"p1"}
+    assert not node.is_closed()
+    assert ast.SomeQuery("p2", node).is_closed()
+
+
+def test_token_query_to_calculus_introduces_existential():
+    expr = ast.TokenQuery("usability").to_calculus()
+    assert isinstance(expr, c.Exists)
+    assert isinstance(expr.operand, c.HasToken)
+    assert expr.free_variables() == set()
+
+
+def test_any_query_to_calculus():
+    expr = ast.AnyQuery().to_calculus()
+    assert isinstance(expr, c.Exists)
+    assert isinstance(expr.operand, c.HasPos)
+
+
+def test_var_has_token_translates_to_open_atom():
+    expr = ast.VarHasToken("p", "a").to_calculus()
+    assert expr == c.HasToken("p", "a")
+    assert expr.free_variables() == {"p"}
+
+
+def test_some_and_every_translate_to_quantifiers():
+    some = ast.SomeQuery("p", ast.VarHasToken("p", "a")).to_calculus()
+    every = ast.EveryQuery("p", ast.VarHasToken("p", "a")).to_calculus()
+    assert isinstance(some, c.Exists)
+    assert isinstance(every, c.Forall)
+
+
+def test_dist_query_translation_includes_distance_predicate():
+    expr = ast.DistQuery("a", "b", 4).to_calculus()
+    names = {
+        node.name
+        for node in c.walk(expr)
+        if isinstance(node, c.PredicateApplication)
+    }
+    assert names == {"distance"}
+    tokens = c.used_tokens(expr)
+    assert tokens == {"a", "b"}
+
+
+def test_dist_query_with_any_omits_has_token():
+    expr = ast.DistQuery(None, "b", 4).to_calculus()
+    assert c.used_tokens(expr) == {"b"}
+
+
+def test_fresh_variables_do_not_collide_with_user_variables():
+    node = ast.AndQuery(
+        ast.TokenQuery("a"),
+        ast.SomeQuery("_q1", ast.VarHasToken("_q1", "b")),
+    )
+    expr = node.to_calculus()
+    # Two different existentials must not reuse the user's variable name.
+    bound = [n.var for n in c.walk(expr) if isinstance(n, c.Exists)]
+    assert len(bound) == len(set(bound))
+
+
+def test_to_calculus_query_requires_closed_query():
+    with pytest.raises(QuerySemanticsError):
+        ast.VarHasToken("p", "a").to_calculus_query()
+
+
+def test_query_tokens_collects_all_literal_sources():
+    node = ast.AndQuery(
+        ast.TokenQuery("a"),
+        ast.OrQuery(
+            ast.VarHasToken("p", "b"),
+            ast.DistQuery("c", None, 2),
+        ),
+    )
+    assert ast.query_tokens(node) == {"a", "b", "c"}
+
+
+def test_query_measures():
+    node = ast.SomeQuery(
+        "p1",
+        ast.SomeQuery(
+            "p2",
+            ast.AndQuery(
+                ast.AndQuery(
+                    ast.VarHasToken("p1", "a"), ast.VarHasToken("p2", "b")
+                ),
+                ast.PredQuery("distance", ("p1", "p2"), (5,)),
+            ),
+        ),
+    )
+    assert ast.query_measures(node) == {"toks_Q": 2, "preds_Q": 1, "ops_Q": 4}
+
+
+def test_dist_query_measures_counts_two_tokens_one_predicate():
+    assert ast.query_measures(ast.DistQuery("a", "b", 1)) == {
+        "toks_Q": 2,
+        "preds_Q": 1,
+        "ops_Q": 0,
+    }
+
+
+def test_to_text_round_trips_through_parser():
+    from repro.languages.parser import LanguageLevel, QueryParser
+
+    parser = QueryParser(LanguageLevel.COMP)
+    original = parser.parse(
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND distance(p1, p2, 3)) "
+        "OR NOT 'c'"
+    )
+    reparsed = parser.parse(original.to_text())
+    assert reparsed == original

@@ -1,0 +1,133 @@
+"""Tests for the programmatic query builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Collection, FullTextEngine
+from repro.exceptions import QuerySemanticsError
+from repro.languages import ast
+from repro.languages.builders import (
+    all_of,
+    any_of,
+    excluding,
+    keywords,
+    near,
+    not_,
+    not_near,
+    ordered_near,
+    phrase,
+    term,
+    within_same,
+)
+from repro.languages.classify import LanguageClass, classify_query
+
+
+@pytest.fixture(scope="module")
+def engine() -> FullTextEngine:
+    collection = Collection.from_texts(
+        [
+            # node 0: phrase "task completion" present, 'efficient' before it
+            "usability of an efficient software supports quick task completion",
+            # node 1: words present but phrase reversed
+            "completion of a task is efficient",
+            # node 2: phrase present but 'efficient' after it
+            "task completion can be efficient",
+            # node 3: unrelated
+            "databases index tokens\n\nretrieval uses inverted lists",
+        ]
+    )
+    return FullTextEngine.from_collection(collection)
+
+
+def test_term_and_keywords(engine):
+    assert engine.search(term("efficient")).node_ids == [0, 1, 2]
+    assert engine.search(keywords("task", "completion")).node_ids == [0, 1, 2]
+    assert classify_query(keywords("task", "completion")) is LanguageClass.BOOL_NONEG
+
+
+def test_term_normalises_case_and_rejects_empty():
+    assert term(" Task ") == ast.TokenQuery("task")
+    with pytest.raises(QuerySemanticsError):
+        term("   ")
+
+
+def test_boolean_combinators(engine):
+    query = excluding(any_of(term("task"), term("databases")), term("efficient"))
+    assert engine.search(query).node_ids == [3]
+    negated = all_of(term("task"), not_(term("usability")))
+    assert engine.search(negated).node_ids == [1, 2]
+    with pytest.raises(QuerySemanticsError):
+        all_of()
+    with pytest.raises(QuerySemanticsError):
+        any_of()
+
+
+def test_phrase_matches_consecutive_ordered_tokens(engine):
+    results = engine.search(phrase("task completion"))
+    assert results.node_ids == [0, 2]
+    # single-token phrase degenerates to a term
+    assert phrase("task") == ast.TokenQuery("task")
+    assert engine.search(phrase(["task", "completion"])).node_ids == [0, 2]
+
+
+def test_phrase_queries_are_closed_and_ppred(engine):
+    query = phrase("task completion")
+    assert query.is_closed()
+    assert classify_query(query) is LanguageClass.PPRED
+
+
+def test_near_with_flags(engine):
+    assert engine.search(near("efficient", "task", distance=3)).node_ids == [0, 1, 2]
+    assert engine.search(
+        near("efficient", "task", distance=3, ordered=True)
+    ).node_ids == [0]
+    # same-paragraph constraint: node 3 splits its content across paragraphs.
+    assert engine.search(
+        near("databases", "retrieval", distance=10, same_paragraph=True)
+    ).node_ids == []
+    assert engine.search(
+        near("databases", "index", distance=10, same_sentence=True)
+    ).node_ids == [3]
+
+
+def test_ordered_near_reproduces_use_case_10_4(engine):
+    query = ordered_near(term("efficient"), phrase("task completion"), distance=10)
+    assert engine.search(query).node_ids == [0]
+    # Reversed operands match node 2 instead.
+    reversed_query = ordered_near(phrase("task completion"), term("efficient"), distance=10)
+    assert engine.search(reversed_query).node_ids == [2]
+
+
+def test_not_near_uses_negative_predicate(engine):
+    query = not_near("task", "completion", distance=0)
+    assert classify_query(query) is LanguageClass.NPRED
+    # Only node 1 has task/completion further than adjacent... node 0 has a
+    # single adjacent pair only; node 1 has them 3 apart.
+    assert engine.search(query).node_ids == [1]
+
+
+def test_within_same_scope(engine):
+    assert engine.search(within_same("sentence", "task", "completion")).node_ids == [
+        0,
+        1,
+        2,
+    ]
+    assert engine.search(within_same("paragraph", "databases", "retrieval")).node_ids == []
+    with pytest.raises(QuerySemanticsError):
+        within_same("chapter", "a", "b")
+    with pytest.raises(QuerySemanticsError):
+        within_same("sentence", "only-one")
+
+
+def test_builders_compose_with_each_other(engine):
+    query = all_of(phrase("task completion"), not_(term("usability")))
+    assert engine.search(query).node_ids == [2]
+    assert classify_query(query) is LanguageClass.PPRED
+
+
+def test_ordered_near_rejects_unsupported_operands():
+    with pytest.raises(QuerySemanticsError):
+        ordered_near(not_(term("a")), term("b"), distance=1)
+    with pytest.raises(QuerySemanticsError):
+        near(phrase("two words"), "b", distance=1)

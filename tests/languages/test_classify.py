@@ -1,0 +1,121 @@
+"""Tests for the language-class classifier (the Figure 3 hierarchy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.languages.classify import LanguageClass, can_evaluate, classify_query
+from repro.languages.parser import LanguageLevel, QueryParser
+
+_PARSER = QueryParser(LanguageLevel.COMP)
+
+
+def classify(text: str) -> LanguageClass:
+    return classify_query(_PARSER.parse(text))
+
+
+# --------------------------------------------------------------------------
+# BOOL family
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text",
+    [
+        "'a'",
+        "'a' AND 'b'",
+        "'a' OR 'b' AND 'c'",
+        "'a' AND NOT 'b'",
+        "('a' AND NOT 'b') OR 'c'",
+    ],
+)
+def test_bool_noneg_queries(text):
+    assert classify(text) is LanguageClass.BOOL_NONEG
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "NOT 'a'",
+        "ANY",
+        "'a' AND ANY",
+        "'a' OR NOT 'b'",
+        "NOT 'a' AND NOT 'b'",
+        "NOT ('a' AND 'b')",
+    ],
+)
+def test_bool_queries_requiring_il_any(text):
+    assert classify(text) is LanguageClass.BOOL
+
+
+# --------------------------------------------------------------------------
+# PPRED
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text",
+    [
+        "dist('a', 'b', 5)",
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND distance(p1, p2, 5))",
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND ordered(p1, p2) "
+        "AND samepara(p1, p2))",
+        # negation of a *closed* subquery is allowed in PPRED
+        "SOME p1 (p1 HAS 'a') AND NOT 'b'",
+        "dist('a', 'b', 5) OR dist('c', 'd', 2)",
+    ],
+)
+def test_ppred_queries(text):
+    assert classify(text) is LanguageClass.PPRED
+
+
+# --------------------------------------------------------------------------
+# NPRED
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text",
+    [
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_distance(p1, p2, 5))",
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND not_ordered(p1, p2))",
+        # mixing positive and negative predicates stays NPRED
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND samepara(p1, p2) "
+        "AND not_distance(p1, p2, 3))",
+        # diffpos needs the permutation threads (see predicates module)
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'a' AND diffpos(p1, p2))",
+    ],
+)
+def test_npred_queries(text):
+    assert classify(text) is LanguageClass.NPRED
+
+
+# --------------------------------------------------------------------------
+# COMP
+# --------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text",
+    [
+        "EVERY p (p HAS 'a')",
+        "SOME p (NOT p HAS 'a')",
+        "SOME p (p HAS ANY)",
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND NOT distance(p1, p2, 0))",
+        # OR branches sharing an externally bound variable
+        "SOME p (p HAS 'a' OR p HAS 'b')",
+        # negation of an open subquery
+        "SOME p1 SOME p2 (p1 HAS 'a' AND NOT (p2 HAS 'b' AND ordered(p1, p2)))",
+    ],
+)
+def test_comp_queries(text):
+    assert classify(text) is LanguageClass.COMP
+
+
+# --------------------------------------------------------------------------
+# Hierarchy relation
+# --------------------------------------------------------------------------
+def test_can_evaluate_reflects_the_hierarchy():
+    assert can_evaluate(LanguageClass.BOOL_NONEG, LanguageClass.BOOL)
+    assert can_evaluate(LanguageClass.BOOL_NONEG, LanguageClass.COMP)
+    assert can_evaluate(LanguageClass.PPRED, LanguageClass.NPRED)
+    assert can_evaluate(LanguageClass.PPRED, LanguageClass.COMP)
+    assert can_evaluate(LanguageClass.NPRED, LanguageClass.COMP)
+    assert can_evaluate(LanguageClass.COMP, LanguageClass.COMP)
+
+    assert not can_evaluate(LanguageClass.COMP, LanguageClass.NPRED)
+    assert not can_evaluate(LanguageClass.NPRED, LanguageClass.PPRED)
+    assert not can_evaluate(LanguageClass.BOOL, LanguageClass.PPRED)
+    assert not can_evaluate(LanguageClass.PPRED, LanguageClass.BOOL)

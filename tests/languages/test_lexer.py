@@ -1,0 +1,92 @@
+"""Tests for the query lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QuerySyntaxError
+from repro.languages.lexer import TokenKind, TokenStream, tokenize
+
+
+def kinds(text: str) -> list[TokenKind]:
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text: str) -> list[str]:
+    return [token.value for token in tokenize(text)]
+
+
+def test_string_literals_are_unquoted():
+    tokens = tokenize("'usability'")
+    assert tokens[0].kind is TokenKind.STRING
+    assert tokens[0].value == "usability"
+
+
+def test_string_literal_with_escaped_quote():
+    tokens = tokenize(r"'don\'t'")
+    assert tokens[0].value == "don't"
+
+
+def test_keywords_are_case_insensitive():
+    assert values("and OR not Some EVERY has any")[:-1] == [
+        "AND",
+        "OR",
+        "NOT",
+        "SOME",
+        "EVERY",
+        "HAS",
+        "ANY",
+    ]
+    assert all(
+        kind is TokenKind.KEYWORD for kind in kinds("and OR not")[:-1]
+    )
+
+
+def test_identifiers_and_integers():
+    tokens = tokenize("distance(p1, p2, 5)")
+    assert [t.kind for t in tokens] == [
+        TokenKind.IDENT,
+        TokenKind.LPAREN,
+        TokenKind.IDENT,
+        TokenKind.COMMA,
+        TokenKind.IDENT,
+        TokenKind.COMMA,
+        TokenKind.INTEGER,
+        TokenKind.RPAREN,
+        TokenKind.EOF,
+    ]
+
+
+def test_offsets_point_into_the_source():
+    tokens = tokenize("'a' AND 'b'")
+    assert tokens[0].offset == 0
+    assert tokens[1].offset == 4
+    assert tokens[2].offset == 8
+
+
+def test_stream_ends_with_eof():
+    assert kinds("")[-1] is TokenKind.EOF
+    assert kinds("'a'")[-1] is TokenKind.EOF
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(QuerySyntaxError) as excinfo:
+        tokenize("'a' & 'b'")
+    assert excinfo.value.position == 4
+
+
+def test_token_stream_peek_accept_expect():
+    stream = TokenStream("'a' AND 'b'")
+    assert stream.peek().kind is TokenKind.STRING
+    assert stream.accept(TokenKind.KEYWORD, "AND") is None
+    assert stream.advance().value == "a"
+    assert stream.expect(TokenKind.KEYWORD, "AND").value == "AND"
+    assert stream.accept(TokenKind.STRING).value == "b"
+    assert stream.at_end()
+
+
+def test_token_stream_expect_failure_is_descriptive():
+    stream = TokenStream("'a' 'b'")
+    stream.advance()
+    with pytest.raises(QuerySyntaxError):
+        stream.expect(TokenKind.KEYWORD, "AND")

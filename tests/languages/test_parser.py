@@ -1,0 +1,139 @@
+"""Tests for the shared recursive-descent parser: precedence, levels, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QuerySemanticsError, QuerySyntaxError
+from repro.languages import ast
+from repro.languages.parser import LanguageLevel, QueryParser
+
+
+def comp(text: str) -> ast.QueryNode:
+    return QueryParser(LanguageLevel.COMP).parse(text)
+
+
+def test_and_binds_tighter_than_or():
+    node = comp("'a' OR 'b' AND 'c'")
+    assert isinstance(node, ast.OrQuery)
+    assert isinstance(node.right, ast.AndQuery)
+
+
+def test_operators_are_left_associative():
+    node = comp("'a' AND 'b' AND 'c'")
+    assert isinstance(node, ast.AndQuery)
+    assert isinstance(node.left, ast.AndQuery)
+    assert node.right == ast.TokenQuery("c")
+
+
+def test_not_binds_tighter_than_and():
+    node = comp("NOT 'a' AND 'b'")
+    assert isinstance(node, ast.AndQuery)
+    assert isinstance(node.left, ast.NotQuery)
+
+
+def test_parentheses_override_precedence():
+    node = comp("('a' OR 'b') AND 'c'")
+    assert isinstance(node, ast.AndQuery)
+    assert isinstance(node.left, ast.OrQuery)
+
+
+def test_double_negation_parses():
+    node = comp("NOT NOT 'a'")
+    assert isinstance(node, ast.NotQuery)
+    assert isinstance(node.operand, ast.NotQuery)
+
+
+def test_quantifiers_and_has():
+    node = comp("SOME p1 (p1 HAS 'usability')")
+    assert isinstance(node, ast.SomeQuery)
+    assert node.var == "p1"
+    assert node.operand == ast.VarHasToken("p1", "usability")
+
+    node = comp("EVERY p (p HAS ANY)")
+    assert isinstance(node, ast.EveryQuery)
+    assert node.operand == ast.VarHasAny("p")
+
+
+def test_quantifier_scope_is_the_following_unary_expression():
+    node = comp("SOME p p HAS 'a' AND 'b'")
+    # SOME binds only the next unary expression, so the AND is outside.
+    assert isinstance(node, ast.AndQuery)
+    assert isinstance(node.left, ast.SomeQuery)
+
+
+def test_predicate_parsing_with_constants():
+    node = comp("SOME p1 SOME p2 (p1 HAS 'a' AND distance(p1, p2, 7))")
+    predicates = ast.query_predicates(node)
+    assert predicates == [ast.PredQuery("distance", ("p1", "p2"), (7,))]
+
+
+def test_unknown_predicate_rejected():
+    with pytest.raises(QuerySemanticsError):
+        comp("SOME p1 nosuchpredicate(p1)")
+
+
+def test_predicate_arity_is_checked():
+    with pytest.raises(Exception):
+        comp("SOME p1 SOME p2 distance(p1, p2)")
+
+
+def test_bare_identifiers_are_rejected():
+    with pytest.raises(QuerySyntaxError):
+        comp("usability")
+
+
+def test_empty_query_rejected():
+    with pytest.raises(QuerySyntaxError):
+        comp("")
+    with pytest.raises(QuerySyntaxError):
+        comp("   ")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(QuerySyntaxError):
+        comp("'a' 'b'")
+
+
+def test_unbalanced_parentheses_rejected():
+    with pytest.raises(QuerySyntaxError):
+        comp("('a' AND 'b'")
+
+
+def test_bool_level_rejects_comp_constructs():
+    parser = QueryParser(LanguageLevel.BOOL)
+    parser.parse("'a' AND NOT 'b' OR ANY")
+    with pytest.raises(QuerySyntaxError):
+        parser.parse("SOME p (p HAS 'a')")
+    with pytest.raises(QuerySyntaxError):
+        parser.parse("p HAS 'a'")
+    with pytest.raises(QuerySyntaxError):
+        parser.parse("dist('a', 'b', 1)")
+
+
+def test_dist_level_allows_dist_but_not_quantifiers():
+    parser = QueryParser(LanguageLevel.DIST)
+    node = parser.parse("dist('a', ANY, 3)")
+    assert node == ast.DistQuery("a", None, 3)
+    with pytest.raises(QuerySyntaxError):
+        parser.parse("SOME p (p HAS 'a')")
+
+
+def test_dist_arguments_must_be_tokens_and_integer():
+    parser = QueryParser(LanguageLevel.DIST)
+    with pytest.raises(QuerySyntaxError):
+        parser.parse("dist(p1, 'b', 3)")
+    with pytest.raises(QuerySyntaxError):
+        parser.parse("dist('a', 'b', 'c')")
+
+
+def test_parse_closed_rejects_free_variables():
+    parser = QueryParser(LanguageLevel.COMP)
+    with pytest.raises(QuerySemanticsError):
+        parser.parse_closed("p HAS 'a'")
+    parser.parse_closed("SOME p (p HAS 'a')")
+
+
+def test_predicate_constants_cannot_precede_variables():
+    with pytest.raises(QuerySyntaxError):
+        comp("SOME p1 SOME p2 distance(p1, 5, p2)")

@@ -1,0 +1,132 @@
+"""Tests for the BOOL / DIST / COMP language modules and their helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QuerySemanticsError, QuerySyntaxError
+from repro.languages import ast
+from repro.languages.bool_lang import (
+    bool_to_calculus,
+    is_bool_noneg_query,
+    is_bool_query,
+    parse_bool,
+    require_bool_noneg,
+)
+from repro.languages.comp_lang import (
+    calculus_to_comp,
+    comp_round_trip,
+    comp_to_calculus,
+    parse_comp,
+    parse_comp_open,
+)
+from repro.languages.dist_lang import dist_to_calculus, is_dist_query, parse_dist
+from repro.model import calculus as c
+
+
+# --------------------------------------------------------------------------
+# BOOL
+# --------------------------------------------------------------------------
+def test_parse_bool_accepts_the_grammar():
+    node = parse_bool("'test' AND NOT 'usability' OR ANY")
+    assert is_bool_query(node)
+
+
+def test_parse_bool_rejects_comp_syntax():
+    with pytest.raises(QuerySyntaxError):
+        parse_bool("SOME p (p HAS 'a')")
+
+
+def test_bool_to_calculus_matches_paper_example():
+    # 'test' AND NOT 'usability'  (Section 4.1)
+    query = bool_to_calculus("'test' AND NOT 'usability'")
+    text = query.to_text()
+    assert "hasToken" in text and "NOT" in text
+    assert c.used_tokens(query.expr) == {"test", "usability"}
+
+
+def test_bool_noneg_accepts_and_not_form():
+    node = parse_bool("('a' AND NOT 'b') OR 'c'")
+    assert is_bool_noneg_query(node)
+    require_bool_noneg(node)
+
+
+def test_bool_noneg_rejects_top_level_not():
+    assert not is_bool_noneg_query(parse_bool("NOT 'a'"))
+    with pytest.raises(QuerySemanticsError):
+        require_bool_noneg(parse_bool("NOT 'a'"))
+
+
+def test_bool_noneg_rejects_any_and_or_of_negation():
+    assert not is_bool_noneg_query(parse_bool("'a' AND ANY"))
+    assert not is_bool_noneg_query(parse_bool("'a' OR NOT 'b'"))
+    assert not is_bool_noneg_query(parse_bool("NOT 'a' AND NOT 'b'"))
+
+
+def test_is_bool_query_rejects_comp_constructs():
+    assert not is_bool_query(parse_comp("SOME p (p HAS 'a')"))
+    assert not is_bool_query(parse_dist("dist('a', 'b', 1)"))
+
+
+# --------------------------------------------------------------------------
+# DIST
+# --------------------------------------------------------------------------
+def test_parse_dist_accepts_bool_plus_dist():
+    node = parse_dist("'a' AND dist('b', ANY, 2)")
+    assert is_dist_query(node)
+
+
+def test_dist_to_calculus_uses_distance_predicate():
+    query = dist_to_calculus("dist('task', 'completion', 10)")
+    assert c.used_predicates(query.expr) == {"distance"}
+
+
+def test_parse_dist_rejects_quantifiers():
+    with pytest.raises(QuerySyntaxError):
+        parse_dist("SOME p (p HAS 'a')")
+
+
+# --------------------------------------------------------------------------
+# COMP
+# --------------------------------------------------------------------------
+def test_parse_comp_rejects_unbound_variables():
+    with pytest.raises(QuerySemanticsError):
+        parse_comp("p1 HAS 'a'")
+    parse_comp_open("p1 HAS 'a'")  # the open variant allows them
+
+
+def test_comp_expresses_the_paper_theorem_witnesses():
+    theorem3 = parse_comp("SOME p1 (NOT p1 HAS 't1')")
+    theorem5 = parse_comp(
+        "SOME p1 SOME p2 (p1 HAS 't1' AND p2 HAS 't2' AND NOT distance(p1, p2, 0))"
+    )
+    assert isinstance(theorem3, ast.SomeQuery)
+    assert isinstance(theorem5, ast.SomeQuery)
+
+
+def test_comp_to_calculus_and_back_is_stable():
+    text = (
+        "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' "
+        "AND samepara(p1, p2) AND distance(p1, p2, 5))"
+    )
+    round_tripped = comp_round_trip(text)
+    reparsed = parse_comp(round_tripped)
+    assert reparsed.to_calculus_query().to_text() == comp_to_calculus(text).to_text()
+
+
+def test_calculus_to_comp_covers_every_construct():
+    expr = c.Forall(
+        "p",
+        c.Or(
+            c.Not(c.HasToken("p", "a")),
+            c.Exists(
+                "q",
+                c.And(c.HasPos("q"), c.PredicateApplication("ordered", ("p", "q"))),
+            ),
+        ),
+    )
+    comp_query = calculus_to_comp(c.CalculusQuery(expr))
+    text = comp_query.to_text()
+    assert "EVERY p" in text and "SOME q" in text and "ordered(p, q)" in text
+    # The COMP query parses back and yields the same calculus text.
+    assert parse_comp(text).to_calculus_query().to_text() == c.CalculusQuery(expr).to_text()

@@ -1,0 +1,157 @@
+"""Tests for the full-text algebra: well-formedness and materialising semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection, ContextNode
+from repro.exceptions import QuerySemanticsError
+from repro.model.algebra import (
+    AlgebraEvaluator,
+    AlgebraQuery,
+    Difference,
+    HasPosRel,
+    Intersect,
+    Join,
+    Project,
+    SearchContextRel,
+    Select,
+    TokenRel,
+    Union,
+    expression_measures,
+)
+from repro.model.positions import Position
+
+
+@pytest.fixture(scope="module")
+def collection() -> Collection:
+    return Collection.from_nodes(
+        [
+            ContextNode.from_tokens(0, ["test", "usability", "of", "software"]),
+            ContextNode.from_tokens(1, ["test", "test", "software"]),
+            ContextNode.from_tokens(2, ["usability"]),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def evaluator(collection) -> AlgebraEvaluator:
+    return AlgebraEvaluator(collection)
+
+
+# --------------------------------------------------------------------------
+# Well-formedness
+# --------------------------------------------------------------------------
+def test_arity_computation():
+    expr = Join(TokenRel("a"), TokenRel("b"))
+    assert expr.arity() == 2
+    assert Project(expr, (0,)).arity() == 1
+    assert Select(expr, "distance", (0, 1), (5,)).arity() == 2
+
+
+def test_projection_index_validation():
+    with pytest.raises(QuerySemanticsError):
+        Project(TokenRel("a"), (1,))
+
+
+def test_selection_index_validation():
+    with pytest.raises(QuerySemanticsError):
+        Select(TokenRel("a"), "distance", (0, 1), (5,))
+
+
+def test_set_operations_require_equal_arity():
+    with pytest.raises(QuerySemanticsError):
+        Union(TokenRel("a"), SearchContextRel())
+    with pytest.raises(QuerySemanticsError):
+        Difference(Join(TokenRel("a"), TokenRel("b")), TokenRel("a"))
+
+
+def test_algebra_query_must_be_node_level():
+    with pytest.raises(QuerySemanticsError):
+        AlgebraQuery(TokenRel("a"))
+    AlgebraQuery(Project(TokenRel("a"), ()))
+
+
+def test_expression_measures():
+    expr = Project(
+        Select(Join(TokenRel("a"), TokenRel("b")), "ordered", (0, 1)), ()
+    )
+    measures = expression_measures(expr)
+    assert measures == {
+        "scans": 2,
+        "joins": 1,
+        "selects": 1,
+        "set_operations": 0,
+        "projections": 1,
+    }
+
+
+def test_to_text_renders_plan():
+    expr = Project(Select(Join(TokenRel("a"), TokenRel("b")), "ordered", (0, 1)), ())
+    text = expr.to_text()
+    assert "R['a']" in text and "ordered" in text and "project" in text
+
+
+# --------------------------------------------------------------------------
+# Semantics (paper Section 2.3 examples)
+# --------------------------------------------------------------------------
+def test_base_relations(collection, evaluator):
+    assert evaluator.evaluate(SearchContextRel()).node_ids() == [0, 1, 2]
+    has_pos = evaluator.evaluate(HasPosRel())
+    assert len(has_pos) == sum(len(collection.get(n)) for n in collection.node_ids())
+    r_test = evaluator.evaluate(TokenRel("test"))
+    assert r_test.node_ids() == [0, 1]
+    assert evaluator.evaluate(TokenRel("missing")).node_ids() == []
+
+
+def test_example_conjunction_of_tokens(evaluator):
+    # pi_CNode(R_test |x| R_usability)
+    query = AlgebraQuery(Project(Join(TokenRel("test"), TokenRel("usability")), ()))
+    assert evaluator.evaluate_query(query) == [0]
+
+
+def test_example_distance_selection(evaluator):
+    # pi_CNode(sigma_distance(p1,p2,1)(R_test |x| R_software))
+    query = AlgebraQuery(
+        Project(
+            Select(Join(TokenRel("test"), TokenRel("software")), "distance", (0, 1), (1,)),
+            (),
+        )
+    )
+    assert evaluator.evaluate_query(query) == [1]
+
+
+def test_example_two_occurrences_and_negation(evaluator):
+    # pi_CNode(sigma_diffpos(R_test |x| R_test)) |x| (SearchContext - pi_CNode(R_usability))
+    two_tests = Project(
+        Select(Join(TokenRel("test"), TokenRel("test")), "diffpos", (0, 1)), ()
+    )
+    without_usability = Difference(
+        SearchContextRel(), Project(TokenRel("usability"), ())
+    )
+    query = AlgebraQuery(Join(two_tests, without_usability))
+    assert evaluator.evaluate_query(query) == [1]
+
+
+def test_union_and_intersection(evaluator):
+    union = Union(Project(TokenRel("usability"), ()), Project(TokenRel("test"), ()))
+    assert evaluator.evaluate(union).node_ids() == [0, 1, 2]
+    intersect = Intersect(
+        Project(TokenRel("usability"), ()), Project(TokenRel("test"), ())
+    )
+    assert evaluator.evaluate(intersect).node_ids() == [0]
+
+
+def test_join_restricts_to_same_node(evaluator):
+    joined = evaluator.evaluate(Join(TokenRel("test"), TokenRel("usability")))
+    assert joined.node_ids() == [0]
+    # Positions come from the same node only.
+    for row in joined:
+        assert isinstance(row[1], Position) and isinstance(row[2], Position)
+
+
+def test_projection_reorders_attributes(evaluator):
+    joined = Join(TokenRel("test"), TokenRel("software"))
+    swapped = evaluator.evaluate(Project(joined, (1, 0)))
+    original = evaluator.evaluate(joined)
+    assert {(r[0], r[2], r[1]) for r in original} == set(swapped.rows)

@@ -1,0 +1,230 @@
+"""Tests for the full-text calculus: structure, safety, reference semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection, ContextNode
+from repro.exceptions import QuerySemanticsError
+from repro.model.calculus import (
+    And,
+    CalculusEvaluator,
+    CalculusQuery,
+    Exists,
+    Forall,
+    HasPos,
+    HasToken,
+    Not,
+    Or,
+    PredicateApplication,
+    conjunction,
+    disjunction,
+    query_measures,
+    token_exists,
+    used_predicates,
+    used_tokens,
+    validate_predicates,
+    walk,
+)
+
+
+@pytest.fixture(scope="module")
+def collection() -> Collection:
+    return Collection.from_nodes(
+        [
+            ContextNode.from_tokens(0, ["test", "usability", "of", "software"]),
+            ContextNode.from_tokens(1, ["test", "test", "software"]),
+            ContextNode.from_tokens(2, ["usability"]),
+            ContextNode.from_tokens(3, []),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def evaluator() -> CalculusEvaluator:
+    return CalculusEvaluator()
+
+
+# --------------------------------------------------------------------------
+# Structure
+# --------------------------------------------------------------------------
+def test_free_variables():
+    expr = And(HasToken("p1", "test"), Exists("p2", HasToken("p2", "usability")))
+    assert expr.free_variables() == {"p1"}
+    assert Exists("p1", expr).free_variables() == set()
+
+
+def test_query_requires_closed_expression():
+    with pytest.raises(QuerySemanticsError):
+        CalculusQuery(HasToken("p1", "test"))
+    CalculusQuery(token_exists("test", "p1"))  # closed: fine
+
+
+def test_query_measures_counts_tokens_predicates_operations():
+    expr = Exists(
+        "p1",
+        And(
+            HasToken("p1", "test"),
+            Exists(
+                "p2",
+                And(
+                    HasToken("p2", "usability"),
+                    PredicateApplication("distance", ("p1", "p2"), (5,)),
+                ),
+            ),
+        ),
+    )
+    measures = query_measures(expr)
+    assert measures == {"toks_Q": 2, "preds_Q": 1, "ops_Q": 4}
+
+
+def test_used_tokens_and_predicates():
+    expr = And(
+        token_exists("a", "p1"),
+        Exists("p2", PredicateApplication("ordered", ("p2", "p2"))),
+    )
+    assert used_tokens(expr) == {"a"}
+    assert used_predicates(expr) == {"ordered"}
+
+
+def test_validate_predicates_checks_registry_and_arity():
+    validate_predicates(
+        Exists("p", PredicateApplication("distance", ("p", "p"), (3,)))
+    )
+    with pytest.raises(Exception):
+        validate_predicates(Exists("p", PredicateApplication("nope", ("p",), ())))
+
+
+def test_conjunction_disjunction_builders():
+    parts = [token_exists(tok, f"p{i}") for i, tok in enumerate("abc")]
+    assert query_measures(conjunction(*parts))["ops_Q"] == 5  # 3 Exists + 2 And
+    assert query_measures(disjunction(*parts))["ops_Q"] == 5
+    with pytest.raises(QuerySemanticsError):
+        conjunction()
+
+
+def test_walk_visits_every_node():
+    expr = Or(Not(token_exists("a", "p")), token_exists("b", "q"))
+    kinds = [type(node).__name__ for node in walk(expr)]
+    assert kinds.count("Exists") == 2
+    assert "Not" in kinds and "Or" in kinds
+
+
+def test_to_text_renderings_are_informative():
+    expr = Forall("p", Not(HasToken("p", "x")))
+    text = CalculusQuery(expr).to_text()
+    assert "FORALL p" in text and "hasToken(p, 'x')" in text
+
+
+# --------------------------------------------------------------------------
+# Reference semantics
+# --------------------------------------------------------------------------
+def test_simple_token_query(collection, evaluator):
+    query = CalculusQuery(token_exists("usability", "p"))
+    assert evaluator.evaluate_query(query, collection) == [0, 2]
+
+
+def test_conjunction_of_tokens(collection, evaluator):
+    query = CalculusQuery(
+        And(token_exists("test", "p1"), token_exists("usability", "p2"))
+    )
+    assert evaluator.evaluate_query(query, collection) == [0]
+
+
+def test_negation(collection, evaluator):
+    query = CalculusQuery(Not(token_exists("usability", "p")))
+    assert evaluator.evaluate_query(query, collection) == [1, 3]
+
+
+def test_distance_predicate(collection, evaluator):
+    expr = Exists(
+        "p1",
+        And(
+            HasToken("p1", "test"),
+            Exists(
+                "p2",
+                And(
+                    HasToken("p2", "software"),
+                    PredicateApplication("distance", ("p1", "p2"), (1,)),
+                ),
+            ),
+        ),
+    )
+    # node 1: "test test software" -> distance(test@1, software@2) = 0 <= 1.
+    # node 0: test@0 ... software@3 -> two intervening tokens, fails.
+    assert evaluator.evaluate_query(CalculusQuery(expr), collection) == [1]
+
+
+def test_two_occurrences_with_diffpos(collection, evaluator):
+    expr = Exists(
+        "p1",
+        And(
+            HasToken("p1", "test"),
+            Exists(
+                "p2",
+                And(
+                    HasToken("p2", "test"),
+                    PredicateApplication("diffpos", ("p1", "p2")),
+                ),
+            ),
+        ),
+    )
+    assert evaluator.evaluate_query(CalculusQuery(expr), collection) == [1]
+
+
+def test_universal_quantification(collection, evaluator):
+    # Every position holds 'test': true for the empty node and for no others.
+    query = CalculusQuery(Forall("p", HasToken("p", "test")))
+    assert evaluator.evaluate_query(query, collection) == [3]
+
+
+def test_any_token_via_haspos(collection, evaluator):
+    query = CalculusQuery(Exists("p", HasPos("p")))
+    assert evaluator.evaluate_query(query, collection) == [0, 1, 2]
+
+
+def test_paper_example_token_and_not_token(collection, evaluator):
+    # Contains two occurrences of 'test' and does not contain 'usability'.
+    expr = Exists(
+        "p1",
+        And(
+            HasToken("p1", "test"),
+            And(
+                Exists(
+                    "p2",
+                    And(
+                        HasToken("p2", "test"),
+                        PredicateApplication("diffpos", ("p1", "p2")),
+                    ),
+                ),
+                Forall("p3", Not(HasToken("p3", "usability"))),
+            ),
+        ),
+    )
+    assert evaluator.evaluate_query(CalculusQuery(expr), collection) == [1]
+
+
+def test_unbound_variable_raises(collection, evaluator):
+    node = collection.get(0)
+    with pytest.raises(QuerySemanticsError):
+        evaluator.evaluate_on_node(HasToken("p", "test"), node)
+
+
+def test_satisfying_bindings_enumerates_assignments(collection, evaluator):
+    node = collection.get(1)  # test test software
+    expr = HasToken("p", "test")
+    bindings = list(evaluator.satisfying_bindings(expr, node))
+    assert sorted(b["p"].offset for b in bindings) == [0, 1]
+
+
+def test_quantifier_shadowing_restores_outer_binding(collection, evaluator):
+    node = collection.get(0)
+    # ∃p (hasToken(p,'test') ∧ ∃p (hasToken(p,'software')) ∧ hasToken(p,'test'))
+    expr = Exists(
+        "p",
+        And(
+            HasToken("p", "test"),
+            And(Exists("p", HasToken("p", "software")), HasToken("p", "test")),
+        ),
+    )
+    assert evaluator.evaluate_on_node(expr, node)

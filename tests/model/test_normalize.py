@@ -1,0 +1,164 @@
+"""Tests for calculus normal forms and the Theorem 4 BOOL construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection, ContextNode
+from repro.engine.bool_engine import BoolEngine
+from repro.exceptions import TranslationError
+from repro.index import InvertedIndex
+from repro.model.calculus import (
+    And,
+    CalculusEvaluator,
+    CalculusQuery,
+    Exists,
+    Forall,
+    HasPos,
+    HasToken,
+    Not,
+    Or,
+    PredicateApplication,
+)
+from repro.model.normalize import calculus_to_bool, eliminate_forall, is_nnf, to_nnf
+
+
+@pytest.fixture(scope="module")
+def collection() -> Collection:
+    vocabulary_docs = [
+        ["t1"],
+        ["t1", "t2"],
+        ["t2", "t3", "t2"],
+        ["t3"],
+        [],
+    ]
+    return Collection.from_nodes(
+        [ContextNode.from_tokens(i, tokens) for i, tokens in enumerate(vocabulary_docs)]
+    )
+
+
+VOCABULARY = ["t1", "t2", "t3"]
+
+
+# --------------------------------------------------------------------------
+# Negation normal form
+# --------------------------------------------------------------------------
+def test_double_negation_is_removed():
+    expr = Not(Not(HasToken("p", "t1")))
+    assert to_nnf(expr) == HasToken("p", "t1")
+
+
+def test_de_morgan_over_and_or():
+    expr = Not(And(HasToken("p", "a"), Or(HasToken("p", "b"), HasToken("p", "c"))))
+    nnf = to_nnf(expr)
+    assert is_nnf(nnf)
+    assert isinstance(nnf, Or)
+
+
+def test_negation_flips_quantifiers():
+    expr = Not(Exists("p", HasToken("p", "a")))
+    nnf = to_nnf(expr)
+    assert isinstance(nnf, Forall)
+    assert is_nnf(nnf)
+
+    expr = Not(Forall("p", HasToken("p", "a")))
+    assert isinstance(to_nnf(expr), Exists)
+
+
+def test_nnf_preserves_semantics(collection):
+    evaluator = CalculusEvaluator()
+    expr = Not(
+        And(
+            Exists("p1", HasToken("p1", "t1")),
+            Not(Exists("p2", HasToken("p2", "t2"))),
+        )
+    )
+    original = evaluator.evaluate_query(CalculusQuery(expr), collection)
+    normalised = evaluator.evaluate_query(CalculusQuery(to_nnf(expr)), collection)
+    assert original == normalised
+
+
+def test_is_nnf_detects_inner_negations():
+    assert is_nnf(Not(HasToken("p", "a")))
+    assert not is_nnf(Not(And(HasToken("p", "a"), HasToken("p", "b"))))
+
+
+# --------------------------------------------------------------------------
+# Universal quantifier elimination
+# --------------------------------------------------------------------------
+def test_eliminate_forall_preserves_semantics(collection):
+    evaluator = CalculusEvaluator()
+    expr = Forall("p", HasToken("p", "t2"))
+    rewritten = eliminate_forall(expr)
+    assert "Forall" not in [type(n).__name__ for n in _walk(rewritten)]
+    assert evaluator.evaluate_query(
+        CalculusQuery(expr), collection
+    ) == evaluator.evaluate_query(CalculusQuery(rewritten), collection)
+
+
+def _walk(expr):
+    yield expr
+    for child in expr.children():
+        yield from _walk(child)
+
+
+# --------------------------------------------------------------------------
+# Theorem 4: BOOL completeness over a finite vocabulary
+# --------------------------------------------------------------------------
+THEOREM4_QUERIES = [
+    # contains a token other than t1 (the Theorem 3 witness)
+    Exists("p", Not(HasToken("p", "t1"))),
+    # plain token
+    Exists("p", HasToken("p", "t2")),
+    # conjunction and disjunction of closed expressions
+    And(Exists("p", HasToken("p", "t1")), Exists("q", HasToken("q", "t2"))),
+    Or(Exists("p", HasToken("p", "t1")), Exists("q", HasToken("q", "t3"))),
+    # negated token
+    Not(Exists("p", HasToken("p", "t1"))),
+    # every position holds t2 (vacuously true on the empty node)
+    Forall("p", HasToken("p", "t2")),
+    # node contains at least one position
+    Exists("p", HasPos("p")),
+    # disjunctive scope within one quantifier
+    Exists("p", Or(HasToken("p", "t1"), HasToken("p", "t3"))),
+    # conjunction of a positive and a negative literal in one scope
+    Exists("p", And(HasToken("p", "t2"), Not(HasToken("p", "t1")))),
+]
+
+
+@pytest.mark.parametrize("expr", THEOREM4_QUERIES, ids=lambda e: e.to_text()[:60])
+def test_theorem4_bool_translation_is_equivalent(expr, collection):
+    query = CalculusQuery(expr)
+    reference = CalculusEvaluator().evaluate_query(query, collection)
+    bool_query = calculus_to_bool(query, VOCABULARY)
+    engine = BoolEngine(InvertedIndex(collection))
+    assert engine.evaluate(bool_query) == reference
+
+
+def test_theorem4_rejects_position_predicates():
+    query = CalculusQuery(
+        Exists(
+            "p1",
+            Exists(
+                "p2", PredicateApplication("distance", ("p1", "p2"), (1,))
+            ),
+        )
+    )
+    with pytest.raises(TranslationError):
+        calculus_to_bool(query, VOCABULARY)
+
+
+def test_theorem4_requires_nonempty_vocabulary():
+    query = CalculusQuery(Exists("p", HasToken("p", "t1")))
+    with pytest.raises(TranslationError):
+        calculus_to_bool(query, [])
+
+
+def test_theorem4_contradictory_scope_yields_empty_query(collection):
+    # One position cannot hold two different tokens.
+    query = CalculusQuery(
+        Exists("p", And(HasToken("p", "t1"), HasToken("p", "t2")))
+    )
+    bool_query = calculus_to_bool(query, VOCABULARY)
+    engine = BoolEngine(InvertedIndex(collection))
+    assert engine.evaluate(bool_query) == []

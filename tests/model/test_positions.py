@@ -1,0 +1,82 @@
+"""Tests for the Position value type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.positions import (
+    Position,
+    as_offset,
+    intervening_tokens,
+    positions_from_offsets,
+)
+
+
+def test_ordering_is_by_offset():
+    assert Position(1) < Position(2)
+    assert Position(3, sentence=0) > Position(2, sentence=9)
+    assert sorted([Position(5), Position(1), Position(3)]) == [
+        Position(1),
+        Position(3),
+        Position(5),
+    ]
+
+
+def test_equality_ignores_structure_fields():
+    assert Position(4, sentence=1, paragraph=0) == Position(4, sentence=2, paragraph=3)
+    assert hash(Position(4, 1, 0)) == hash(Position(4, 2, 3))
+
+
+def test_comparison_with_plain_integers():
+    assert Position(4) == 4
+    assert Position(4) < 5
+    assert int(Position(7)) == 7
+
+
+def test_negative_values_rejected():
+    with pytest.raises(ValueError):
+        Position(-1)
+    with pytest.raises(ValueError):
+        Position(0, sentence=-1)
+
+
+def test_shifted_preserves_structure():
+    shifted = Position(3, sentence=1, paragraph=2).shifted(4)
+    assert shifted.offset == 7
+    assert shifted.sentence == 1
+    assert shifted.paragraph == 2
+
+
+def test_as_offset():
+    assert as_offset(Position(9)) == 9
+    assert as_offset(9) == 9
+
+
+def test_positions_from_offsets_with_lookup_tables():
+    sentence_of = [0, 0, 1, 1]
+    paragraph_of = [0, 0, 0, 1]
+    built = positions_from_offsets([0, 2, 3], sentence_of, paragraph_of)
+    assert [(p.offset, p.sentence, p.paragraph) for p in built] == [
+        (0, 0, 0),
+        (2, 1, 0),
+        (3, 1, 1),
+    ]
+
+
+def test_positions_from_offsets_defaults_to_zero_structure():
+    built = positions_from_offsets([1, 5])
+    assert all(p.sentence == 0 and p.paragraph == 0 for p in built)
+
+
+@pytest.mark.parametrize(
+    "first, second, expected",
+    [
+        (0, 1, 0),     # adjacent tokens: no intervening tokens
+        (0, 2, 1),
+        (5, 2, 2),     # order does not matter
+        (3, 3, 0),     # same position
+        (10, 20, 9),
+    ],
+)
+def test_intervening_tokens(first, second, expected):
+    assert intervening_tokens(Position(first), Position(second)) == expected

@@ -1,0 +1,232 @@
+"""Tests for built-in predicates, their classification and advance hints.
+
+The advance-hint tests check the defining property of positive predicates
+(Section 5.5.2): when the predicate is false, the hinted advance never skips a
+solution, and at least one hinted target strictly advances a position.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.exceptions import PredicateError
+from repro.model.positions import Position
+from repro.model.predicates import (
+    NEGATION_PAIRS,
+    DiffPosPredicate,
+    DistancePredicate,
+    FunctionPredicate,
+    NegatedPredicate,
+    NotDistancePredicate,
+    NotOrderedPredicate,
+    OrderedPredicate,
+    Polarity,
+    PredicateRegistry,
+    SameParagraphPredicate,
+    SamePosPredicate,
+    SameSentencePredicate,
+    WindowPredicate,
+    default_registry,
+    negation_name,
+)
+
+
+def P(offset: int, sentence: int = 0, paragraph: int = 0) -> Position:
+    return Position(offset, sentence, paragraph)
+
+
+# --------------------------------------------------------------------------
+# Semantics
+# --------------------------------------------------------------------------
+def test_distance_counts_intervening_tokens_symmetrically():
+    distance = DistancePredicate()
+    assert distance([P(3), P(5)], [1])          # one intervening token
+    assert not distance([P(3), P(5)], [0])
+    assert distance([P(5), P(3)], [1])          # order does not matter
+    assert distance([P(4), P(4)], [0])
+
+
+def test_ordered_is_strict():
+    ordered = OrderedPredicate()
+    assert ordered([P(2), P(5)], [])
+    assert not ordered([P(5), P(2)], [])
+    assert not ordered([P(3), P(3)], [])
+
+
+def test_samepara_and_samesentence_use_structure_fields():
+    samepara = SameParagraphPredicate()
+    samesent = SameSentencePredicate()
+    assert samepara([P(1, paragraph=2), P(9, paragraph=2)], [])
+    assert not samepara([P(1, paragraph=1), P(9, paragraph=2)], [])
+    assert samesent([P(1, sentence=4), P(2, sentence=4)], [])
+    assert not samesent([P(1, sentence=4), P(2, sentence=5)], [])
+
+
+def test_diffpos_and_samepos_are_complementary():
+    diffpos = DiffPosPredicate()
+    samepos = SamePosPredicate()
+    for a, b in itertools.product([P(1), P(2)], repeat=2):
+        assert diffpos([a, b], []) != samepos([a, b], [])
+
+
+def test_window_predicate_bounds_the_span():
+    window = WindowPredicate()
+    assert window([P(3), P(7)], [4])
+    assert not window([P(3), P(8)], [4])
+    three_way = WindowPredicate(num_positions=3)
+    assert three_way([P(3), P(5), P(6)], [3])
+    assert not three_way([P(3), P(5), P(9)], [3])
+    with pytest.raises(PredicateError):
+        WindowPredicate(num_positions=1)
+
+
+def test_negative_predicates_are_negations_of_their_positive_counterparts():
+    registry = default_registry()
+    samples = [
+        [P(1, 0, 0), P(4, 1, 1)],
+        [P(4, 1, 1), P(1, 0, 0)],
+        [P(2, 0, 0), P(2, 0, 0)],
+        [P(0, 0, 0), P(9, 2, 1)],
+    ]
+    constants = {"distance": (2,), "not_distance": (2,)}
+    for positive, negative in NEGATION_PAIRS.items():
+        pos_pred = registry.get(positive)
+        neg_pred = registry.get(negative)
+        for sample in samples:
+            assert pos_pred(sample, constants.get(positive, ())) != neg_pred(
+                sample, constants.get(negative, ())
+            )
+
+
+# --------------------------------------------------------------------------
+# Classification and registry
+# --------------------------------------------------------------------------
+def test_polarity_classification():
+    registry = default_registry()
+    assert registry.polarity_of("distance") is Polarity.POSITIVE
+    assert registry.polarity_of("ordered") is Polarity.POSITIVE
+    assert registry.polarity_of("samepara") is Polarity.POSITIVE
+    assert registry.polarity_of("samepos") is Polarity.POSITIVE
+    assert registry.polarity_of("not_distance") is Polarity.NEGATIVE
+    assert registry.polarity_of("not_ordered") is Polarity.NEGATIVE
+    assert registry.polarity_of("diffpos") is Polarity.NEGATIVE
+
+
+def test_registry_lookup_and_duplicates():
+    registry = PredicateRegistry([DistancePredicate()])
+    assert "distance" in registry
+    with pytest.raises(PredicateError):
+        registry.register(DistancePredicate())
+    registry.register(DistancePredicate(), replace=True)
+    with pytest.raises(PredicateError):
+        registry.get("unknown")
+
+
+def test_registry_copy_is_independent():
+    registry = default_registry()
+    copy = registry.copy()
+    copy.register(FunctionPredicate("custom", 1, lambda p, c: True))
+    assert "custom" in copy
+    assert "custom" not in registry
+
+
+def test_negation_name_lookup():
+    assert negation_name("distance") == "not_distance"
+    assert negation_name("not_distance") == "distance"
+    assert negation_name("diffpos") == "samepos"
+    assert negation_name("window") is None
+
+
+def test_arity_checking():
+    distance = DistancePredicate()
+    with pytest.raises(PredicateError):
+        distance([P(1)], [3])
+    with pytest.raises(PredicateError):
+        distance([P(1), P(2)], [])
+
+
+def test_function_predicate_and_generic_negation():
+    even_gap = FunctionPredicate(
+        "even_gap", 2, lambda pos, c: (pos[1].offset - pos[0].offset) % 2 == 0
+    )
+    assert even_gap([P(2), P(4)], [])
+    negated = NegatedPredicate(even_gap)
+    assert negated.polarity is Polarity.GENERAL
+    assert not negated([P(2), P(4)], [])
+    assert negated([P(2), P(5)], [])
+
+
+# --------------------------------------------------------------------------
+# Advance hints: the positive-predicate property
+# --------------------------------------------------------------------------
+POSITIVE_CASES = [
+    (DistancePredicate(), (2,)),
+    (OrderedPredicate(), ()),
+    (SameParagraphPredicate(), ()),
+    (SameSentencePredicate(), ()),
+    (SamePosPredicate(), ()),
+    (WindowPredicate(), (3,)),
+]
+
+
+def _structured(offset: int) -> Position:
+    # Positions on a grid: sentence changes every 4 tokens, paragraph every 8.
+    return Position(offset, sentence=offset // 4, paragraph=offset // 8)
+
+
+@pytest.mark.parametrize("predicate, constants", POSITIVE_CASES)
+def test_positive_hints_make_progress_and_do_not_skip_solutions(predicate, constants):
+    universe = [_structured(offset) for offset in range(16)]
+    for first, second in itertools.product(universe, repeat=2):
+        if predicate([first, second], constants):
+            continue
+        hints = predicate.advance_hints([first, second], constants)
+        current = [first, second]
+        # At least one hint strictly advances its position.
+        assert any(
+            target > current[idx].offset for idx, target in hints.items()
+        ), f"{predicate.name} gave no progressing hint at {first}, {second}"
+        # No solution is skipped: for every hinted index, every candidate with
+        # that position below the target (others held >= current) still fails.
+        for idx, target in hints.items():
+            for candidate in universe:
+                if not current[idx].offset <= candidate.offset < target:
+                    continue
+                others = universe if idx == 1 else universe
+                for other in others:
+                    if other.offset < current[1 - idx].offset:
+                        continue
+                    pair = [None, None]
+                    pair[idx] = candidate
+                    pair[1 - idx] = other
+                    assert not predicate(pair, constants), (
+                        f"{predicate.name} hint skipped a solution at "
+                        f"{pair} (hint {idx} -> {target})"
+                    )
+
+
+NEGATIVE_CASES = [
+    (NotDistancePredicate(), (2,)),
+    (NotOrderedPredicate(), ()),
+    (DiffPosPredicate(), ()),
+]
+
+
+@pytest.mark.parametrize("predicate, constants", NEGATIVE_CASES)
+def test_negative_advance_targets_strictly_progress(predicate, constants):
+    universe = [_structured(offset) for offset in range(12)]
+    for first, second in itertools.product(universe, repeat=2):
+        if predicate([first, second], constants):
+            continue
+        for index in (0, 1):
+            target = predicate.advance_target([first, second], constants, index)
+            assert target > [first, second][index].offset
+
+
+def test_not_distance_advance_target_reaches_a_solution():
+    predicate = NotDistancePredicate()
+    first, second = P(10), P(12)
+    target = predicate.advance_target([first, second], (5,), 1)
+    assert predicate([first, P(target)], (5,))

@@ -1,0 +1,140 @@
+"""Tests for FullTextRelation and its relational operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.model.positions import Position
+from repro.model.predicates import DistancePredicate, OrderedPredicate
+from repro.model.relations import FullTextRelation
+
+
+def P(offset: int) -> Position:
+    return Position(offset)
+
+
+@pytest.fixture
+def left() -> FullTextRelation:
+    return FullTextRelation.from_rows(
+        1, [(1, P(0)), (1, P(4)), (2, P(2)), (3, P(7))]
+    )
+
+
+@pytest.fixture
+def right() -> FullTextRelation:
+    return FullTextRelation.from_rows(1, [(1, P(1)), (1, P(9)), (3, P(3))])
+
+
+def test_row_arity_is_validated():
+    with pytest.raises(EvaluationError):
+        FullTextRelation.from_rows(1, [(1, P(0), P(1))])
+    with pytest.raises(EvaluationError):
+        FullTextRelation(-1)
+
+
+def test_add_ignores_duplicates():
+    relation = FullTextRelation(1)
+    relation.add((1, P(0)))
+    relation.add((1, P(0)))
+    assert len(relation) == 1
+
+
+def test_node_ids_are_sorted_and_distinct(left):
+    assert left.node_ids() == [1, 2, 3]
+
+
+def test_rows_for_node_sorted_by_positions(left):
+    assert left.rows_for_node(1) == [(1, P(0)), (1, P(4))]
+
+
+def test_join_is_per_node_cartesian_product(left, right):
+    joined = left.join(right)
+    assert joined.arity == 2
+    # node 1: 2 x 2 = 4 tuples; node 3: 1 x 1; node 2 drops out.
+    assert len(joined.rows_for_node(1)) == 4
+    assert len(joined.rows_for_node(3)) == 1
+    assert joined.node_ids() == [1, 3]
+
+
+def test_join_with_arity_zero_acts_as_semijoin(left):
+    nodes_only = FullTextRelation.from_rows(0, [(1,), (99,)])
+    joined = left.join(nodes_only)
+    assert joined.node_ids() == [1]
+    assert joined.arity == 1
+
+
+def test_projection_keeps_cnode_and_collapses_duplicates(left, right):
+    joined = left.join(right)
+    projected = joined.project([])
+    assert projected.arity == 0
+    assert projected.node_ids() == [1, 3]
+    assert len(projected) == 2
+
+
+def test_projection_can_reorder_attributes(left, right):
+    joined = left.join(right)
+    swapped = joined.project([1, 0])
+    assert (1, P(1), P(0)) in swapped
+    assert swapped.arity == 2
+
+
+def test_projection_index_out_of_range(left):
+    with pytest.raises(EvaluationError):
+        left.project([3])
+
+
+def test_selection_with_distance_predicate(left, right):
+    joined = left.join(right)
+    close = joined.select(DistancePredicate(), [0, 1], [1])
+    assert (1, P(0), P(1)) in close
+    assert (1, P(4), P(9)) not in close
+
+
+def test_selection_with_ordered_predicate(left, right):
+    joined = left.join(right)
+    ordered = joined.select(OrderedPredicate(), [0, 1])
+    assert (3, P(7), P(3)) not in ordered
+    assert (1, P(0), P(1)) in ordered
+
+
+def test_selection_index_out_of_range(left):
+    with pytest.raises(EvaluationError):
+        left.select(OrderedPredicate(), [0, 5])
+
+
+def test_union_intersection_difference(left, right):
+    union = left.union(right)
+    assert set(union.node_ids()) == {1, 2, 3}
+    assert len(union) == 7
+
+    intersection = left.intersection(
+        FullTextRelation.from_rows(1, [(1, P(0)), (9, P(9))])
+    )
+    assert list(intersection) == [(1, P(0))]
+
+    difference = left.difference(FullTextRelation.from_rows(1, [(1, P(0))]))
+    assert (1, P(0)) not in difference
+    assert (1, P(4)) in difference
+
+
+def test_set_operations_require_matching_arity(left):
+    nodes_only = FullTextRelation.from_rows(0, [(1,)])
+    with pytest.raises(EvaluationError):
+        left.union(nodes_only)
+    with pytest.raises(EvaluationError):
+        left.intersection(nodes_only)
+    with pytest.raises(EvaluationError):
+        left.difference(nodes_only)
+
+
+def test_score_accessors_without_scores(left):
+    assert left.score_of((1, P(0))) == 0.0
+    assert left.node_scores() == {1: 0.0, 2: 0.0, 3: 0.0}
+
+
+def test_empty_relation():
+    empty = FullTextRelation.empty(2)
+    assert len(empty) == 0
+    assert empty.node_ids() == []
+    assert empty.join(empty).node_ids() == []

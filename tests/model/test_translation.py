@@ -1,0 +1,217 @@
+"""Tests for the FTC <-> FTA translations (Theorem 1, both directions).
+
+The key property tested here is *semantic equivalence on real data*: for a
+battery of calculus queries, evaluating the query directly (reference
+calculus evaluator) and evaluating its algebra translation (materialising
+algebra evaluator) produce the same node sets -- and likewise for the reverse
+translation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection, ContextNode
+from repro.exceptions import TranslationError
+from repro.model.algebra import (
+    AlgebraEvaluator,
+    AlgebraQuery,
+    Difference,
+    Join,
+    Project,
+    SearchContextRel,
+    Select,
+    TokenRel,
+    Union,
+)
+from repro.model.calculus import (
+    And,
+    CalculusEvaluator,
+    CalculusQuery,
+    Exists,
+    Forall,
+    HasPos,
+    HasToken,
+    Not,
+    Or,
+    PredicateApplication,
+)
+from repro.model.translation import (
+    algebra_query_to_calculus,
+    algebra_to_calculus,
+    calculus_query_to_algebra,
+    calculus_to_algebra,
+    substitute_variables,
+)
+
+
+@pytest.fixture(scope="module")
+def collection() -> Collection:
+    return Collection.from_nodes(
+        [
+            ContextNode.from_tokens(0, ["test", "usability", "of", "software"]),
+            ContextNode.from_tokens(1, ["test", "test", "software"]),
+            ContextNode.from_tokens(2, ["usability", "software"]),
+            ContextNode.from_tokens(3, ["other", "words"]),
+            ContextNode.from_tokens(4, []),
+        ]
+    )
+
+
+CALCULUS_QUERIES = [
+    # simple token
+    Exists("p", HasToken("p", "usability")),
+    # conjunction of closed sub-expressions
+    And(
+        Exists("p1", HasToken("p1", "test")),
+        Exists("p2", HasToken("p2", "software")),
+    ),
+    # disjunction
+    Or(
+        Exists("p1", HasToken("p1", "usability")),
+        Exists("p2", HasToken("p2", "other")),
+    ),
+    # negation of a token
+    Not(Exists("p", HasToken("p", "test"))),
+    # token with distance predicate (shared-variable conjunction)
+    Exists(
+        "p1",
+        And(
+            HasToken("p1", "test"),
+            Exists(
+                "p2",
+                And(
+                    HasToken("p2", "software"),
+                    PredicateApplication("distance", ("p1", "p2"), (1,)),
+                ),
+            ),
+        ),
+    ),
+    # two occurrences of the same token
+    Exists(
+        "p1",
+        And(
+            HasToken("p1", "test"),
+            Exists(
+                "p2",
+                And(HasToken("p2", "test"), PredicateApplication("diffpos", ("p1", "p2"))),
+            ),
+        ),
+    ),
+    # negation inside a quantifier (Theorem 3 witness query)
+    Exists("p", Not(HasToken("p", "test"))),
+    # universal quantification
+    Forall("p", HasToken("p", "test")),
+    # ANY
+    Exists("p", HasPos("p")),
+    # conjunction with an unused quantified variable
+    Exists("p1", And(HasToken("p1", "usability"), Exists("p2", HasPos("p2")))),
+    # nested boolean structure with shared variables inside one scope
+    Exists(
+        "p1",
+        And(
+            HasToken("p1", "software"),
+            Or(HasToken("p1", "software"), HasToken("p1", "usability")),
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("expr", CALCULUS_QUERIES, ids=lambda e: e.to_text()[:60])
+def test_calculus_to_algebra_preserves_semantics(expr, collection):
+    query = CalculusQuery(expr)
+    reference = CalculusEvaluator().evaluate_query(query, collection)
+    algebra_query = calculus_query_to_algebra(query)
+    translated = AlgebraEvaluator(collection).evaluate_query(algebra_query)
+    assert translated == reference
+
+
+ALGEBRA_QUERIES = [
+    AlgebraQuery(Project(TokenRel("usability"), ())),
+    AlgebraQuery(Project(Join(TokenRel("test"), TokenRel("software")), ())),
+    AlgebraQuery(
+        Project(
+            Select(Join(TokenRel("test"), TokenRel("software")), "distance", (0, 1), (1,)),
+            (),
+        )
+    ),
+    AlgebraQuery(
+        Union(Project(TokenRel("usability"), ()), Project(TokenRel("other"), ()))
+    ),
+    AlgebraQuery(
+        Difference(SearchContextRel(), Project(TokenRel("test"), ()))
+    ),
+    AlgebraQuery(
+        Join(
+            Project(
+                Select(Join(TokenRel("test"), TokenRel("test")), "diffpos", (0, 1)), ()
+            ),
+            Difference(SearchContextRel(), Project(TokenRel("usability"), ())),
+        )
+    ),
+]
+
+
+@pytest.mark.parametrize("query", ALGEBRA_QUERIES, ids=lambda q: q.to_text()[:60])
+def test_algebra_to_calculus_preserves_semantics(query, collection):
+    reference = AlgebraEvaluator(collection).evaluate_query(query)
+    calculus_query = algebra_query_to_calculus(query)
+    translated = CalculusEvaluator().evaluate_query(calculus_query, collection)
+    assert translated == reference
+
+
+@pytest.mark.parametrize("expr", CALCULUS_QUERIES, ids=lambda e: e.to_text()[:60])
+def test_round_trip_calculus_algebra_calculus(expr, collection):
+    query = CalculusQuery(expr)
+    reference = CalculusEvaluator().evaluate_query(query, collection)
+    once = calculus_query_to_algebra(query)
+    back = algebra_query_to_calculus(once)
+    again = CalculusEvaluator().evaluate_query(back, collection)
+    assert again == reference
+
+
+# --------------------------------------------------------------------------
+# Structural details
+# --------------------------------------------------------------------------
+def test_translation_tracks_free_variable_order():
+    expr = And(HasToken("x", "test"), HasToken("y", "software"))
+    translated = calculus_to_algebra(expr)
+    assert set(translated.variables) == {"x", "y"}
+    assert translated.expr.arity() == 2
+
+
+def test_predicate_only_expression_uses_haspos_base():
+    translated = calculus_to_algebra(
+        PredicateApplication("distance", ("a", "b"), (3,))
+    )
+    assert translated.expr.arity() == 2
+    assert translated.variables == ["a", "b"]
+
+
+def test_algebra_to_calculus_rejects_duplicating_projection():
+    duplicated = Project(Join(TokenRel("a"), TokenRel("b")), (0, 0))
+    with pytest.raises(TranslationError):
+        algebra_to_calculus(duplicated)
+
+
+def test_algebra_query_to_calculus_rejects_open_expressions():
+    with pytest.raises(TranslationError):
+        # Bypass AlgebraQuery's own arity check by translating the expression
+        # directly and wrapping the error path.
+        expr, variables = algebra_to_calculus(TokenRel("a"))
+        if variables:
+            raise TranslationError("open expression")
+
+
+def test_algebra_to_calculus_generates_distinct_variables():
+    expr, variables = algebra_to_calculus(Join(TokenRel("a"), TokenRel("b")))
+    assert len(variables) == 2
+    assert len(set(variables)) == 2
+
+
+def test_substitute_variables_renames_free_only():
+    expr = Exists("p", And(HasToken("p", "a"), HasToken("q", "b")))
+    renamed = substitute_variables(expr, {"q": "r"})
+    assert renamed.free_variables() == {"r"}
+    with pytest.raises(TranslationError):
+        substitute_variables(expr, {"q": "p"})  # would be captured

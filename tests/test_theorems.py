@@ -1,0 +1,223 @@
+"""The paper's formal results, exercised as executable tests.
+
+* Theorem 1 (FTC ≡ FTA) is covered extensively in
+  ``tests/model/test_translation.py``; a summary round-trip is repeated here.
+* Theorem 2 (TF-IDF preservation) is covered in
+  ``tests/scoring/test_tfidf.py``.
+* Theorem 3: BOOL cannot distinguish the witness documents CN1/CN2 that the
+  COMP query "contains a token other than t1" separates.
+* Theorem 4: with a finite token universe and ``Preds = ∅``, calculus queries
+  translate into equivalent BOOL queries (constructive check).
+* Theorem 5: DIST cannot distinguish the witness documents that the COMP
+  query "t1 and t2 not adjacent" separates.
+* Theorem 6: every calculus query translates into an equivalent COMP query.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import FullTextEngine
+from repro.index import InvertedIndex
+from repro.languages import (
+    calculus_to_comp,
+    parse_bool,
+    parse_comp,
+    parse_dist,
+)
+from repro.languages import ast
+from repro.model.calculus import (
+    And,
+    CalculusEvaluator,
+    CalculusQuery,
+    Exists,
+    Forall,
+    HasPos,
+    HasToken,
+    Not,
+    Or,
+    PredicateApplication,
+)
+from repro.model.normalize import calculus_to_bool
+from repro.model.translation import algebra_query_to_calculus, calculus_query_to_algebra
+
+
+# --------------------------------------------------------------------------
+# Theorem 1 summary round-trip
+# --------------------------------------------------------------------------
+def test_theorem1_round_trip_on_witness_data(theorem5_collection):
+    expr = Exists(
+        "p1",
+        And(
+            HasToken("p1", "t1"),
+            Exists(
+                "p2",
+                And(
+                    HasToken("p2", "t2"),
+                    Not(PredicateApplication("distance", ("p1", "p2"), (0,))),
+                ),
+            ),
+        ),
+    )
+    query = CalculusQuery(expr)
+    oracle = CalculusEvaluator().evaluate_query(query, theorem5_collection)
+    algebra = calculus_query_to_algebra(query)
+    back = algebra_query_to_calculus(algebra)
+    assert CalculusEvaluator().evaluate_query(back, theorem5_collection) == oracle == [2]
+
+
+# --------------------------------------------------------------------------
+# Theorem 3: BOOL is incomplete
+# --------------------------------------------------------------------------
+THEOREM3_COMP_QUERY = "SOME p (NOT p HAS 't1')"
+
+
+def test_theorem3_comp_query_separates_the_witness_documents(theorem3_collection):
+    engine = FullTextEngine.from_collection(theorem3_collection)
+    assert engine.search(THEOREM3_COMP_QUERY).node_ids == [2]
+
+
+def _bool_queries_over(tokens: list[str], depth: int):
+    """Enumerate small BOOL queries over ``tokens`` (plus ANY), up to ``depth``."""
+    atoms: list[ast.QueryNode] = [ast.TokenQuery(tok) for tok in tokens]
+    atoms.append(ast.AnyQuery())
+    current = list(atoms)
+    for _ in range(depth):
+        extended = list(current)
+        for left, right in itertools.product(atoms, current):
+            extended.append(ast.AndQuery(left, right))
+            extended.append(ast.OrQuery(left, right))
+        for operand in current:
+            extended.append(ast.NotQuery(operand))
+        current = extended
+    return current
+
+
+def test_theorem3_no_small_bool_query_over_its_tokens_separates_cn2_from_cn1(
+    theorem3_collection,
+):
+    """Every BOOL query using only the token t1 (the token named by the
+    calculus query) returns CN1 and CN2 together or not at all."""
+    index = InvertedIndex(theorem3_collection)
+    from repro.engine.bool_engine import BoolEngine
+
+    engine = BoolEngine(index)
+    for query in _bool_queries_over(["t1"], depth=2):
+        result = set(engine.evaluate(query))
+        assert result != {2}, f"{query.to_text()} unexpectedly separates CN2"
+
+
+# --------------------------------------------------------------------------
+# Theorem 4: BOOL completeness over a finite token universe
+# --------------------------------------------------------------------------
+def test_theorem4_construction_agrees_with_comp_on_finite_vocabulary(
+    theorem3_collection,
+):
+    vocabulary = ["t1", "t2"]
+    comp_query = parse_comp(THEOREM3_COMP_QUERY)
+    calculus = comp_query.to_calculus_query()
+    bool_query = calculus_to_bool(calculus, vocabulary)
+
+    engine = FullTextEngine.from_collection(theorem3_collection)
+    assert engine.search(bool_query).node_ids == engine.search(comp_query).node_ids
+
+
+# --------------------------------------------------------------------------
+# Theorem 5: DIST is incomplete
+# --------------------------------------------------------------------------
+THEOREM5_COMP_QUERY = (
+    "SOME p1 SOME p2 (p1 HAS 't1' AND p2 HAS 't2' AND NOT distance(p1, p2, 0))"
+)
+THEOREM5_NPRED_QUERY = (
+    "SOME p1 SOME p2 (p1 HAS 't1' AND p2 HAS 't2' AND not_distance(p1, p2, 0))"
+)
+
+
+def test_theorem5_comp_and_npred_queries_separate_the_witness_documents(
+    theorem5_collection,
+):
+    engine = FullTextEngine.from_collection(theorem5_collection)
+    assert engine.search(THEOREM5_COMP_QUERY).node_ids == [2]
+    assert engine.search(THEOREM5_NPRED_QUERY).node_ids == [2]
+
+
+def _dist_queries_over(tokens: list[str], depth: int):
+    atoms: list[ast.QueryNode] = [ast.TokenQuery(tok) for tok in tokens]
+    atoms.append(ast.AnyQuery())
+    for first, second in itertools.product(tokens + [None], repeat=2):
+        for limit in (0, 1, 2, 5):
+            atoms.append(ast.DistQuery(first, second, limit))
+    current = list(atoms)
+    for _ in range(depth):
+        extended = list(current)
+        for left, right in itertools.product(atoms, current):
+            extended.append(ast.AndQuery(left, right))
+            extended.append(ast.OrQuery(left, right))
+        for operand in current:
+            extended.append(ast.NotQuery(operand))
+        current = extended
+    return current
+
+
+def test_theorem5_no_small_dist_query_separates_cn2_from_cn1(theorem5_collection):
+    """Every small DIST query over {t1, t2} returns both witnesses or neither
+    (or includes CN1), never exactly CN2 -- the calculus query above does."""
+    from repro.engine.naive_engine import NaiveCompEngine
+
+    index = InvertedIndex(theorem5_collection)
+    engine = NaiveCompEngine(index)
+    for query in _dist_queries_over(["t1", "t2"], depth=1):
+        result = set(engine.evaluate(query))
+        assert result != {2}, f"{query.to_text()} unexpectedly separates CN2"
+
+
+# --------------------------------------------------------------------------
+# Theorem 6: COMP is complete
+# --------------------------------------------------------------------------
+THEOREM6_CALCULUS_QUERIES = [
+    CalculusQuery(Exists("p", Not(HasToken("p", "t1")))),
+    CalculusQuery(Forall("p", Or(HasToken("p", "t1"), HasToken("p", "t2")))),
+    CalculusQuery(
+        Exists(
+            "p1",
+            And(
+                HasToken("p1", "t1"),
+                Exists(
+                    "p2",
+                    And(
+                        HasToken("p2", "t2"),
+                        Not(PredicateApplication("distance", ("p1", "p2"), (0,))),
+                    ),
+                ),
+            ),
+        )
+    ),
+    CalculusQuery(Exists("p", HasPos("p"))),
+]
+
+
+@pytest.mark.parametrize(
+    "query", THEOREM6_CALCULUS_QUERIES, ids=lambda q: q.to_text()[:50]
+)
+def test_theorem6_calculus_to_comp_preserves_semantics(query, theorem5_collection):
+    oracle = CalculusEvaluator().evaluate_query(query, theorem5_collection)
+    comp_query = calculus_to_comp(query)
+    engine = FullTextEngine.from_collection(theorem5_collection)
+    assert engine.search(comp_query).node_ids == oracle
+    # ... and the COMP text parses back to the same semantics.
+    reparsed = parse_comp(comp_query.to_text())
+    assert engine.search(reparsed).node_ids == oracle
+
+
+# --------------------------------------------------------------------------
+# Sanity: the surface languages really are nested (BOOL ⊂ DIST ⊂ COMP)
+# --------------------------------------------------------------------------
+def test_language_nesting():
+    text = "'t1' AND NOT 't2'"
+    assert parse_bool(text) == parse_dist(text) == parse_comp(text)
+    dist_text = "dist('t1', 't2', 3)"
+    assert parse_dist(dist_text) == parse_comp(dist_text)
+    with pytest.raises(Exception):
+        parse_bool(dist_text)

@@ -1,0 +1,106 @@
+"""Benchmark: paper-mode sequential scans vs fast-mode galloping seeks.
+
+Runs the intersection-heavy workloads (BOOL conjunctions and positive
+predicate queries) over a synthetic corpus in both cursor access modes and
+reports wall-clock times plus the cursor operation counts.  The fast mode
+drives the shared zig-zag merge (:mod:`repro.engine.operators`) with
+seek-capable cursors, so the win grows with the corpus size and with the
+selectivity gap between the merged lists.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_access_modes.py --nodes 10000
+
+or at smoke scale (used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_access_modes.py --nodes 400 --repeats 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.bench.workload import bool_query, workload_queries
+from repro.corpus.synthetic import DEFAULT_QUERY_TOKENS, generate_inex_like_collection
+from repro.engine.bool_engine import BoolEngine
+from repro.engine.ppred_engine import PPredEngine
+from repro.index import InvertedIndex
+
+
+def _time(evaluate, query, repeats: int) -> tuple[float, int]:
+    best = float("inf")
+    matches = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = evaluate(query)
+        best = min(best, time.perf_counter() - started)
+        matches = len(result)
+    return best, matches
+
+
+def run(
+    nodes: int, tokens_per_node: int, repeats: int, document_frequency: float = 0.05
+) -> list[dict[str, object]]:
+    """Measure every (series, mode) combination; returns one row per series.
+
+    The planted query tokens are rare (``document_frequency`` of the nodes);
+    the Zipf-head background tokens (``w00000``, ...) occur in nearly every
+    node.  The ``rare AND common`` series is the zig-zag's home turf: the
+    rare list drives and the dense lists are crossed by galloping seeks.  The
+    all-rare conjunction and the PPRED series cover the symmetric case.
+    """
+    collection = generate_inex_like_collection(
+        num_nodes=nodes,
+        tokens_per_node=tokens_per_node,
+        pos_per_entry=3,
+        document_frequency=document_frequency,
+    )
+    index = InvertedIndex(collection)
+    planted = list(DEFAULT_QUERY_TOKENS)[:3]
+    queries = workload_queries(planted, 3, 2)
+    series = [
+        ("BOOL rare AND common", "bool", bool_query([planted[0], "w00000", "w00002"])),
+        ("BOOL all planted", "bool", queries["BOOL"]),
+        ("PPRED positive", "ppred", queries["POSITIVE"]),
+    ]
+    rows: list[dict[str, object]] = []
+    for label, engine_name, query in series:
+        row: dict[str, object] = {"series": label}
+        for mode in ("paper", "fast"):
+            if engine_name == "bool":
+                engine = BoolEngine(index, access_mode=mode)
+            else:
+                engine = PPredEngine(index, access_mode=mode)
+            seconds, matches = _time(engine.evaluate, query, repeats)
+            _, stats = engine.evaluate_with_stats(query)
+            row[f"{mode}_seconds"] = seconds
+            row[f"{mode}_ops"] = stats.as_extended_dict()
+            row["matches"] = matches
+        row["speedup"] = row["paper_seconds"] / max(row["fast_seconds"], 1e-12)
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=10_000)
+    parser.add_argument("--tokens-per-node", type=int, default=60)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    rows = run(args.nodes, args.tokens_per_node, args.repeats)
+    print(f"access-mode benchmark: {args.nodes} nodes, "
+          f"{args.tokens_per_node} tokens/node, best of {args.repeats}")
+    for row in rows:
+        print(f"\n{row['series']} ({row['matches']} matches)")
+        for mode in ("paper", "fast"):
+            ops = row[f"{mode}_ops"]
+            print(f"  {mode:5}: {row[f'{mode}_seconds'] * 1e3:9.2f} ms  "
+                  f"next_entry={ops['next_entry_calls']:>8} "
+                  f"seeks={ops['seek_calls']:>6} probes={ops['seek_probes']:>7}")
+        print(f"  speedup: {row['speedup']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -43,13 +43,16 @@ from repro.exceptions import (
     UnsupportedQueryError,
     WorkloadError,
 )
-from repro.index import InvertedIndex, build_index
+from repro.index import ACCESS_MODES, FAST_MODE, PAPER_MODE, InvertedIndex, build_index
 from repro.languages import LanguageClass, classify_query, parse_bool, parse_comp, parse_dist
 from repro.model import Position, PredicateRegistry, default_registry
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ACCESS_MODES",
+    "FAST_MODE",
+    "PAPER_MODE",
     "Collection",
     "ContextNode",
     "InvertedIndex",

@@ -2,12 +2,15 @@
 
 The CLI exposes the typical lifecycle of the library without writing Python:
 
-* ``repro index``      -- tokenize documents and persist a collection/index;
-* ``repro search``     -- run a BOOL / DIST / COMP query against a saved index;
-* ``repro explain``    -- show a query's language class, engine, measures and
+* ``repro index``       -- tokenize documents and persist a collection/index;
+* ``repro search``      -- run a BOOL / DIST / COMP query against a saved index
+  (``--access-mode fast`` switches to seek-based skipping);
+* ``repro explain``     -- show a query's language class, engine, measures and
   calculus form without evaluating it;
-* ``repro info``       -- corpus statistics and complexity parameters of an index;
-* ``repro experiment`` -- regenerate the paper's figures as text tables.
+* ``repro info``        -- corpus statistics and complexity parameters of an index;
+* ``repro index-stats`` -- posting-storage statistics and the memory footprint
+  of the columnar arrays;
+* ``repro experiment``  -- regenerate the paper's figures as text tables.
 
 Invoke as ``python -m repro ...`` (or the ``repro`` console script when the
 package is installed with entry points enabled).
@@ -64,6 +67,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--scoring", default="tfidf", choices=["none", "tfidf", "probabilistic"]
     )
     search_cmd.add_argument("--top-k", type=int, default=10)
+    search_cmd.add_argument(
+        "--access-mode",
+        default="paper",
+        choices=["paper", "fast"],
+        help="'paper' charges seeks as sequential scans (the paper's cost "
+        "model); 'fast' uses galloping seeks (the production path)",
+    )
 
     explain_cmd = subparsers.add_parser("explain", help="classify a query without running it")
     explain_cmd.add_argument("query", help="the query text")
@@ -73,6 +83,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
 
     info_cmd = subparsers.add_parser("info", help="statistics of a saved index")
     info_cmd.add_argument("index_file")
+
+    index_stats_cmd = subparsers.add_parser(
+        "index-stats",
+        help="posting-storage statistics and columnar memory footprint",
+    )
+    index_stats_cmd.add_argument("index_file")
 
     experiment_cmd = subparsers.add_parser(
         "experiment", help="regenerate the paper's figures"
@@ -102,6 +118,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_explain(args)
         if args.command == "info":
             return _command_info(args)
+        if args.command == "index-stats":
+            return _command_index_stats(args)
         if args.command == "experiment":
             return _command_experiment(args)
         parser.error(f"unknown command {args.command!r}")
@@ -135,7 +153,7 @@ def _command_index(args: argparse.Namespace) -> int:
 def _command_search(args: argparse.Namespace) -> int:
     index = load_index(args.index_file, validate=False)
     scoring = None if args.scoring == "none" else args.scoring
-    engine = FullTextEngine(index, scoring=scoring)
+    engine = FullTextEngine(index, scoring=scoring, access_mode=args.access_mode)
     results = engine.search(
         args.query, language=args.language, engine=args.engine, top_k=args.top_k
     )
@@ -178,6 +196,29 @@ def _command_info(args: argparse.Namespace) -> int:
     print("analytic bounds (3 tokens, 2 predicates, 4 operations):")
     for name, bound in hierarchy_table(params, QueryParameters(3, 2, 4)):
         print(f"  {name:11}: {bound:,.0f} operations")
+    return 0
+
+
+def _command_index_stats(args: argparse.Namespace) -> int:
+    index = load_index(args.index_file, validate=False)
+    total_postings = sum(pl.document_frequency() for pl in index.posting_lists())
+    total_positions = sum(pl.total_positions() for pl in index.posting_lists())
+    footprint = index.memory_footprint()
+    print(f"collection     : {index.collection.name}")
+    print(f"nodes          : {index.node_count()}")
+    print(f"tokens         : {len(index.tokens())}")
+    print(f"postings       : {total_postings}")
+    print(f"positions      : {total_positions}")
+    print(f"any-list size  : {len(index.any_list())} entries, "
+          f"{index.any_list().total_positions()} positions")
+    print("columnar memory footprint:")
+    for key, value in footprint.items():
+        print(f"  {key:20}: {value:,} bytes")
+    if total_positions:
+        per_position = footprint["total_bytes"] / (
+            total_positions + index.any_list().total_positions()
+        )
+        print(f"  bytes/position      : {per_position:.1f}")
     return 0
 
 

@@ -50,12 +50,18 @@ class FullTextEngine:
         registry: PredicateRegistry | None = None,
         scoring: "str | ScoringModel | None" = None,
         npred_orders: str = "minimal",
+        access_mode: str = "paper",
     ) -> None:
         self.index = index
         self.registry = registry or default_registry()
         self.scoring = self._resolve_scoring(scoring)
+        self.access_mode = access_mode
         self._executor = Executor(
-            self.index, self.registry, self.scoring, npred_orders=npred_orders
+            self.index,
+            self.registry,
+            self.scoring,
+            npred_orders=npred_orders,
+            access_mode=access_mode,
         )
 
     # -------------------------------------------------------------- builders
@@ -65,18 +71,22 @@ class FullTextEngine:
         collection: Collection,
         registry: PredicateRegistry | None = None,
         scoring: "str | ScoringModel | None" = None,
+        access_mode: str = "paper",
     ) -> "FullTextEngine":
         """Build an engine by indexing ``collection``."""
-        return cls(InvertedIndex(collection), registry, scoring)
+        return cls(InvertedIndex(collection), registry, scoring, access_mode=access_mode)
 
     @classmethod
     def from_texts(
         cls,
         texts: Sequence[str],
         scoring: "str | ScoringModel | None" = None,
+        access_mode: str = "paper",
     ) -> "FullTextEngine":
         """Build an engine straight from raw text strings (one node each)."""
-        return cls.from_collection(Collection.from_texts(texts), scoring=scoring)
+        return cls.from_collection(
+            Collection.from_texts(texts), scoring=scoring, access_mode=access_mode
+        )
 
     # ------------------------------------------------------------------ API
     @property
@@ -119,6 +129,30 @@ class FullTextEngine:
         outcome = self._executor.execute(parsed.node, engine=engine)
         results = self._build_results(parsed, outcome)
         return results.top(top_k) if top_k is not None else results
+
+    def search_many(
+        self,
+        queries: Sequence["str | Query | ast.QueryNode"],
+        language: str = "auto",
+        engine: str = AUTO,
+        top_k: int | None = None,
+    ) -> list[SearchResults]:
+        """Run a batch of searches, amortising per-query setup.
+
+        All queries share one cursor factory and one parsed-plan cache (see
+        :meth:`repro.engine.executor.Executor.execute_many`), which matters
+        when serving many small queries against the same index: repeated
+        query shapes skip re-planning entirely.
+        """
+        parsed_queries = [self._as_query(query, language) for query in queries]
+        outcomes = self._executor.execute_many(
+            [parsed.node for parsed in parsed_queries], engine=engine
+        )
+        batch = []
+        for parsed, outcome in zip(parsed_queries, outcomes):
+            results = self._build_results(parsed, outcome)
+            batch.append(results.top(top_k) if top_k is not None else results)
+        return batch
 
     def evaluate(
         self,

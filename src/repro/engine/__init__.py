@@ -18,7 +18,10 @@ from repro.engine.operators import (
     ProjectOperator,
     ScanOperator,
     SelectOperator,
+    ZigZagJoinOperator,
     collect_nodes,
+    rarest_first_order,
+    zigzag_node_intersect,
 )
 from repro.engine.plan import (
     BlockPlan,
@@ -51,7 +54,10 @@ __all__ = [
     "ProjectOperator",
     "ScanOperator",
     "SelectOperator",
+    "ZigZagJoinOperator",
     "collect_nodes",
+    "rarest_first_order",
+    "zigzag_node_intersect",
     "BlockPlan",
     "DifferencePlan",
     "IntersectPlan",

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.exceptions import UnsupportedQueryError
-from repro.index.cursor import CursorStats
+from repro.index.cursor import PAPER_MODE, CursorFactory, CursorStats, check_access_mode
 from repro.index.inverted_index import InvertedIndex
 from repro.languages import ast
 from repro.languages.classify import LanguageClass, can_evaluate, classify_query
@@ -79,11 +80,13 @@ class Executor:
         registry: PredicateRegistry | None = None,
         scoring: ScoringModel | None = None,
         npred_orders: str = "minimal",
+        access_mode: str = PAPER_MODE,
     ) -> None:
         self.index = index
         self.registry = registry or default_registry()
         self.scoring = scoring
         self.npred_orders = npred_orders
+        self.access_mode = check_access_mode(access_mode)
 
     # ------------------------------------------------------------------ API
     def execute(self, query: ast.QueryNode, engine: str = AUTO) -> EvaluationResult:
@@ -94,11 +97,44 @@ class Executor:
         algorithm; forcing an engine below the query's class raises
         :class:`UnsupportedQueryError`.
         """
+        return self._execute(query, engine)
+
+    def execute_many(
+        self, queries: Sequence[ast.QueryNode], engine: str = AUTO
+    ) -> list[EvaluationResult]:
+        """Evaluate a batch of queries, amortising per-query setup.
+
+        One :class:`CursorFactory` is shared by the whole batch (each
+        result's ``cursor_stats`` reports only its own query's delta) and
+        extracted plans are cached by query text, so a batch that repeats
+        query shapes skips re-planning.
+        """
+        factory = CursorFactory(mode=self.access_mode)
+        plan_cache: dict[tuple[str, str], object] = {}
+        results = []
+        snapshot = factory.checkpoint()
+        for query in queries:
+            result = self._execute(query, engine, factory, plan_cache)
+            total = factory.checkpoint()
+            if result.cursor_stats is not None:
+                result.cursor_stats = total.delta_since(snapshot)
+            snapshot = total
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------- internals
+    def _execute(
+        self,
+        query: ast.QueryNode,
+        engine: str,
+        factory: CursorFactory | None = None,
+        plan_cache: dict | None = None,
+    ) -> EvaluationResult:
         language_class = classify_query(query, self.registry)
         engine_name = self._resolve_engine(language_class, engine)
         started = time.perf_counter()
         try:
-            node_ids, stats = self._run(query, engine_name)
+            node_ids, stats = self._run(query, engine_name, factory, plan_cache)
         except UnsupportedQueryError:
             # The classifier is intentionally syntactic; if a corner case
             # slips past it (or a caller forced a pipelined engine onto a
@@ -107,7 +143,7 @@ class Executor:
             if engine != AUTO and engine_name != "comp":
                 raise
             engine_name = "comp"
-            node_ids, stats = self._run(query, engine_name)
+            node_ids, stats = self._run(query, engine_name, factory, plan_cache)
         elapsed = time.perf_counter() - started
         scores = self._score(query, node_ids, engine_name)
         return EvaluationResult(
@@ -119,7 +155,6 @@ class Executor:
             cursor_stats=stats,
         )
 
-    # ------------------------------------------------------------- internals
     def _resolve_engine(self, language_class: LanguageClass, engine: str) -> str:
         if engine == AUTO:
             return NATIVE_ENGINE[language_class]
@@ -136,19 +171,45 @@ class Executor:
         return engine
 
     def _run(
-        self, query: ast.QueryNode, engine_name: str
+        self,
+        query: ast.QueryNode,
+        engine_name: str,
+        factory: CursorFactory | None = None,
+        plan_cache: dict | None = None,
     ) -> tuple[list[int], CursorStats | None]:
         if engine_name == "bool":
-            engine = BoolEngine(self.index, scoring=None)
-            return engine.evaluate_with_stats(query)
+            engine = BoolEngine(self.index, scoring=None, access_mode=self.access_mode)
+            return engine.evaluate_with_stats(query, factory=factory)
         if engine_name == "ppred":
-            engine = PPredEngine(self.index, self.registry)
-            return engine.evaluate_with_stats(query)
+            engine = PPredEngine(self.index, self.registry, access_mode=self.access_mode)
+            plan = self._cached_plan(query, engine_name, plan_cache)
+            return engine.evaluate_with_stats(query, factory=factory, plan=plan)
         if engine_name == "npred":
-            engine = NPredEngine(self.index, self.registry, orders=self.npred_orders)
-            return engine.evaluate_with_stats(query)
+            engine = NPredEngine(
+                self.index,
+                self.registry,
+                orders=self.npred_orders,
+                access_mode=self.access_mode,
+            )
+            plan = self._cached_plan(query, engine_name, plan_cache)
+            return engine.evaluate_with_stats(query, factory=factory, plan=plan)
         engine = NaiveCompEngine(self.index, self.registry)
         return engine.evaluate(query), None
+
+    def _cached_plan(
+        self, query: ast.QueryNode, engine_name: str, plan_cache: dict | None
+    ):
+        """Extract (or fetch from the batch cache) the pipelined plan."""
+        if plan_cache is None:
+            return None
+        from repro.engine.plan import extract_plan
+
+        key = (engine_name, query.to_text())
+        plan = plan_cache.get(key)
+        if plan is None:
+            plan = extract_plan(query, self.registry)
+            plan_cache[key] = plan
+        return plan
 
     def _score(
         self, query: ast.QueryNode, node_ids: list[int], engine_name: str

@@ -31,7 +31,7 @@ import itertools
 from typing import Iterable, Sequence
 
 from repro.exceptions import EvaluationError, UnsupportedQueryError
-from repro.index.cursor import CursorFactory, CursorStats
+from repro.index.cursor import PAPER_MODE, CursorFactory, CursorStats, check_access_mode
 from repro.index.inverted_index import InvertedIndex
 from repro.languages import ast
 from repro.model.positions import Position
@@ -149,13 +149,19 @@ class NPredBlockOperator(ops.PlanOperator):
         return highest
 
     def _align_inputs(self, target: int) -> int | None:
-        """Multi-way sort-merge: advance inputs until all sit on the same node."""
+        """Multi-way sort-merge: advance inputs until all sit on the same node.
+
+        Skipping goes through the shared
+        :meth:`~repro.engine.operators.PlanOperator.advance_node_to`
+        primitive: sequential stepping (the paper's per-entry charge) for
+        paper-mode cursors, one galloping seek for fast-mode cursors.
+        """
         while True:
             changed = False
             for operator in self._all_inputs():
                 node = operator.current_node()
-                while node is not None and node < target:
-                    node = operator.advance_node()
+                if node is not None and node < target:
+                    node = operator.advance_node_to(target)
                     changed = True
                 if node is None:
                     return None
@@ -227,12 +233,14 @@ class NPredEngine:
         index: InvertedIndex,
         registry: PredicateRegistry | None = None,
         orders: str = "minimal",
+        access_mode: str = PAPER_MODE,
     ) -> None:
         if orders not in ("minimal", "all"):
             raise EvaluationError("orders must be 'minimal' or 'all'")
         self.index = index
         self.registry = registry or default_registry()
         self.orders = orders
+        self.access_mode = check_access_mode(access_mode)
 
     # ------------------------------------------------------------------ API
     def evaluate(self, query: ast.QueryNode) -> list[int]:
@@ -240,16 +248,21 @@ class NPredEngine:
         return self.evaluate_with_stats(query)[0]
 
     def evaluate_with_stats(
-        self, query: ast.QueryNode
+        self,
+        query: ast.QueryNode,
+        factory: CursorFactory | None = None,
+        plan=None,
     ) -> tuple[list[int], CursorStats]:
-        plan = extract_plan(query, self.registry)
+        if plan is None:
+            plan = extract_plan(query, self.registry)
         polarities = plan_polarities(plan, self.registry)
         if Polarity.GENERAL in polarities:
             raise UnsupportedQueryError(
                 "query uses predicates without positive/negative advance "
                 "semantics; use the COMP engine"
             )
-        factory = CursorFactory()
+        if factory is None:
+            factory = CursorFactory(mode=self.access_mode)
         nodes = sorted(self._evaluate_plan(plan, factory))
         return nodes, factory.collect_stats()
 

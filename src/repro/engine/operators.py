@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.exceptions import EvaluationError
-from repro.index.cursor import InvertedListCursor
+from repro.index.cursor import FAST_MODE, InvertedListCursor
 from repro.model.positions import Position
 from repro.model.predicates import Predicate
 
@@ -45,6 +45,22 @@ class PlanOperator:
 
     def current_node(self) -> int | None:
         raise NotImplementedError
+
+    def advance_node_to(self, target: int) -> int | None:
+        """Advance until the current node id is ``>= target``; return it.
+
+        The default implementation steps :meth:`advance_node` repeatedly --
+        the paper's sequential cost model.  Operators backed by seek-capable
+        cursors override this to skip in O(log n) when the cursor is in fast
+        access mode.
+        """
+        node = self.current_node()
+        if node is not None and node >= target:
+            return node
+        while True:
+            node = self.advance_node()
+            if node is None or node >= target:
+                return node
 
     def advance_position(self, index: int, min_offset: int) -> bool:
         raise NotImplementedError
@@ -88,6 +104,42 @@ class ScanOperator(PlanOperator):
     def current_node(self) -> int | None:
         return self._node
 
+    def advance_node_to(self, target: int) -> int | None:
+        """Skip to the first entry with node id ``>= target``.
+
+        With a fast-mode cursor this is one galloping seek plus a single
+        position fetch at the landing entry; skipped entries never have their
+        positions materialised.  With a paper-mode cursor it falls back to
+        the sequential stepping of the base class, so the per-entry cost
+        accounting of the original implementation is preserved exactly.
+        """
+        node = self._node
+        if node is not None and node >= target:
+            return node
+        if self._cursor.mode != FAST_MODE:
+            # Inline the base class's sequential stepping: this is the
+            # innermost loop of every paper-mode merge.
+            advance = self.advance_node
+            while True:
+                node = advance()
+                if node is None or node >= target:
+                    return node
+        if self._cursor.exhausted():
+            return None
+        node = self._cursor.seek(target)
+        self._node = node
+        if node is None:
+            self._positions = []
+            self._pointer = 0
+            return None
+        self._positions = self._cursor.get_positions()
+        self._pointer = 0
+        return node
+
+    def entry_count(self) -> int:
+        """Length of the underlying inverted list (for rarest-first ordering)."""
+        return self._cursor.entry_count()
+
     def advance_position(self, index: int, min_offset: int) -> bool:
         self._check_index(index)
         if self._node is None:
@@ -123,10 +175,14 @@ class JoinOperator(PlanOperator):
             and right_node is not None
             and left_node != right_node
         ):
+            # Zig-zag: skip the side that is behind up to the other side's
+            # node.  With paper-mode cursors this performs (and charges)
+            # exactly the sequential steps of the original pairwise loop;
+            # with fast-mode cursors each skip is one galloping seek.
             if left_node < right_node:
-                left_node = self.left.advance_node()
+                left_node = self.left.advance_node_to(right_node)
             else:
-                right_node = self.right.advance_node()
+                right_node = self.right.advance_node_to(left_node)
         if left_node is None or right_node is None:
             self._node = None
             return None
@@ -333,6 +389,146 @@ class NodeDifferenceOperator(PlanOperator):
 
     def position(self, index: int) -> Position:
         raise EvaluationError("node-level difference has no position attributes")
+
+
+class ZigZagJoinOperator(PlanOperator):
+    """N-ary zig-zag (leapfrog) node merge over seek-capable inputs.
+
+    Generalises :class:`JoinOperator` to ``n`` inputs: instead of a left-deep
+    chain of pairwise sort-merges, one merge loop advances whichever input is
+    behind the current candidate node directly to it via
+    :meth:`PlanOperator.advance_node_to` -- a galloping seek when the input
+    is a fast-mode :class:`ScanOperator`.  ``merge_order`` fixes the order in
+    which inputs are visited (rarest list first pays off: the rarest input
+    generates candidates, so the common inputs only ever seek); attribute
+    indices are *not* affected by it -- they follow the input order, exactly
+    as in a left-deep join chain.
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[PlanOperator],
+        merge_order: Sequence[int] | None = None,
+    ) -> None:
+        if not inputs:
+            raise EvaluationError("a zig-zag join needs at least one input")
+        self.inputs = list(inputs)
+        self.arity = sum(op.arity for op in self.inputs)
+        offsets = []
+        total = 0
+        for op in self.inputs:
+            offsets.append(total)
+            total += op.arity
+        self._attr_offsets = offsets
+        order = (
+            list(merge_order)
+            if merge_order is not None
+            else list(range(len(self.inputs)))
+        )
+        if sorted(order) != list(range(len(self.inputs))):
+            raise EvaluationError(
+                f"merge order {order!r} is not a permutation of the "
+                f"{len(self.inputs)} inputs"
+            )
+        self._order = order
+        self._node: int | None = None
+
+    def advance_node(self) -> int | None:
+        lead = self.inputs[self._order[0]]
+        candidate = lead.advance_node()
+        if candidate is None:
+            self._node = None
+            return None
+        self._node = self._align(candidate)
+        return self._node
+
+    def _align(self, candidate: int) -> int | None:
+        """Advance inputs (in merge order) until all sit on one node."""
+        while True:
+            aligned = True
+            for index in self._order:
+                # advance_node_to returns the current node unchanged (and
+                # uncharged) when it is already >= candidate.
+                node = self.inputs[index].advance_node_to(candidate)
+                if node is None:
+                    return None
+                if node > candidate:
+                    candidate = node
+                    aligned = False
+            if aligned:
+                return candidate
+
+    def current_node(self) -> int | None:
+        return self._node
+
+    def advance_position(self, index: int, min_offset: int) -> bool:
+        self._check_index(index)
+        operator, local = self._locate(index)
+        return operator.advance_position(local, min_offset)
+
+    def position(self, index: int) -> Position:
+        self._check_index(index)
+        operator, local = self._locate(index)
+        return operator.position(local)
+
+    def _locate(self, index: int) -> tuple[PlanOperator, int]:
+        """Map a global attribute index to (input operator, local index)."""
+        for op_index in range(len(self.inputs) - 1, -1, -1):
+            offset = self._attr_offsets[op_index]
+            if index >= offset:
+                return self.inputs[op_index], index - offset
+        raise EvaluationError(f"attribute {index} does not map to any input")
+
+
+def rarest_first_order(inputs: Sequence[PlanOperator]) -> list[int]:
+    """Merge order visiting the smallest inverted lists first.
+
+    Inputs that expose :meth:`ScanOperator.entry_count` are sorted by list
+    length; inputs without a size estimate (closed subplans, nested joins)
+    keep their relative order after all sized inputs.
+    """
+    def sort_key(pair: tuple[int, PlanOperator]) -> tuple[int, int, int]:
+        index, operator = pair
+        count = getattr(operator, "entry_count", None)
+        if callable(count):
+            return (0, count(), index)
+        return (1, 0, index)
+
+    return [index for index, _ in sorted(enumerate(inputs), key=sort_key)]
+
+
+def zigzag_node_intersect(cursors: Sequence[InvertedListCursor]) -> list[int]:
+    """Node-granularity intersection of inverted lists by zig-zag merge.
+
+    The shared merge kernel of the BOOL fast path: cursors are visited
+    rarest-list-first, the rarest cursor generates candidate nodes and every
+    other cursor seeks to them, so the work is bounded by the shortest list
+    (times a logarithmic seek factor) instead of the sum of all list lengths.
+    """
+    if not cursors:
+        return []
+    order = sorted(cursors, key=lambda cursor: cursor.entry_count())
+    lead = order[0]
+    result: list[int] = []
+    candidate = lead.next_entry()
+    if candidate is None:
+        return result
+    while True:
+        aligned = True
+        for cursor in order:
+            # seek returns the current node unchanged (and uncharged) when
+            # it is already at or past the candidate.
+            node = cursor.seek(candidate)
+            if node is None:
+                return result
+            if node > candidate:
+                candidate = node
+                aligned = False
+        if aligned:
+            result.append(candidate)
+            candidate = lead.next_entry()
+            if candidate is None:
+                return result
 
 
 def collect_nodes(operator: PlanOperator) -> list[int]:

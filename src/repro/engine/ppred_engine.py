@@ -16,7 +16,7 @@ Complexity: ``O(entries_per_token · pos_per_entry · toks_Q ·
 from __future__ import annotations
 
 from repro.exceptions import UnsupportedQueryError
-from repro.index.cursor import CursorFactory, CursorStats
+from repro.index.cursor import FAST_MODE, PAPER_MODE, CursorFactory, CursorStats, check_access_mode
 from repro.index.inverted_index import InvertedIndex
 from repro.languages import ast
 from repro.model.predicates import Polarity, PredicateRegistry, default_registry
@@ -33,7 +33,15 @@ from repro.engine.plan import (
 
 
 class PPredEngine:
-    """Single-scan evaluation of positive-predicate queries."""
+    """Single-scan evaluation of positive-predicate queries.
+
+    In ``"paper"`` access mode each conjunctive block is the left-deep chain
+    of pairwise :class:`~repro.engine.operators.JoinOperator` of the paper's
+    Figure 4, driven by sequential cursors.  In ``"fast"`` mode the block's
+    inputs are merged by one n-ary
+    :class:`~repro.engine.operators.ZigZagJoinOperator` over seek-capable
+    cursors, visiting the rarest inverted list first.
+    """
 
     name = "ppred"
 
@@ -41,9 +49,11 @@ class PPredEngine:
         self,
         index: InvertedIndex,
         registry: PredicateRegistry | None = None,
+        access_mode: str = PAPER_MODE,
     ) -> None:
         self.index = index
         self.registry = registry or default_registry()
+        self.access_mode = check_access_mode(access_mode)
 
     # ------------------------------------------------------------------ API
     def evaluate(self, query: ast.QueryNode) -> list[int]:
@@ -51,12 +61,22 @@ class PPredEngine:
         return self.evaluate_with_stats(query)[0]
 
     def evaluate_with_stats(
-        self, query: ast.QueryNode
+        self,
+        query: ast.QueryNode,
+        factory: CursorFactory | None = None,
+        plan=None,
     ) -> tuple[list[int], CursorStats]:
-        """Evaluate and also report how much inverted-list data was scanned."""
-        plan = extract_plan(query, self.registry)
+        """Evaluate and also report how much inverted-list data was scanned.
+
+        ``factory`` and ``plan`` let a batch driver share one cursor factory
+        and reuse an extracted plan across calls (see
+        :meth:`repro.engine.executor.Executor.execute_many`).
+        """
+        if plan is None:
+            plan = extract_plan(query, self.registry)
         self._check_polarities(plan)
-        factory = CursorFactory()
+        if factory is None:
+            factory = CursorFactory(mode=self.access_mode)
         operator = self.build_operator(plan, factory)
         nodes = ops.collect_nodes(operator)
         return nodes, factory.collect_stats()
@@ -99,14 +119,30 @@ class PPredEngine:
             ops.ScanOperator(self.index.open_cursor(token, factory))
             for _, token in block.bindings
         ]
-        tree: ops.PlanOperator | None = None
-        for scan in scans:
-            tree = scan if tree is None else ops.JoinOperator(tree, scan)
-        for conjunct in block.closed_conjuncts:
-            nested = self.build_operator(conjunct, factory)
-            tree = nested if tree is None else ops.JoinOperator(tree, nested)
-        if tree is None:
+        closed = [
+            self.build_operator(conjunct, factory)
+            for conjunct in block.closed_conjuncts
+        ]
+        inputs: list[ops.PlanOperator] = scans + closed
+        if not inputs:
             raise UnsupportedQueryError("empty conjunctive block")
+        tree: ops.PlanOperator
+        if self.access_mode == FAST_MODE and len(inputs) > 1:
+            # One n-ary zig-zag merge, rarest inverted list first.  Input
+            # order (and with it the attribute numbering used by the
+            # predicate selections below) is unchanged.
+            tree = ops.ZigZagJoinOperator(
+                inputs, merge_order=ops.rarest_first_order(inputs)
+            )
+        else:
+            chain: ops.PlanOperator | None = None
+            for operator in inputs:
+                chain = (
+                    operator
+                    if chain is None
+                    else ops.JoinOperator(chain, operator)
+                )
+            tree = chain
         for spec in block.predicates:
             tree = self._apply_predicate(tree, block, spec)
         return tree

@@ -1,13 +1,21 @@
 """Inverted-list substrate: postings, cursors, index, statistics, storage."""
 
-from repro.index.cursor import CursorFactory, CursorStats, InvertedListCursor
+from repro.index.cursor import (
+    ACCESS_MODES,
+    FAST_MODE,
+    PAPER_MODE,
+    CursorFactory,
+    CursorStats,
+    InvertedListCursor,
+    check_access_mode,
+)
 from repro.index.inverted_index import (
     ANY_TOKEN,
     InvertedIndex,
     build_index,
     merge_node_ids,
 )
-from repro.index.postings import PostingEntry, PostingList
+from repro.index.postings import EmptyPostingList, PostingEntry, PostingList
 from repro.index.statistics import ComplexityParameters, IndexStatistics
 from repro.index.storage import (
     load_collection,
@@ -17,10 +25,15 @@ from repro.index.storage import (
 )
 
 __all__ = [
+    "ACCESS_MODES",
+    "FAST_MODE",
+    "PAPER_MODE",
     "CursorFactory",
     "CursorStats",
     "InvertedListCursor",
+    "check_access_mode",
     "ANY_TOKEN",
+    "EmptyPostingList",
     "InvertedIndex",
     "build_index",
     "merge_node_ids",

@@ -1,4 +1,4 @@
-"""Sequential cursors over inverted lists.
+"""Sequential and seek-capable cursors over inverted lists.
 
 The paper restricts access to inverted lists to *sequential scans* through a
 cursor API (Section 5.1.2):
@@ -9,39 +9,106 @@ cursor API (Section 5.1.2):
 
 Both operations are O(1).  All evaluation engines in :mod:`repro.engine` read
 inverted lists exclusively through this API, so the number of cursor
-operations is a faithful proxy for the paper's complexity parameters.  The
-cursor counts its operations (entries and positions touched) to support the
-cost-accounting benchmarks.
+operations is a faithful proxy for the paper's complexity parameters.
+
+On top of the sequential API the cursor offers :meth:`InvertedListCursor.seek`
+(galloping/binary search over the columnar node-id array).  How a seek is
+*charged* is governed by the cursor's access mode:
+
+* ``"paper"`` (default) -- the physical skip still happens, but the cursor is
+  charged one ``next_entry`` per entry it moved over, exactly as if it had
+  walked sequentially.  Counter streams are byte-identical to the original
+  sequential implementation, which is what the Figure 3--8 cost-accounting
+  benchmarks rely on.
+* ``"fast"`` -- the production path: a seek is charged as one ``seek`` plus
+  its O(log n) search probes, and nothing is added to the sequential
+  counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.index.postings import PostingEntry, PostingList
+from repro.exceptions import EvaluationError
+from repro.index.postings import PostingList
 from repro.model.positions import Position
 
+#: Charge seeks as sequential per-entry scans (the paper's cost model).
+PAPER_MODE = "paper"
+#: Charge seeks as O(log n) searches (the production path).
+FAST_MODE = "fast"
+#: The valid access modes, in documentation order.
+ACCESS_MODES = (PAPER_MODE, FAST_MODE)
 
-@dataclass
+
+def check_access_mode(mode: str) -> str:
+    """Validate an access-mode name and return it."""
+    if mode not in ACCESS_MODES:
+        raise EvaluationError(
+            f"unknown access mode {mode!r}; expected one of {ACCESS_MODES}"
+        )
+    return mode
+
+
+@dataclass(slots=True)
 class CursorStats:
-    """Operation counters of a cursor (or aggregated over many cursors)."""
+    """Operation counters of a cursor (or aggregated over many cursors).
+
+    ``next_entry_calls`` / ``get_positions_calls`` / ``positions_returned``
+    are the paper's sequential-access charges.  ``seek_calls`` and
+    ``seek_probes`` are only incremented by fast-mode seeks; in paper mode
+    they stay zero, so paper-mode reports are unchanged from the original
+    implementation.
+    """
 
     next_entry_calls: int = 0
     get_positions_calls: int = 0
     positions_returned: int = 0
+    seek_calls: int = 0
+    seek_probes: int = 0
 
     def merge(self, other: "CursorStats") -> None:
         """Accumulate another counter set into this one."""
         self.next_entry_calls += other.next_entry_calls
         self.get_positions_calls += other.get_positions_calls
         self.positions_returned += other.positions_returned
+        self.seek_calls += other.seek_calls
+        self.seek_probes += other.seek_probes
 
     def as_dict(self) -> dict[str, int]:
+        """The paper's sequential counters (stable across access modes)."""
         return {
             "next_entry_calls": self.next_entry_calls,
             "get_positions_calls": self.get_positions_calls,
             "positions_returned": self.positions_returned,
         }
+
+    def as_extended_dict(self) -> dict[str, int]:
+        """All counters, including the fast-mode seek charges."""
+        extended = self.as_dict()
+        extended["seek_calls"] = self.seek_calls
+        extended["seek_probes"] = self.seek_probes
+        return extended
+
+    def delta_since(self, snapshot: "CursorStats") -> "CursorStats":
+        """The counters accumulated since ``snapshot`` was taken."""
+        return CursorStats(
+            self.next_entry_calls - snapshot.next_entry_calls,
+            self.get_positions_calls - snapshot.get_positions_calls,
+            self.positions_returned - snapshot.positions_returned,
+            self.seek_calls - snapshot.seek_calls,
+            self.seek_probes - snapshot.seek_probes,
+        )
+
+    def copy(self) -> "CursorStats":
+        """An independent snapshot of the current counters."""
+        return CursorStats(
+            self.next_entry_calls,
+            self.get_positions_calls,
+            self.positions_returned,
+            self.seek_calls,
+            self.seek_probes,
+        )
 
 
 class InvertedListCursor:
@@ -49,14 +116,34 @@ class InvertedListCursor:
 
     The cursor starts *before* the first entry: the first ``next_entry()``
     call moves to the first entry.  ``get_positions()`` may only be called
-    when the cursor is on an entry.
+    when the cursor is on an entry.  :meth:`seek` never moves backwards.
     """
 
-    __slots__ = ("_entries", "_index", "stats", "token")
+    __slots__ = (
+        "_list",
+        "_node_ids",
+        "_decoded",
+        "_length",
+        "_index",
+        "stats",
+        "token",
+        "mode",
+    )
 
-    def __init__(self, posting_list: PostingList) -> None:
-        self.token = posting_list.token
-        self._entries = posting_list.entries()
+    def __init__(
+        self,
+        posting_list: PostingList,
+        mode: str = PAPER_MODE,
+        token: str | None = None,
+    ) -> None:
+        self.token = posting_list.token if token is None else token
+        self.mode = check_access_mode(mode)
+        self._list = posting_list
+        # Snapshot views of the columns (paired with the snapshot length, so
+        # later appends/widenings of the list never affect this cursor).
+        self._node_ids = posting_list.node_id_column()
+        self._decoded = posting_list.decoded_cache()
+        self._length = len(posting_list)
         self._index = -1
         self.stats = CursorStats()
 
@@ -65,50 +152,83 @@ class InvertedListCursor:
         """Advance to the next entry; return its node id or ``None`` at the end."""
         self.stats.next_entry_calls += 1
         self._index += 1
-        if self._index >= len(self._entries):
-            self._index = len(self._entries)
+        if self._index >= self._length:
+            self._index = self._length
             return None
-        return self._entries[self._index].node_id
+        return self._node_ids[self._index]
 
     def get_positions(self) -> list[Position]:
         """Positions of the current entry (requires a prior successful next_entry)."""
-        entry = self._current_entry()
+        index = self._index
+        if not 0 <= index < self._length:
+            raise RuntimeError(
+                "get_positions() called while the cursor is not on an entry"
+            )
+        positions = self._decoded.get(index)
+        if positions is None:
+            positions = self._list.positions_at(index)
         self.stats.get_positions_calls += 1
-        self.stats.positions_returned += len(entry.positions)
-        return list(entry.positions)
+        self.stats.positions_returned += len(positions)
+        return list(positions)
 
     # -------------------------------------------------------- conveniences
     def current_node(self) -> int | None:
         """Node id of the current entry, or ``None`` before the start / at the end."""
-        if 0 <= self._index < len(self._entries):
-            return self._entries[self._index].node_id
+        if 0 <= self._index < self._length:
+            return self._node_ids[self._index]
         return None
 
     def exhausted(self) -> bool:
         """True once ``next_entry()`` has returned ``None``."""
-        return self._index >= len(self._entries)
+        return self._index >= self._length
+
+    def entry_count(self) -> int:
+        """Total entries of the underlying list (used for rarest-first order)."""
+        return self._length
+
+    def seek(self, node_id: int) -> int | None:
+        """Move forward to the first entry with node id ``>= node_id``.
+
+        Returns the landing node id, or ``None`` when the list is exhausted.
+        The physical movement is a galloping + binary search over the node-id
+        column in both modes; only the *charging* differs (see the module
+        docstring).
+        """
+        index = self._index
+        if 0 <= index < self._length:
+            current = self._node_ids[index]
+            if current >= node_id:
+                return current
+        landing, probes = self._list.seek_index(max(index, 0), node_id, self._length)
+        if self.mode == FAST_MODE:
+            self.stats.seek_calls += 1
+            self.stats.seek_probes += probes
+        else:
+            # Sequential charging: one next_entry per entry moved over, with
+            # a minimum of one call (an exhausted cursor still pays for the
+            # call that discovers there is nothing left).
+            self.stats.next_entry_calls += max(landing - index, 1)
+        if landing >= self._length:
+            self._index = self._length
+            return None
+        self._index = landing
+        return self._node_ids[landing]
 
     def advance_to(self, node_id: int) -> int | None:
-        """Advance (by repeated ``next_entry``) until the current node id is
-        ``>= node_id``; return it, or ``None`` if the list is exhausted.
+        """Advance until the current node id is ``>= node_id``; return it, or
+        ``None`` if the list is exhausted.
 
-        This is sugar used by merge-style operators; it still performs only
-        sequential accesses and is charged per entry skipped.
+        This is the merge-style skip primitive.  In paper mode it is charged
+        per entry skipped (identical to repeated ``next_entry`` calls); in
+        fast mode it delegates to the O(log n) :meth:`seek` charge.
         """
-        current = self.current_node()
-        if current is not None and current >= node_id:
-            return current
-        while True:
-            current = self.next_entry()
-            if current is None or current >= node_id:
-                return current
+        return self.seek(node_id)
 
-    def _current_entry(self) -> PostingEntry:
-        if not 0 <= self._index < len(self._entries):
-            raise RuntimeError(
-                "get_positions() called while the cursor is not on an entry"
-            )
-        return self._entries[self._index]
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"InvertedListCursor(token={self.token!r}, mode={self.mode!r}, "
+            f"index={self._index}/{self._length})"
+        )
 
 
 @dataclass
@@ -117,14 +237,22 @@ class CursorFactory:
 
     Evaluation engines obtain every cursor through a factory so that the
     total amount of inverted-list I/O per query can be reported, mirroring
-    the paper's complexity parameters.
+    the paper's complexity parameters.  The factory fixes the access mode of
+    every cursor it opens, so one engine run is uniformly ``"paper"`` or
+    ``"fast"``.
     """
 
+    mode: str = PAPER_MODE
     aggregate: CursorStats = field(default_factory=CursorStats)
     _open_cursors: list[InvertedListCursor] = field(default_factory=list)
 
-    def open(self, posting_list: PostingList) -> InvertedListCursor:
-        cursor = InvertedListCursor(posting_list)
+    def __post_init__(self) -> None:
+        check_access_mode(self.mode)
+
+    def open(
+        self, posting_list: PostingList, token: str | None = None
+    ) -> InvertedListCursor:
+        cursor = InvertedListCursor(posting_list, mode=self.mode, token=token)
         self._open_cursors.append(cursor)
         return cursor
 
@@ -135,3 +263,15 @@ class CursorFactory:
         for cursor in self._open_cursors:
             total.merge(cursor.stats)
         return total
+
+    def checkpoint(self) -> CursorStats:
+        """Fold finished cursors into the aggregate and return the totals.
+
+        Batch drivers call this between queries so the per-query stats delta
+        stays O(cursors opened by that query) instead of walking every cursor
+        the factory ever opened.  The folded cursors must not be used again.
+        """
+        for cursor in self._open_cursors:
+            self.aggregate.merge(cursor.stats)
+        self._open_cursors.clear()
+        return self.aggregate.copy()

@@ -16,12 +16,16 @@ from typing import Iterable, Iterator
 
 from repro.corpus.collection import Collection
 from repro.exceptions import IndexError_
-from repro.index.cursor import CursorFactory, InvertedListCursor
-from repro.index.postings import PostingEntry, PostingList
+from repro.index.cursor import PAPER_MODE, CursorFactory, InvertedListCursor
+from repro.index.postings import EmptyPostingList, PostingEntry, PostingList
 from repro.index.statistics import IndexStatistics
 
 #: Reserved token name for the universal inverted list (all positions).
 ANY_TOKEN = "*ANY*"
+
+#: Shared immutable empty list handed out for every absent-token lookup, so a
+#: miss does not allocate (the cursor layer carries the requested token).
+_EMPTY_LIST = EmptyPostingList("")
 
 
 class InvertedIndex:
@@ -112,13 +116,13 @@ class InvertedIndex:
         """``IL_tok`` for ``token``; an empty list if the token never occurs.
 
         The paper notes that only the finite set of non-empty ``R_token``
-        relations is ever materialised; querying an absent token simply
-        yields an empty list.
+        relations is ever materialised; querying an absent token yields a
+        shared immutable empty list instead of a fresh allocation per miss.
         """
         existing = self._lists.get(token)
         if existing is not None:
             return existing
-        return PostingList(token)
+        return _EMPTY_LIST
 
     def any_list(self) -> PostingList:
         """``IL_ANY``: one entry per node with all of its positions."""
@@ -142,21 +146,28 @@ class InvertedIndex:
 
     # --------------------------------------------------------------- cursors
     def open_cursor(
-        self, token: str, factory: CursorFactory | None = None
+        self,
+        token: str,
+        factory: CursorFactory | None = None,
+        mode: str = PAPER_MODE,
     ) -> InvertedListCursor:
-        """Open a sequential cursor over ``IL_tok`` (or ``IL_ANY`` for ANY_TOKEN)."""
+        """Open a cursor over ``IL_tok`` (or ``IL_ANY`` for ANY_TOKEN).
+
+        When a factory is given, it fixes the access mode; ``mode`` only
+        applies to factory-less cursors.
+        """
         posting_list = (
             self._any_list if token == ANY_TOKEN else self.posting_list(token)
         )
         if factory is not None:
-            return factory.open(posting_list)
-        return InvertedListCursor(posting_list)
+            return factory.open(posting_list, token=token)
+        return InvertedListCursor(posting_list, mode=mode, token=token)
 
     def open_any_cursor(
-        self, factory: CursorFactory | None = None
+        self, factory: CursorFactory | None = None, mode: str = PAPER_MODE
     ) -> InvertedListCursor:
-        """Open a sequential cursor over ``IL_ANY``."""
-        return self.open_cursor(ANY_TOKEN, factory)
+        """Open a cursor over ``IL_ANY``."""
+        return self.open_cursor(ANY_TOKEN, factory, mode)
 
     # ------------------------------------------------------------ statistics
     @property
@@ -166,6 +177,28 @@ class InvertedIndex:
             self._statistics = IndexStatistics(self)
         return self._statistics
 
+    # ------------------------------------------------------------ footprint
+    def memory_footprint(self) -> dict[str, int]:
+        """Estimated byte sizes of the columnar posting storage.
+
+        Reports the payload bytes of the columnar arrays (node ids, entry
+        bounds, delta-encoded offsets, sentence/paragraph ordinals) summed
+        over every token list plus ``IL_ANY``.  Python object overhead of the
+        :class:`PostingList` shells themselves is excluded -- the point of
+        the columnar layout is that it no longer grows with the data.
+        """
+        totals = {
+            "node_ids_bytes": 0,
+            "entry_bounds_bytes": 0,
+            "offsets_bytes": 0,
+            "structure_bytes": 0,
+        }
+        for posting_list in list(self._lists.values()) + [self._any_list]:
+            for key, value in posting_list.memory_breakdown().items():
+                totals[key] += value
+        totals["total_bytes"] = sum(totals.values())
+        return totals
+
     # ----------------------------------------------------- integrity checks
     def validate(self) -> None:
         """Check index invariants against the collection; raise on violation.
@@ -174,6 +207,7 @@ class InvertedIndex:
         from disk.
         """
         for token, posting_list in self._lists.items():
+            posting_list.validate()
             for entry in posting_list:
                 node = self.collection.get(entry.node_id)
                 for position in entry.positions:
@@ -182,6 +216,7 @@ class InvertedIndex:
                             f"index corrupt: node {entry.node_id} position "
                             f"{position.offset} does not hold token {token!r}"
                         )
+        self._any_list.validate()
         any_nodes = self._any_list.node_ids()
         expected = [nid for nid in self.collection.node_ids()
                     if len(self.collection.get(nid)) > 0]

@@ -82,6 +82,21 @@ class Position:
         return Position(self.offset + delta, self.sentence, self.paragraph)
 
 
+def fast_position(offset: int, sentence: int = 0, paragraph: int = 0) -> Position:
+    """Trusted-data :class:`Position` constructor bypassing validation.
+
+    For decoders reading already-validated storage (the columnar posting
+    lists): skips the dataclass ``__init__``/``__post_init__`` machinery,
+    which dominates the cost of materialising positions in bulk.  Never use
+    it on unchecked input.
+    """
+    position = object.__new__(Position)
+    object.__setattr__(position, "offset", offset)
+    object.__setattr__(position, "sentence", sentence)
+    object.__setattr__(position, "paragraph", paragraph)
+    return position
+
+
 def as_offset(value: "Position | int") -> int:
     """Return the integer offset of ``value`` (a Position or a plain int)."""
     if isinstance(value, Position):

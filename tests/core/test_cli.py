@@ -96,6 +96,32 @@ def test_info_command(index_file, capsys):
     assert "COMP" in captured
 
 
+def test_index_stats_command_reports_columnar_footprint(index_file, capsys):
+    code = main(["index-stats", str(index_file)])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "postings" in captured
+    assert "columnar memory footprint" in captured
+    assert "total_bytes" in captured
+    assert "bytes/position" in captured
+
+
+def test_search_command_fast_access_mode_matches_paper(index_file, capsys):
+    query = "'software' AND 'usability'"
+    assert main(["search", str(index_file), query, "--access-mode", "paper"]) == 0
+    paper_out = capsys.readouterr().out
+    assert main(["search", str(index_file), query, "--access-mode", "fast"]) == 0
+    fast_out = capsys.readouterr().out
+
+    def result_lines(output: str) -> list[str]:
+        # Ranked result rows only; the summary line carries a timing that
+        # differs between runs.
+        return [line for line in output.splitlines() if ". node " in line]
+
+    assert result_lines(fast_out) == result_lines(paper_out)
+    assert "match(es)" in fast_out
+
+
 def test_experiment_command_single_figure_smoke(capsys):
     code = main(["experiment", "--figure", "6", "--scale", "smoke"])
     captured = capsys.readouterr().out

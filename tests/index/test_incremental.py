@@ -75,6 +75,30 @@ def test_out_of_order_ids_are_rejected(index):
     assert index.next_node_id() == 11
 
 
+def test_incremental_columns_stay_searchable_and_valid(index):
+    """add_node/add_text followed by search and validate() on the columnar store."""
+    first = index.add_text("usability engineering for efficient software")
+    second = index.add_text("efficient software testing improves usability")
+    assert [first, second] == [2, 3]
+    index.validate()
+    from repro.core.engine import FullTextEngine
+
+    for mode in ("paper", "fast"):
+        engine = FullTextEngine(index, access_mode=mode)
+        results = engine.search("'usability' AND 'software'")
+        assert [r.node_id for r in results] == [0, 2, 3]
+        positional = engine.search("dist('efficient', 'software', 0)")
+        assert [r.node_id for r in positional] == [2, 3]
+    # The appended entries decode to exactly the positions that were indexed.
+    usability = index.posting_list("usability")
+    last_entry = usability.entry_for(3)
+    assert last_entry is not None
+    node = index.collection.get(3)
+    assert last_entry.position_offsets() == [
+        p.offset for p in node.positions_of("usability")
+    ]
+
+
 def test_collection_add_rejects_duplicates():
     collection = Collection.from_texts(["one document"])
     with pytest.raises(CorpusError):

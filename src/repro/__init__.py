@@ -83,5 +83,19 @@ __all__ = [
 # The high-level engine depends on every subpackage; import it last so that a
 # partial checkout (e.g. while bisecting) still exposes the formal model.
 from repro.core import FullTextEngine, SearchResult, SearchResults  # noqa: E402
+from repro.cluster import (  # noqa: E402
+    QueryCache,
+    ScatterGatherExecutor,
+    ShardedIndex,
+)
+from repro.exceptions import ClusterError  # noqa: E402
 
-__all__ += ["FullTextEngine", "SearchResult", "SearchResults"]
+__all__ += [
+    "FullTextEngine",
+    "SearchResult",
+    "SearchResults",
+    "ShardedIndex",
+    "ScatterGatherExecutor",
+    "QueryCache",
+    "ClusterError",
+]

@@ -10,6 +10,11 @@ The CLI exposes the typical lifecycle of the library without writing Python:
 * ``repro info``        -- corpus statistics and complexity parameters of an index;
 * ``repro index-stats`` -- posting-storage statistics and the memory footprint
   of the columnar arrays;
+* ``repro shard-stats`` -- how a partitioner would spread an index over N
+  shards (per-shard sizes and balance);
+* ``repro serve``       -- a long-running query server reading one query per
+  stdin line (REPL on a terminal, batch otherwise) with per-query latency and
+  cache statistics;
 * ``repro experiment``  -- regenerate the paper's figures as text tables.
 
 Invoke as ``python -m repro ...`` (or the ``repro`` console script when the
@@ -20,18 +25,38 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
+from collections import deque
 from pathlib import Path
 from typing import Sequence
 
 from repro.bench.complexity import QueryParameters, hierarchy_table
 from repro.bench.figures import ALL_FIGURES, FigureScale, run_all
 from repro.bench.reporting import render_report, shape_summary, table_to_text
+from repro.cluster import ShardedIndex, balance_report
 from repro.core.engine import FullTextEngine
 from repro.core.query import parse_query
 from repro.corpus.loaders import load_directory, load_text_files
 from repro.exceptions import ReproError
 from repro.index.inverted_index import InvertedIndex
-from repro.index.storage import load_index, save_collection
+from repro.index.storage import load_collection, load_index, save_collection
+
+
+def _add_sharding_arguments(command: argparse.ArgumentParser) -> None:
+    """The sharding knobs shared by ``search``, ``serve`` and ``shard-stats``."""
+    command.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the index over N shards and run scatter-gather "
+        "(default: 1, the single-index path)",
+    )
+    command.add_argument(
+        "--partitioner",
+        default="hash",
+        help="shard assignment: 'hash', 'round-robin' or 'metadata:<key>' "
+        "(default: hash)",
+    )
 
 
 def build_argument_parser() -> argparse.ArgumentParser:
@@ -74,6 +99,29 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="'paper' charges seeks as sequential scans (the paper's cost "
         "model); 'fast' uses galloping seeks (the production path)",
     )
+    _add_sharding_arguments(search_cmd)
+
+    serve_cmd = subparsers.add_parser(
+        "serve",
+        help="serve queries from stdin (one per line) with latency stats",
+    )
+    serve_cmd.add_argument("index_file", help="collection file written by 'repro index'")
+    serve_cmd.add_argument(
+        "--language", default="auto", choices=["auto", "bool", "dist", "comp"]
+    )
+    serve_cmd.add_argument(
+        "--scoring", default="tfidf", choices=["none", "tfidf", "probabilistic"]
+    )
+    serve_cmd.add_argument("--top-k", type=int, default=5)
+    serve_cmd.add_argument(
+        "--access-mode", default="fast", choices=["paper", "fast"],
+        help="cursor access mode (default: fast, the production path)",
+    )
+    serve_cmd.add_argument(
+        "--cache-size", type=int, default=128,
+        help="LRU result-cache capacity; 0 disables caching (default: 128)",
+    )
+    _add_sharding_arguments(serve_cmd)
 
     explain_cmd = subparsers.add_parser("explain", help="classify a query without running it")
     explain_cmd.add_argument("query", help="the query text")
@@ -89,6 +137,13 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="posting-storage statistics and columnar memory footprint",
     )
     index_stats_cmd.add_argument("index_file")
+
+    shard_stats_cmd = subparsers.add_parser(
+        "shard-stats",
+        help="per-shard sizes and balance for a shard count / partitioner",
+    )
+    shard_stats_cmd.add_argument("index_file")
+    _add_sharding_arguments(shard_stats_cmd)
 
     experiment_cmd = subparsers.add_parser(
         "experiment", help="regenerate the paper's figures"
@@ -120,6 +175,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_info(args)
         if args.command == "index-stats":
             return _command_index_stats(args)
+        if args.command == "shard-stats":
+            return _command_shard_stats(args)
+        if args.command == "serve":
+            return _command_serve(args)
         if args.command == "experiment":
             return _command_experiment(args)
         parser.error(f"unknown command {args.command!r}")
@@ -150,19 +209,35 @@ def _command_index(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_search(args: argparse.Namespace) -> int:
-    index = load_index(args.index_file, validate=False)
+def _load_engine(args: argparse.Namespace, cache_size: int | None = None) -> FullTextEngine:
+    """Build a (possibly sharded) engine from an index file + CLI arguments."""
     scoring = None if args.scoring == "none" else args.scoring
-    engine = FullTextEngine(index, scoring=scoring, access_mode=args.access_mode)
+    collection = load_collection(args.index_file)
+    return FullTextEngine.from_collection(
+        collection,
+        scoring=scoring,
+        access_mode=args.access_mode,
+        shards=args.shards,
+        partitioner=args.partitioner,
+        cache_size=cache_size,
+    )
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    engine = _load_engine(args)
     results = engine.search(
         args.query, language=args.language, engine=args.engine, top_k=args.top_k
     )
     print(results.summary())
+    if results.metadata.get("shards"):
+        print(f"(scatter-gather over {results.metadata['shards']} shards)")
+    collection = engine.collection
     for rank, result in enumerate(results, start=1):
-        title = index.collection.get(result.node_id).metadata.get("title", "")
+        title = collection.get(result.node_id).metadata.get("title", "")
         label = f" [{title}]" if title else ""
         print(f"{rank:3d}. node {result.node_id}{label}  score={result.score:.4f}")
         print(f"     {result.preview}")
+    engine.close()
     return 0
 
 
@@ -220,6 +295,118 @@ def _command_index_stats(args: argparse.Namespace) -> int:
         )
         print(f"  bytes/position      : {per_position:.1f}")
     return 0
+
+
+def _command_shard_stats(args: argparse.Namespace) -> int:
+    collection = load_collection(args.index_file)
+    sharded = ShardedIndex(collection, max(args.shards, 1), args.partitioner)
+    stats = sharded.shard_stats()
+    print(f"collection     : {collection.name}")
+    print(f"partitioner    : {sharded.partitioner.describe()}")
+    print(f"shards         : {sharded.num_shards}")
+    header = f"{'shard':>5} {'nodes':>8} {'tokens':>8} {'postings':>10} {'positions':>10} {'memory':>12}"
+    print(header)
+    for row in stats:
+        print(
+            f"{row['shard']:>5} {row['nodes']:>8} {row['tokens']:>8} "
+            f"{row['postings']:>10} {row['positions']:>10} "
+            f"{row['memory_bytes']:>10,} B"
+        )
+    balance = balance_report(row["nodes"] for row in stats)
+    print(
+        f"balance        : min={balance['min']} max={balance['max']} "
+        f"mean={balance['mean']:.1f} imbalance={balance['imbalance'] * 100:.1f}%"
+    )
+    return 0
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    cache_size = args.cache_size if args.cache_size > 0 else None
+    engine = _load_engine(args, cache_size=cache_size)
+    interactive = sys.stdin.isatty()
+    if interactive:  # pragma: no cover - exercised manually
+        print(
+            f"repro serve: {engine.collection.name!r}, "
+            f"{engine.num_shards} shard(s), scoring={args.scoring}, "
+            f"cache={args.cache_size}"
+        )
+        print("one query per line; ':stats' for statistics, ':quit' to exit")
+    # Percentiles come from a bounded window of recent requests so a
+    # long-running server does not grow (or re-sort) an unbounded list;
+    # the mean covers every request served.
+    latencies_ms: "deque[float]" = deque(maxlen=10_000)
+    total_latency_ms = 0.0
+    served = 0
+    try:
+        for line in sys.stdin:
+            query = line.strip()
+            if not query or query.startswith("#"):
+                continue
+            if query in (":quit", ":q", ":exit"):
+                break
+            if query in (":stats", ":cache"):
+                _print_serve_stats(engine, served, total_latency_ms, latencies_ms)
+                continue
+            started = time.perf_counter()
+            try:
+                results = engine.search(
+                    query, language=args.language, top_k=args.top_k
+                )
+            except ReproError as exc:
+                print(f"error: {exc}")
+                continue
+            served += 1
+            # Wall clock around the call, not results.elapsed_seconds: a
+            # cache hit carries the *original* evaluation time, while the
+            # request it served took microseconds.
+            latency = (time.perf_counter() - started) * 1000.0
+            latencies_ms.append(latency)
+            total_latency_ms += latency
+            cache_note = ""
+            if results.metadata.get("cache") == "hit":
+                cache_note = f" [cached, {latency:.2f} ms]"
+            print(f"> {results.summary()}{cache_note}")
+            for rank, result in enumerate(results, start=1):
+                print(
+                    f"  {rank:2d}. node {result.node_id}  "
+                    f"score={result.score:.4f}  {result.preview}"
+                )
+    except KeyboardInterrupt:  # pragma: no cover - interactive Ctrl-C
+        print()
+    finally:
+        engine.close()
+    print()
+    _print_serve_stats(engine, served, total_latency_ms, latencies_ms)
+    return 0
+
+
+def _print_serve_stats(
+    engine: FullTextEngine,
+    served: int,
+    total_latency_ms: float,
+    recent_latencies_ms,
+) -> None:
+    ordered = sorted(recent_latencies_ms)
+    mean = total_latency_ms / served if served else 0.0
+    print(
+        f"served {served} queries over {engine.num_shards} shard(s): "
+        f"mean={mean:.2f} ms p50={_percentile(ordered, 0.50):.2f} ms "
+        f"p95={_percentile(ordered, 0.95):.2f} ms"
+    )
+    cache = engine.cache_stats()
+    print(
+        f"cache: size={cache['size']}/{cache['capacity']} "
+        f"hits={cache['hits']} misses={cache['misses']} "
+        f"hit_rate={cache['hit_rate'] * 100:.1f}% "
+        f"evictions={cache['evictions']} invalidations={cache['invalidations']}"
+    )
 
 
 def _command_experiment(args: argparse.Namespace) -> int:

@@ -1,0 +1,63 @@
+"""Sharded indexing and concurrent scatter-gather query execution.
+
+This package scales the single-index engine stack horizontally while keeping
+the paper's semantics and scores bit-identical:
+
+* :mod:`repro.cluster.partition`     -- pluggable shard-assignment strategies
+  (hash-by-node-id, round-robin, by-metadata-key);
+* :mod:`repro.cluster.sharded_index` -- ``N`` private inverted indexes behind
+  one collection-level facade, with incremental appends and invalidation
+  notifications;
+* :mod:`repro.cluster.stats`         -- globally-aggregated df / N / norm
+  statistics so sharded scoring equals single-index scoring;
+* :mod:`repro.cluster.scatter`       -- the worker-pool scatter-gather
+  executor (sequential fallback for one shard);
+* :mod:`repro.cluster.merge`         -- heap-based k-way merging of per-shard
+  id streams and rankings;
+* :mod:`repro.cluster.cache`         -- the LRU result cache keyed on
+  normalized plan + access mode + scoring + top-k.
+
+The high-level entry point is
+``FullTextEngine.from_collection(collection, shards=N)``.
+"""
+
+from repro.cluster.cache import DEFAULT_CACHE_SIZE, QueryCache, make_cache_key
+from repro.cluster.merge import (
+    MergedEvaluationResult,
+    merge_cursor_stats,
+    merge_ranked,
+    merge_shard_results,
+)
+from repro.cluster.partition import (
+    HashPartitioner,
+    MetadataPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    balance_report,
+    make_partitioner,
+    partition_collection,
+)
+from repro.cluster.scatter import ScatterGatherExecutor
+from repro.cluster.sharded_index import Shard, ShardedIndex
+from repro.cluster.stats import AggregatedStatistics
+
+__all__ = [
+    "AggregatedStatistics",
+    "DEFAULT_CACHE_SIZE",
+    "HashPartitioner",
+    "MergedEvaluationResult",
+    "MetadataPartitioner",
+    "Partitioner",
+    "QueryCache",
+    "RoundRobinPartitioner",
+    "ScatterGatherExecutor",
+    "Shard",
+    "ShardedIndex",
+    "balance_report",
+    "make_cache_key",
+    "make_partitioner",
+    "merge_cursor_stats",
+    "merge_ranked",
+    "merge_shard_results",
+    "partition_collection",
+]

@@ -1,0 +1,113 @@
+"""An LRU result cache for the scatter-gather query service.
+
+Keys are built from everything that determines the answer: the *normalized*
+query plan (the parsed AST rendered back to canonical text, so surface
+variants of the same query share an entry), the forced engine, the cursor
+access mode, the scoring backend, the NPRED order strategy, and the top-k
+cut (a top-k merged result is genuinely a different -- truncated -- object,
+see :mod:`repro.cluster.merge`).
+
+The cache is invalidated wholesale on incremental index updates: a new node
+can change global document frequencies, so *every* cached score is suspect,
+not just entries mentioning the node's tokens.  Hit / miss / eviction
+counters feed the ``repro serve`` session statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.exceptions import ClusterError
+
+#: Default number of cached query results.
+DEFAULT_CACHE_SIZE = 128
+
+
+def make_cache_key(
+    plan_text: str,
+    engine: str,
+    access_mode: str,
+    scoring: str,
+    npred_orders: str,
+    top_k: int | None,
+) -> tuple:
+    """The canonical cache key for one query execution."""
+    return (plan_text, engine, access_mode, scoring, npred_orders, top_k)
+
+
+class QueryCache:
+    """A bounded, thread-safe LRU mapping of query keys to merged results."""
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE) -> None:
+        if capacity < 1:
+            raise ClusterError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value for ``key`` (refreshing its recency) or ``None``."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value``, evicting the least-recently-used entry if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            if len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._entries[key] = value
+
+    def invalidate(self) -> None:
+        """Drop every entry (called on incremental index updates)."""
+        with self._lock:
+            self._entries.clear()
+            self.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def stats(self) -> dict[str, float]:
+        """Counters plus the hit rate over all lookups so far."""
+        lookups = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+    @staticmethod
+    def empty_stats() -> dict[str, float]:
+        """The all-zero stats shape reported when caching is disabled."""
+        return {
+            "capacity": 0,
+            "size": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "invalidations": 0,
+            "hit_rate": 0.0,
+        }

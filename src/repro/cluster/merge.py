@@ -1,0 +1,112 @@
+"""Merging per-shard evaluation results into one global answer.
+
+Because every context node lives in exactly one shard and the paper's
+semantics are per-node, the global answer to any BOOL / PPRED / NPRED / COMP
+query is simply the disjoint union of the per-shard answers.  What this
+module adds on top of the union is *ordering*:
+
+* matching node ids are k-way merged from the shards' ascending id streams
+  (``heapq.merge``), reproducing the single-index engines' output order;
+* ranked results are k-way merged from the shards' already-ranked streams by
+  ``(-score, node_id)`` -- the tie-break every scoring backend in
+  :mod:`repro.scoring` uses -- with an optional ``top_k`` cut-off that stops
+  the merge after ``k`` items instead of materialising the full ranking.
+
+Scores need no adjustment here: the shard executors score against the
+globally-aggregated statistics (:mod:`repro.cluster.stats`), so per-shard
+scores already *are* global scores.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.engine.executor import EvaluationResult
+from repro.index.cursor import CursorStats
+from repro.languages.classify import LanguageClass
+
+
+@dataclass
+class MergedEvaluationResult(EvaluationResult):
+    """An :class:`EvaluationResult` assembled from per-shard results.
+
+    ``node_ids`` and ``scores`` cover *all* matches (so ``total_matches``
+    stays exact); :meth:`ranked` returns the pre-merged ranking, truncated to
+    the ``top_k`` the merge was asked for (``None`` = full).
+    """
+
+    shard_count: int = 0
+    from_cache: bool = False
+    _ranked: list[tuple[int, float]] = field(default_factory=list)
+
+    def ranked(self) -> list[tuple[int, float]]:
+        return self._ranked
+
+
+def merge_cursor_stats(per_shard: "list[CursorStats | None]") -> CursorStats | None:
+    """Sum shard cursor counters; ``None`` when no shard reported any."""
+    reported = [stats for stats in per_shard if stats is not None]
+    if not reported:
+        return None
+    total = CursorStats()
+    for stats in reported:
+        total.merge(stats)
+    return total
+
+
+def merge_ranked(
+    ranked_streams: "list[list[tuple[int, float]]]", top_k: int | None = None
+) -> list[tuple[int, float]]:
+    """Heap-based k-way merge of per-shard rankings.
+
+    Each input stream must already be sorted by ``(-score, node_id)`` (the
+    contract of :meth:`EvaluationResult.ranked`).  With ``top_k`` the merge
+    stops after ``k`` items, so the cost is ``O(k log s)`` instead of
+    ``O(n log s)`` -- the scatter-gather path's answer to top-k queries.
+    """
+    merged = heapq.merge(
+        *ranked_streams, key=lambda pair: (-pair[1], pair[0])
+    )
+    if top_k is None:
+        return list(merged)
+    if top_k <= 0:
+        return []
+    out = []
+    for pair in merged:
+        out.append(pair)
+        if len(out) >= top_k:
+            break
+    return out
+
+
+def merge_shard_results(
+    per_shard: "list[EvaluationResult]",
+    elapsed_seconds: float,
+    top_k: int | None = None,
+) -> MergedEvaluationResult:
+    """Combine per-shard :class:`EvaluationResult` objects into one.
+
+    ``per_shard`` must be in shard order (the scatter layer guarantees it),
+    which keeps the merge deterministic.  ``elapsed_seconds`` is the
+    scatter-gather wall clock, not the sum of shard times -- with a worker
+    pool the shards overlap.
+    """
+    if not per_shard:
+        raise ValueError("cannot merge zero shard results")
+    node_ids = list(heapq.merge(*(result.node_ids for result in per_shard)))
+    scores: dict[int, float] = {}
+    for result in per_shard:
+        scores.update(result.scores)
+    ranked = merge_ranked([result.ranked() for result in per_shard], top_k)
+    language_class: LanguageClass = per_shard[0].language_class
+    return MergedEvaluationResult(
+        node_ids=node_ids,
+        language_class=language_class,
+        engine=per_shard[0].engine,
+        elapsed_seconds=elapsed_seconds,
+        scores=scores,
+        cursor_stats=merge_cursor_stats([r.cursor_stats for r in per_shard]),
+        shard_count=len(per_shard),
+        _ranked=ranked,
+    )

@@ -1,0 +1,335 @@
+"""Concurrent scatter-gather query execution over a sharded index.
+
+:class:`ScatterGatherExecutor` is the cluster-side counterpart of
+:class:`~repro.engine.executor.Executor`: it owns one shard-local executor
+per shard (each scoring against the globally-aggregated statistics, so
+per-shard scores *are* global scores), fans a parsed query out to every
+shard through a :class:`~concurrent.futures.ThreadPoolExecutor`, gathers the
+per-shard results in shard order -- which keeps the merge deterministic --
+and combines them with the heap merge of :mod:`repro.cluster.merge`.
+
+Single-shard clusters (and ``max_workers=1``) skip the pool entirely and run
+sequentially; the results are identical either way.
+
+Merged results are memoised in a :class:`~repro.cluster.cache.QueryCache`
+keyed on the normalized plan, engine choice, access mode, scoring backend,
+NPRED order strategy and top-k cut; the cache registers itself for
+invalidation on incremental updates of the sharded index.
+
+One executor serves one caller at a time (the worker pool parallelises
+*shards*, not client sessions); wrap it in its own lock if several threads
+must share it.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.cluster.cache import DEFAULT_CACHE_SIZE, QueryCache, make_cache_key
+from repro.cluster.merge import MergedEvaluationResult, merge_shard_results
+from repro.cluster.sharded_index import ShardedIndex
+from repro.engine.executor import AUTO, EvaluationResult, Executor
+from repro.index.cursor import PAPER_MODE, check_access_mode
+from repro.languages import ast
+from repro.model.predicates import PredicateRegistry, default_registry
+from repro.scoring.base import ScoringModel, get_model
+
+
+class ScatterGatherExecutor:
+    """Fan queries out to index shards; gather, merge and cache the results."""
+
+    def __init__(
+        self,
+        sharded_index: ShardedIndex,
+        registry: PredicateRegistry | None = None,
+        scoring: "str | ScoringModel | None" = None,
+        npred_orders: str = "minimal",
+        access_mode: str = PAPER_MODE,
+        max_workers: int | None = None,
+        cache_size: int | None = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self.sharded_index = sharded_index
+        self.registry = registry or default_registry()
+        self.npred_orders = npred_orders
+        self.access_mode = check_access_mode(access_mode)
+        self.max_workers = max_workers
+        self._scoring_spec = scoring
+        self.scoring_name = self._resolve_scoring_name(scoring)
+        self._shard_executors = [
+            Executor(
+                shard.index,
+                self.registry,
+                self._make_shard_model(),
+                npred_orders=npred_orders,
+                access_mode=self.access_mode,
+            )
+            for shard in sharded_index.shards
+        ]
+        self._pool: ThreadPoolExecutor | None = None
+        self.cache = QueryCache(cache_size) if cache_size else None
+        if self.cache is not None:
+            sharded_index.add_invalidation_listener(self.cache.invalidate)
+        # An incremental append changes the global df/N, so the shard models
+        # must re-bind to the recomputed statistics before the next query.
+        self._scoring_stale = False
+        if self._scoring_spec is not None:
+            sharded_index.add_invalidation_listener(self._mark_scoring_stale)
+
+    # ------------------------------------------------------------------ API
+    @property
+    def num_shards(self) -> int:
+        return self.sharded_index.num_shards
+
+    @property
+    def scoring(self) -> ScoringModel | None:
+        """A representative scoring model (shard 0's, bound to global stats)."""
+        return self._shard_executors[0].scoring if self._shard_executors else None
+
+    def execute(
+        self,
+        query: ast.QueryNode,
+        engine: str = AUTO,
+        top_k: int | None = None,
+    ) -> MergedEvaluationResult:
+        """Evaluate ``query`` on every shard and merge the answers.
+
+        The merged result's ``elapsed_seconds`` is the scatter-gather wall
+        clock; ``top_k`` truncates the merged ranking (``node_ids`` and the
+        match count stay complete).
+        """
+        key = self._cache_key(query, engine, top_k)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        self._refresh_scoring_if_stale()
+        started = time.perf_counter()
+        per_shard = self._scatter(
+            lambda executor: executor.execute(query, engine=engine)
+        )
+        merged = merge_shard_results(
+            per_shard, time.perf_counter() - started, top_k
+        )
+        if self.cache is None:
+            return merged
+        self._cache_put(key, merged)
+        return self._detached(merged, from_cache=False)
+
+    def execute_many(
+        self,
+        queries: Sequence[ast.QueryNode],
+        engine: str = AUTO,
+        top_k: int | None = None,
+    ) -> list[MergedEvaluationResult]:
+        """Evaluate a batch, fanning the *whole batch* out per shard.
+
+        Each shard worker runs :meth:`Executor.execute_many` over every
+        not-yet-cached query, so the shard-local plan cache and cursor
+        factory are amortised across the batch exactly as in the single-index
+        path, and the shards overlap for the full batch duration instead of
+        meeting at a barrier after every query.
+
+        When the cache is enabled, duplicated queries inside one batch are
+        also evaluated only once (they would hit the cache on a second call
+        anyway); with caching disabled every query is evaluated, matching
+        the single-index ``execute_many`` semantics exactly.
+        """
+        keys = [self._cache_key(query, engine, top_k) for query in queries]
+        answers: dict[int, MergedEvaluationResult] = {}
+        pending: list[int] = []
+        scheduled: dict[tuple, int] = {}
+        for position, key in enumerate(keys):
+            if self.cache is not None and key in scheduled:
+                # A duplicate of a query scheduled in this batch: served from
+                # the cache after execution (and counted as a hit there).
+                continue
+            cached = self._cache_get(key)
+            if cached is not None:
+                answers[position] = cached
+            else:
+                scheduled.setdefault(key, position)
+                pending.append(position)
+        if pending:
+            self._refresh_scoring_if_stale()
+            batch = [queries[position] for position in pending]
+            per_shard_batches = self._scatter(
+                lambda executor: executor.execute_many(batch, engine=engine)
+            )
+            for offset, position in enumerate(pending):
+                per_shard = [shard_batch[offset] for shard_batch in per_shard_batches]
+                # With a pool the shards overlap, so the best wall-clock
+                # estimate for one query is the slowest shard, not the sum.
+                elapsed = max(result.elapsed_seconds for result in per_shard)
+                merged = merge_shard_results(per_shard, elapsed, top_k)
+                if self.cache is None:
+                    answers[position] = merged
+                else:
+                    self._cache_put(keys[position], merged)
+                    answers[position] = self._detached(merged, from_cache=False)
+        # Duplicates of a scheduled query: now cache-resident, a real hit.
+        # (Unless the entry was already evicted by later puts of this very
+        # batch -- then hand out a detached copy of the first occurrence's
+        # result so no two positions alias one mutable object.)
+        for position, key in enumerate(keys):
+            if position not in answers:
+                hit = self._cache_get(key)
+                answers[position] = (
+                    hit
+                    if hit is not None
+                    else self._detached(answers[scheduled[key]], from_cache=False)
+                )
+        return [answers[position] for position in range(len(queries))]
+
+    def cache_stats(self) -> dict[str, float]:
+        """Hit/miss statistics of the result cache (zeros when disabled)."""
+        if self.cache is None:
+            return QueryCache.empty_stats()
+        return self.cache.stats()
+
+    def close(self) -> None:
+        """Shut the worker pool down and deregister listeners (idempotent).
+
+        Deregistering matters when one long-lived :class:`ShardedIndex` is
+        served by successive executors: a closed executor must not keep
+        receiving (and being kept alive by) invalidation notifications.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self.cache is not None:
+            self.sharded_index.remove_invalidation_listener(self.cache.invalidate)
+        if self._scoring_spec is not None:
+            self.sharded_index.remove_invalidation_listener(self._mark_scoring_stale)
+
+    def __enter__(self) -> "ScatterGatherExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- internals
+    def _scatter(self, task) -> list:
+        """Run ``task(shard_executor)`` on every shard; results in shard order."""
+        executors = self._shard_executors
+        if len(executors) == 1 or self.max_workers == 1:
+            return [task(executor) for executor in executors]
+        pool = self._ensure_pool()
+        futures = [pool.submit(task, executor) for executor in executors]
+        return [future.result() for future in futures]
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self.max_workers or self.num_shards
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(1, min(workers, self.num_shards)),
+                thread_name_prefix="repro-shard",
+            )
+        return self._pool
+
+    def _make_shard_model(self) -> ScoringModel | None:
+        """A private scoring-model instance for one shard executor.
+
+        Every instance is bound to the *aggregated* statistics, so all shards
+        score with the global df / N / norms; each shard gets its own object
+        because ``prepare()`` carries per-query state that must not be shared
+        across concurrently-evaluating shards.
+        """
+        from repro.exceptions import ScoringError
+
+        spec = self._scoring_spec
+        if spec is None:
+            return None
+        statistics = self.sharded_index.statistics
+        if isinstance(spec, str):
+            return get_model(spec, statistics)
+        if isinstance(spec, ScoringModel):
+            # Re-bind the model class to the aggregated statistics.  This
+            # requires the standard ScoringModel constructor signature; a
+            # customised instance cannot be cloned faithfully, so fail loud
+            # rather than drop its configuration silently.
+            try:
+                return type(spec)(statistics)
+            except TypeError as exc:
+                raise ScoringError(
+                    f"cannot shard scoring model {type(spec).__name__}: its "
+                    f"constructor does not accept (statistics); register it "
+                    f"with repro.scoring.base.register_model and pass the "
+                    f"name instead"
+                ) from exc
+        raise ScoringError(
+            "scoring must be None, a model name, or a ScoringModel instance"
+        )
+
+    def _mark_scoring_stale(self) -> None:
+        self._scoring_stale = True
+
+    def _refresh_scoring_if_stale(self) -> None:
+        """Re-bind shard scoring models after an incremental index update.
+
+        ``ShardedIndex.add_node`` drops the aggregated statistics; the next
+        query must score with the recomputed global df / N, so every shard
+        executor gets a fresh model bound to the fresh statistics.
+        """
+        if not self._scoring_stale:
+            return
+        self._scoring_stale = False
+        for executor in self._shard_executors:
+            executor.scoring = self._make_shard_model()
+
+    def _resolve_scoring_name(self, spec: "str | ScoringModel | None") -> str:
+        if spec is None:
+            return "none"
+        if isinstance(spec, str):
+            return spec.lower()
+        return getattr(spec, "name", type(spec).__name__)
+
+    def _cache_key(
+        self, query: ast.QueryNode, engine: str, top_k: int | None
+    ) -> tuple:
+        return make_cache_key(
+            query.to_text(),
+            engine,
+            self.access_mode,
+            self.scoring_name,
+            self.npred_orders,
+            top_k,
+        )
+
+    def _cache_get(self, key: tuple) -> MergedEvaluationResult | None:
+        if self.cache is None:
+            return None
+        hit = self.cache.get(key)
+        if hit is None:
+            return None
+        return self._detached(hit, from_cache=True)
+
+    def _cache_put(self, key: tuple, merged: MergedEvaluationResult) -> None:
+        if self.cache is not None:
+            self.cache.put(key, merged)
+
+    def _detached(
+        self, result: MergedEvaluationResult, from_cache: bool
+    ) -> MergedEvaluationResult:
+        """A caller-owned copy of a (possibly cached) merged result.
+
+        The object stored in the cache must never be handed out directly:
+        ``node_ids`` / ``scores`` / ``_ranked`` are mutable and
+        ``CursorStats.merge`` mutates in place, so a caller poking at a
+        returned result would otherwise corrupt every future hit.
+        """
+        return MergedEvaluationResult(
+            node_ids=list(result.node_ids),
+            language_class=result.language_class,
+            engine=result.engine,
+            elapsed_seconds=result.elapsed_seconds,
+            scores=dict(result.scores),
+            cursor_stats=(
+                result.cursor_stats.copy()
+                if result.cursor_stats is not None
+                else None
+            ),
+            shard_count=result.shard_count,
+            from_cache=from_cache,
+            _ranked=list(result.ranked()),
+        )

@@ -1,0 +1,101 @@
+"""Globally-aggregated statistics over a set of index shards.
+
+Scoring must not change when a collection is sharded: TF-IDF and the
+probabilistic model both depend on corpus-level quantities -- document
+frequency ``df(t)``, the node count ``db_size``, per-node token counts and
+the derived L2 norms.  Computing those per shard would skew every score by
+the shard's local token distribution.
+
+:class:`AggregatedStatistics` therefore sums the per-shard document
+frequencies and node tables into one global view and presents it through the
+exact :class:`~repro.index.statistics.IndexStatistics` interface, so the
+unmodified scoring models (which each shard's executor instantiates against
+this object) produce scores identical to a single monolithic index.  This is
+the sharded counterpart of the paper's "precomputed score" story: the static
+factors live with the data, the corpus-level factors live here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.corpus.collection import Collection
+from repro.index.statistics import ComplexityParameters, IndexStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.index.inverted_index import InvertedIndex
+    from repro.index.postings import PostingList
+
+
+class _ShardedIndexView:
+    """The minimal index surface the statistics/scoring layer touches.
+
+    Scoring models reach through ``statistics._index`` for the collection
+    (node content) and, for complexity parameters, the posting lists.  This
+    proxy serves the *global* collection and chains the shards' lists.
+    """
+
+    def __init__(self, collection: Collection, shards: "list[InvertedIndex]") -> None:
+        self.collection = collection
+        self._shards = shards
+
+    def posting_lists(self) -> "Iterator[PostingList]":
+        for shard in self._shards:
+            yield from shard.posting_lists()
+
+    def node_count(self) -> int:
+        return len(self.collection)
+
+
+class AggregatedStatistics(IndexStatistics):
+    """Corpus statistics summed over every shard of a sharded index.
+
+    Document frequencies add up exactly (a node lives in precisely one
+    shard), node-level tables are disjoint unions, and the IDF / norm
+    formulae inherited from :class:`IndexStatistics` then evaluate on the
+    global quantities -- which is what makes sharded scores bit-equal to
+    single-index scores.
+    """
+
+    def __init__(
+        self, shard_indexes: "list[InvertedIndex]", collection: Collection
+    ) -> None:
+        # Deliberately no super().__init__: the parent derives its tables by
+        # scanning one index; here they are aggregated from the shards.
+        self._index = _ShardedIndexView(collection, list(shard_indexes))
+        self._node_count = len(collection)
+        document_frequency: dict[str, int] = {}
+        unique_tokens: dict[int, int] = {}
+        node_lengths: dict[int, int] = {}
+        for shard in shard_indexes:
+            for posting_list in shard.posting_lists():
+                document_frequency[posting_list.token] = (
+                    document_frequency.get(posting_list.token, 0)
+                    + posting_list.document_frequency()
+                )
+        # The node tables come from the global collection directly -- it is
+        # the disjoint union of the shard collections, in one ordered pass.
+        for node in collection:
+            unique_tokens[node.node_id] = node.unique_token_count()
+            node_lengths[node.node_id] = len(node)
+        self._document_frequency = document_frequency
+        self._unique_tokens = unique_tokens
+        self._node_lengths = node_lengths
+
+    def complexity_parameters(self) -> ComplexityParameters:
+        """Global complexity parameters of the sharded corpus.
+
+        ``entries_per_token`` is the global document frequency (per-shard
+        maxima would undercount a token split across shards);
+        ``pos_per_entry`` is a max over shards, which is exact because every
+        entry lives wholly inside one shard.
+        """
+        pos_per_entry = [
+            pl.max_positions_per_entry() for pl in self._index.posting_lists()
+        ]
+        return ComplexityParameters(
+            cnodes=self._node_count,
+            pos_per_cnode=max(self._node_lengths.values(), default=0),
+            entries_per_token=max(self._document_frequency.values(), default=0),
+            pos_per_entry=max(pos_per_entry, default=0),
+        )

@@ -30,6 +30,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.cluster.cache import DEFAULT_CACHE_SIZE, QueryCache
+from repro.cluster.merge import MergedEvaluationResult
+from repro.cluster.scatter import ScatterGatherExecutor
+from repro.cluster.sharded_index import ShardedIndex
 from repro.corpus.collection import Collection
 from repro.exceptions import ScoringError
 from repro.index.inverted_index import InvertedIndex
@@ -40,29 +44,65 @@ from repro.engine.executor import AUTO, EvaluationResult, Executor
 from repro.core.query import Query, parse_query
 from repro.core.results import SearchResult, SearchResults
 
+#: Sentinel distinguishing "caller did not mention cache_size" from an
+#: explicit value: an explicit request at shards=1 builds a one-shard
+#: cluster so the cache actually applies.
+_CACHE_UNSET = object()
+
 
 class FullTextEngine:
-    """Index + parser + evaluator + scorer behind one convenient API."""
+    """Index + parser + evaluator + scorer behind one convenient API.
+
+    The engine runs in one of two modes, chosen by the index it is given:
+
+    * a plain :class:`InvertedIndex` -- the single-index path of the paper;
+    * a :class:`~repro.cluster.sharded_index.ShardedIndex` -- queries fan out
+      to every shard through the scatter-gather executor and the merged
+      results (identical node ids and scores, see :mod:`repro.cluster`) come
+      back with per-query cache/shard metadata.
+
+    ``cache_size`` and ``max_workers`` belong to the cluster path and have
+    no effect when the index is a plain :class:`InvertedIndex`; to get a
+    cached engine without real sharding, use
+    :meth:`from_collection` with an explicit ``cache_size`` (it builds a
+    one-shard cluster) or pass a one-shard :class:`ShardedIndex` here.
+    """
 
     def __init__(
         self,
-        index: InvertedIndex,
+        index: "InvertedIndex | ShardedIndex",
         registry: PredicateRegistry | None = None,
         scoring: "str | ScoringModel | None" = None,
         npred_orders: str = "minimal",
         access_mode: str = "paper",
+        max_workers: int | None = None,
+        cache_size: int | None = DEFAULT_CACHE_SIZE,
     ) -> None:
         self.index = index
         self.registry = registry or default_registry()
-        self.scoring = self._resolve_scoring(scoring)
         self.access_mode = access_mode
-        self._executor = Executor(
-            self.index,
-            self.registry,
-            self.scoring,
-            npred_orders=npred_orders,
-            access_mode=access_mode,
-        )
+        self._executor: Executor | None = None
+        self._cluster: ScatterGatherExecutor | None = None
+        if isinstance(index, ShardedIndex):
+            self._cluster = ScatterGatherExecutor(
+                index,
+                self.registry,
+                scoring,
+                npred_orders=npred_orders,
+                access_mode=access_mode,
+                max_workers=max_workers,
+                cache_size=cache_size,
+            )
+            self._scoring = None
+        else:
+            self._scoring = self._resolve_scoring(scoring)
+            self._executor = Executor(
+                index,
+                self.registry,
+                self.scoring,
+                npred_orders=npred_orders,
+                access_mode=access_mode,
+            )
 
     # -------------------------------------------------------------- builders
     @classmethod
@@ -72,9 +112,48 @@ class FullTextEngine:
         registry: PredicateRegistry | None = None,
         scoring: "str | ScoringModel | None" = None,
         access_mode: str = "paper",
+        shards: int = 1,
+        partitioner: str = "hash",
+        max_workers: int | None = None,
+        cache_size=_CACHE_UNSET,
     ) -> "FullTextEngine":
-        """Build an engine by indexing ``collection``."""
-        return cls(InvertedIndex(collection), registry, scoring, access_mode=access_mode)
+        """Build an engine by indexing ``collection``.
+
+        With ``shards > 1`` the collection is partitioned (see
+        ``partitioner``: ``"hash"``, ``"round-robin"`` or
+        ``"metadata:<key>"``) and every search runs scatter-gather across the
+        shards with an LRU result cache of ``cache_size`` entries
+        (``cache_size=None`` disables caching).
+
+        Caching lives in the cluster layer, so *explicitly* requesting a
+        cache at ``shards=1`` builds a one-shard cluster (the sequential
+        fallback, identical results) instead of silently dropping the
+        request -- the shape a cached long-running server such as
+        ``repro serve`` uses.  Left unspecified, ``shards=1`` stays the
+        plain single-index path.
+        """
+        requested_cache = (
+            DEFAULT_CACHE_SIZE if cache_size is _CACHE_UNSET else cache_size
+        )
+        if not requested_cache:  # 0 disables caching, like the CLI flag
+            requested_cache = None
+        wants_cluster = shards > 1 or (
+            cache_size is not _CACHE_UNSET and requested_cache is not None
+        )
+        if wants_cluster:
+            index: "InvertedIndex | ShardedIndex" = ShardedIndex(
+                collection, shards, partitioner
+            )
+        else:
+            index = InvertedIndex(collection)
+        return cls(
+            index,
+            registry,
+            scoring,
+            access_mode=access_mode,
+            max_workers=max_workers,
+            cache_size=requested_cache,
+        )
 
     @classmethod
     def from_texts(
@@ -82,17 +161,62 @@ class FullTextEngine:
         texts: Sequence[str],
         scoring: "str | ScoringModel | None" = None,
         access_mode: str = "paper",
+        shards: int = 1,
     ) -> "FullTextEngine":
         """Build an engine straight from raw text strings (one node each)."""
         return cls.from_collection(
-            Collection.from_texts(texts), scoring=scoring, access_mode=access_mode
+            Collection.from_texts(texts),
+            scoring=scoring,
+            access_mode=access_mode,
+            shards=shards,
         )
 
     # ------------------------------------------------------------------ API
     @property
+    def scoring(self) -> ScoringModel | None:
+        """The active scoring model.
+
+        On the sharded path this delegates to the cluster (shard 0's model),
+        which re-binds to fresh aggregated statistics after incremental
+        updates -- a snapshot taken at construction would go stale.
+        """
+        if self._cluster is not None:
+            return self._cluster.scoring
+        return self._scoring
+
+    @property
     def collection(self) -> Collection:
         """The indexed collection (the search context)."""
         return self.index.collection
+
+    @property
+    def is_sharded(self) -> bool:
+        """Whether searches run scatter-gather over a sharded index."""
+        return self._cluster is not None
+
+    @property
+    def num_shards(self) -> int:
+        """Number of index shards (1 for the single-index path)."""
+        return self._cluster.num_shards if self._cluster is not None else 1
+
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-shard size figures (a single pseudo-shard when unsharded)."""
+        if isinstance(self.index, ShardedIndex):
+            return self.index.shard_stats()
+        from repro.cluster.sharded_index import Shard
+
+        return [Shard(0, self.index).describe()]
+
+    def cache_stats(self) -> dict[str, float]:
+        """Result-cache statistics (all zeros on the single-index path)."""
+        if self._cluster is not None:
+            return self._cluster.cache_stats()
+        return QueryCache.empty_stats()
+
+    def close(self) -> None:
+        """Release the scatter-gather worker pool (no-op when unsharded)."""
+        if self._cluster is not None:
+            self._cluster.close()
 
     def register_predicate(self, predicate: Predicate) -> None:
         """Add a user-defined position predicate usable in COMP queries."""
@@ -126,9 +250,13 @@ class FullTextEngine:
             Return only the best ``top_k`` results (all matches by default).
         """
         parsed = self._as_query(query, language)
-        outcome = self._executor.execute(parsed.node, engine=engine)
-        results = self._build_results(parsed, outcome)
-        return results.top(top_k) if top_k is not None else results
+        if self._cluster is not None:
+            outcome: EvaluationResult = self._cluster.execute(
+                parsed.node, engine=engine, top_k=top_k
+            )
+        else:
+            outcome = self._executor.execute(parsed.node, engine=engine)
+        return self._build_results(parsed, outcome, top_k)
 
     def search_many(
         self,
@@ -145,14 +273,20 @@ class FullTextEngine:
         query shapes skip re-planning entirely.
         """
         parsed_queries = [self._as_query(query, language) for query in queries]
-        outcomes = self._executor.execute_many(
-            [parsed.node for parsed in parsed_queries], engine=engine
-        )
-        batch = []
-        for parsed, outcome in zip(parsed_queries, outcomes):
-            results = self._build_results(parsed, outcome)
-            batch.append(results.top(top_k) if top_k is not None else results)
-        return batch
+        if self._cluster is not None:
+            outcomes: Sequence[EvaluationResult] = self._cluster.execute_many(
+                [parsed.node for parsed in parsed_queries],
+                engine=engine,
+                top_k=top_k,
+            )
+        else:
+            outcomes = self._executor.execute_many(
+                [parsed.node for parsed in parsed_queries], engine=engine
+            )
+        return [
+            self._build_results(parsed, outcome, top_k)
+            for parsed, outcome in zip(parsed_queries, outcomes)
+        ]
 
     def evaluate(
         self,
@@ -162,6 +296,8 @@ class FullTextEngine:
     ) -> EvaluationResult:
         """Lower-level entry point returning the raw :class:`EvaluationResult`."""
         parsed = self._as_query(query, language)
+        if self._cluster is not None:
+            return self._cluster.execute(parsed.node, engine=engine)
         return self._executor.execute(parsed.node, engine=engine)
 
     def explain(self, query: "str | Query | ast.QueryNode", language: str = "auto") -> dict:
@@ -205,8 +341,14 @@ class FullTextEngine:
             )
         return parse_query(query, language, self.registry)
 
-    def _build_results(self, parsed: Query, outcome: EvaluationResult) -> SearchResults:
+    def _build_results(
+        self, parsed: Query, outcome: EvaluationResult, top_k: int | None = None
+    ) -> SearchResults:
         ranked = outcome.ranked()
+        if top_k is not None:
+            # Truncate before materialising previews: only the returned
+            # results pay the per-node preview cost, not every match.
+            ranked = ranked[:top_k]
         results = [
             SearchResult(
                 node_id=node_id,
@@ -215,6 +357,13 @@ class FullTextEngine:
             )
             for node_id, score in ranked
         ]
+        metadata = {}
+        if isinstance(outcome, MergedEvaluationResult):
+            metadata = {"shards": outcome.shard_count}
+            if self._cluster is not None and self._cluster.cache is None:
+                metadata["cache"] = "off"
+            else:
+                metadata["cache"] = "hit" if outcome.from_cache else "miss"
         return SearchResults(
             query_text=parsed.text,
             results=results,
@@ -223,4 +372,5 @@ class FullTextEngine:
             elapsed_seconds=outcome.elapsed_seconds,
             cursor_stats=outcome.cursor_stats,
             total_matches=len(outcome.node_ids),
+            metadata=metadata,
         )

@@ -72,5 +72,9 @@ class StorageError(ReproError):
     """Raised when persisting or loading an index from disk fails."""
 
 
+class ClusterError(ReproError):
+    """Raised for sharding / scatter-gather misconfiguration or misuse."""
+
+
 class WorkloadError(ReproError):
     """Raised when an experiment workload cannot be generated as requested."""

@@ -380,13 +380,23 @@ class EmptyPostingList(PostingList):
     """An immutable, shareable empty posting list.
 
     :meth:`InvertedIndex.posting_list` hands this out for absent tokens so a
-    miss does not allocate; mutation is rejected to keep the shared instance
-    safe.
+    miss does not allocate.  Every mutation path is rejected: one instance is
+    shared by *all* absent-token lookups of an index, so a single successful
+    append would make every missing token appear to match -- a silent,
+    index-wide corruption.  The guard covers :meth:`append` and
+    :meth:`add_occurrences` (the only public mutators) and refuses initial
+    entries, and the failed attempt provably leaves the instance empty.
     """
 
     __slots__ = ()
 
+    def append(self, entry: PostingEntry) -> None:
+        self._raise_immutable()
+
     def add_occurrences(self, node_id: int, positions: Sequence[Position]) -> None:
+        self._raise_immutable()
+
+    def _raise_immutable(self) -> None:
         raise IndexError_(
             "the shared empty posting list is immutable; build a PostingList "
             "to add entries"

@@ -6,7 +6,11 @@ cheap relative to tokenization and keeps the on-disk format independent of
 the in-memory index layout, which makes the format stable across versions.
 
 The format is versioned; loading a file with an unknown version raises
-:class:`~repro.exceptions.StorageError`.
+:class:`~repro.exceptions.StorageError`.  Version 2 adds a
+``statistics`` block (the collection's :meth:`~Collection.describe` summary);
+on load it is checked against the restored nodes, turning silent truncation
+or corruption of the node records into an explicit error.  Version-1 files
+(no statistics) still load.
 """
 
 from __future__ import annotations
@@ -23,7 +27,13 @@ from repro.exceptions import StorageError
 from repro.index.inverted_index import InvertedIndex
 from repro.model.positions import Position
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :func:`load_collection` understands.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: gzip compression level used when none is given: gzip's own default.
+DEFAULT_COMPRESSLEVEL = 9
 
 
 def _node_to_dict(node: ContextNode) -> dict[str, Any]:
@@ -49,19 +59,33 @@ def _node_from_dict(payload: dict[str, Any]) -> ContextNode:
         raise StorageError(f"malformed node record: {exc}") from exc
 
 
-def save_collection(collection: Collection, path: Path | str) -> None:
-    """Serialise a collection to ``path`` (gzip if the suffix is ``.gz``)."""
+def save_collection(
+    collection: Collection,
+    path: Path | str,
+    compresslevel: int = DEFAULT_COMPRESSLEVEL,
+) -> None:
+    """Serialise a collection to ``path`` (gzip if the suffix is ``.gz``).
+
+    ``compresslevel`` (0 = store .. 9 = smallest, gzip's scale) only
+    applies to ``.gz`` paths; large corpora are typically written once and
+    read many times, so the default stays at maximum compression.
+    """
     path = Path(path)
+    if path.suffix == ".gz" and not 0 <= compresslevel <= 9:
+        raise StorageError(
+            f"compresslevel must be in 0..9, got {compresslevel}"
+        )
     document = {
         "format": "repro-collection",
         "version": FORMAT_VERSION,
         "name": collection.name,
+        "statistics": collection.describe(),
         "nodes": [_node_to_dict(node) for node in collection],
     }
     payload = json.dumps(document).encode("utf-8")
     try:
         if path.suffix == ".gz":
-            with gzip.open(path, "wb") as handle:
+            with gzip.open(path, "wb", compresslevel=compresslevel) as handle:
                 handle.write(payload)
         else:
             path.write_bytes(payload)
@@ -86,17 +110,31 @@ def load_collection(path: Path | str) -> Collection:
         raise StorageError(f"{path} is not valid JSON: {exc}") from exc
     if document.get("format") != "repro-collection":
         raise StorageError(f"{path} is not a repro collection file")
-    if document.get("version") != FORMAT_VERSION:
+    if document.get("version") not in SUPPORTED_VERSIONS:
         raise StorageError(
             f"unsupported collection format version {document.get('version')}"
         )
     nodes = [_node_from_dict(record) for record in document.get("nodes", [])]
-    return Collection.from_nodes(nodes, document.get("name", "collection"))
+    collection = Collection.from_nodes(nodes, document.get("name", "collection"))
+    stored_statistics = document.get("statistics")
+    if stored_statistics is not None:
+        restored = collection.describe()
+        if restored != stored_statistics:
+            raise StorageError(
+                f"{path} statistics do not match its nodes (file says "
+                f"{stored_statistics}, restored {restored}); the node "
+                f"records are truncated or corrupt"
+            )
+    return collection
 
 
-def save_index(index: InvertedIndex, path: Path | str) -> None:
+def save_index(
+    index: InvertedIndex,
+    path: Path | str,
+    compresslevel: int = DEFAULT_COMPRESSLEVEL,
+) -> None:
     """Persist an index by persisting its collection (the lists are rebuilt)."""
-    save_collection(index.collection, path)
+    save_collection(index.collection, path, compresslevel=compresslevel)
 
 
 def load_index(path: Path | str, validate: bool = True) -> InvertedIndex:

@@ -1,0 +1,118 @@
+"""Tests for the shard-assignment strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.partition import (
+    HashPartitioner,
+    MetadataPartitioner,
+    RoundRobinPartitioner,
+    balance_report,
+    make_partitioner,
+    partition_collection,
+)
+from repro.corpus import Collection, ContextNode
+from repro.exceptions import ClusterError
+
+
+@pytest.fixture
+def collection() -> Collection:
+    nodes = [
+        ContextNode.from_text(
+            idx, f"document number {idx}", metadata={"tenant": f"t{idx % 3}"}
+        )
+        for idx in range(30)
+    ]
+    return Collection.from_nodes(nodes, "partition-test")
+
+
+def test_make_partitioner_resolves_names():
+    assert isinstance(make_partitioner("hash"), HashPartitioner)
+    assert isinstance(make_partitioner("round-robin"), RoundRobinPartitioner)
+    metadata = make_partitioner("metadata:tenant")
+    assert isinstance(metadata, MetadataPartitioner)
+    assert metadata.key == "tenant"
+
+
+def test_make_partitioner_passes_instances_through():
+    instance = HashPartitioner()
+    assert make_partitioner(instance) is instance
+
+
+def test_make_partitioner_rejects_unknown_names():
+    with pytest.raises(ClusterError):
+        make_partitioner("alphabetical")
+    with pytest.raises(ClusterError):
+        make_partitioner(42)  # type: ignore[arg-type]
+    with pytest.raises(ClusterError):
+        make_partitioner("metadata:")
+
+
+def test_partition_preserves_node_ids_and_covers_collection(collection):
+    shards, assignment = partition_collection(collection, 4, "hash")
+    assert len(shards) == 4
+    covered = sorted(nid for shard in shards for nid in shard.node_ids())
+    assert covered == collection.node_ids()
+    for shard_id, shard in enumerate(shards):
+        for nid in shard.node_ids():
+            assert assignment[nid] == shard_id
+
+
+def test_partition_is_deterministic(collection):
+    first, _ = partition_collection(collection, 4, "hash")
+    second, _ = partition_collection(collection, 4, "hash")
+    assert [s.node_ids() for s in first] == [s.node_ids() for s in second]
+
+
+def test_round_robin_is_maximally_balanced(collection):
+    shards, _ = partition_collection(collection, 4, "round-robin")
+    sizes = [len(shard) for shard in shards]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_hash_partitioner_spreads_consecutive_ids(collection):
+    shards, _ = partition_collection(collection, 4, "hash")
+    sizes = [len(shard) for shard in shards]
+    # Every shard gets a reasonable share of 30 consecutive ids.
+    assert min(sizes) >= 1
+    assert max(sizes) <= 30 - 3
+
+
+def test_metadata_partitioner_colocates_equal_values(collection):
+    shards, assignment = partition_collection(collection, 5, "metadata:tenant")
+    shard_of_tenant: dict[str, int] = {}
+    for node in collection:
+        tenant = node.metadata["tenant"]
+        shard = assignment[node.node_id]
+        assert shard_of_tenant.setdefault(tenant, shard) == shard
+    covered = sorted(nid for shard in shards for nid in shard.node_ids())
+    assert covered == collection.node_ids()
+
+
+def test_metadata_partitioner_falls_back_for_missing_key(collection):
+    bare = ContextNode.from_text(100, "no tenant metadata here")
+    collection.add(bare)
+    _, assignment = partition_collection(collection, 5, "metadata:tenant")
+    assert 0 <= assignment[100] < 5
+
+
+def test_partition_rejects_bad_shard_count(collection):
+    with pytest.raises(ClusterError):
+        partition_collection(collection, 0)
+
+
+def test_partition_single_shard_is_identity(collection):
+    shards, assignment = partition_collection(collection, 1)
+    assert len(shards) == 1
+    assert shards[0].node_ids() == collection.node_ids()
+    assert set(assignment.values()) == {0}
+
+
+def test_balance_report_metrics():
+    report = balance_report([10, 10, 10, 10])
+    assert report["imbalance"] == 0.0
+    skewed = balance_report([30, 10])
+    assert skewed["max"] == 30
+    assert skewed["imbalance"] == pytest.approx(0.5)
+    assert balance_report([])["shards"] == 0

@@ -122,6 +122,82 @@ def test_search_command_fast_access_mode_matches_paper(index_file, capsys):
     assert "match(es)" in fast_out
 
 
+def test_search_command_sharded_matches_single(index_file, capsys):
+    query = "'usability' AND 'software'"
+    assert main(["search", str(index_file), query]) == 0
+    single_out = capsys.readouterr().out
+    assert main(["search", str(index_file), query, "--shards", "3"]) == 0
+    sharded_out = capsys.readouterr().out
+
+    def result_lines(output: str) -> list[str]:
+        return [line for line in output.splitlines() if ". node " in line]
+
+    assert result_lines(sharded_out) == result_lines(single_out)
+    assert "scatter-gather over 3 shards" in sharded_out
+
+
+def test_shard_stats_command(index_file, capsys):
+    code = main(
+        ["shard-stats", str(index_file), "--shards", "2", "--partitioner", "round-robin"]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "partitioner    : round-robin" in captured
+    assert "shards         : 2" in captured
+    assert "balance" in captured
+
+
+def test_shard_stats_rejects_unknown_partitioner(index_file, capsys):
+    code = main(["shard-stats", str(index_file), "--partitioner", "bogus"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "error:" in captured.err
+
+
+def test_serve_command_batch_session(index_file, capsys, monkeypatch):
+    import io
+
+    queries = "\n".join(
+        [
+            "'usability' AND 'software'",
+            "'usability' AND 'software'",  # repeat: served from the cache
+            "# a comment line",
+            "'unterminated",  # parse error must not kill the server
+            ":stats",
+            ":quit",
+        ]
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(queries + "\n"))
+    code = main(["serve", str(index_file), "--shards", "2", "--top-k", "3"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "[cached" in captured
+    assert "error:" in captured
+    assert "served 2 queries over 2 shard(s)" in captured
+    assert "hit_rate=50.0%" in captured
+
+
+def test_serve_command_single_shard_still_caches(index_file, capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("'usability'\n'usability'\n"))
+    code = main(["serve", str(index_file), "--scoring", "none"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "served 2 queries over 1 shard(s)" in captured
+    assert "[cached" in captured  # the default cache works without sharding
+
+
+def test_serve_command_cache_disabled(index_file, capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("'usability'\n"))
+    code = main(["serve", str(index_file), "--cache-size", "0"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "size=0/0" in captured
+
+
 def test_experiment_command_single_figure_smoke(capsys):
     code = main(["experiment", "--figure", "6", "--scale", "smoke"])
     captured = capsys.readouterr().out

@@ -70,3 +70,30 @@ def test_empty_posting_list():
     assert posting_list.document_frequency() == 0
     assert posting_list.max_positions_per_entry() == 0
     assert posting_list.entries() == []
+
+
+def test_shared_empty_posting_list_rejects_all_mutation():
+    from repro.index.postings import EmptyPostingList
+
+    shared = EmptyPostingList("")
+    with pytest.raises(IndexError_, match="immutable"):
+        shared.add_occurrences(0, positions(0))
+    with pytest.raises(IndexError_, match="immutable"):
+        shared.append(PostingEntry(0, positions(0)))
+    with pytest.raises(IndexError_, match="immutable"):
+        EmptyPostingList("tok", entries=[PostingEntry(0, positions(0))])
+    # A failed mutation attempt must leave the shared instance empty.
+    assert len(shared) == 0
+    assert shared.node_ids() == []
+    shared.validate()
+
+
+def test_shared_empty_posting_list_is_one_instance_per_index():
+    from repro.corpus import Collection
+    from repro.index import InvertedIndex
+
+    index = InvertedIndex(Collection.from_texts(["some text"]))
+    first = index.posting_list("missing-token-one")
+    second = index.posting_list("missing-token-two")
+    assert first is second  # the shared singleton, not a fresh allocation
+    assert len(first) == 0

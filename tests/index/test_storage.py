@@ -97,3 +97,63 @@ def test_load_rejects_malformed_node_records(tmp_path):
 def test_load_missing_file(tmp_path):
     with pytest.raises(StorageError):
         load_collection(tmp_path / "missing.json")
+
+
+def test_statistics_are_persisted_and_restored(tmp_path, collection):
+    path = tmp_path / "stats.json"
+    save_collection(collection, path)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    assert document["version"] == 2
+    assert document["statistics"] == collection.describe()
+    assert load_collection(path).describe() == collection.describe()
+
+
+def test_load_rejects_statistics_mismatch(tmp_path, collection):
+    path = tmp_path / "tampered.json"
+    save_collection(collection, path)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    # Drop a node record but keep the stats block: truncation must be caught.
+    document["nodes"] = document["nodes"][:-1]
+    path.write_text(json.dumps(document), encoding="utf-8")
+    with pytest.raises(StorageError, match="statistics do not match"):
+        load_collection(path)
+
+
+def test_version1_files_without_statistics_still_load(tmp_path, collection):
+    path = tmp_path / "v1.json"
+    save_collection(collection, path)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    document["version"] = 1
+    del document["statistics"]
+    path.write_text(json.dumps(document), encoding="utf-8")
+    assert load_collection(path).node_ids() == collection.node_ids()
+
+
+def test_compresslevel_passthrough(tmp_path):
+    big = Collection.from_texts(
+        ["repeated tokens " * 200 for _ in range(20)], name="compressible"
+    )
+    fast_path = tmp_path / "fast.json.gz"
+    small_path = tmp_path / "small.json.gz"
+    save_collection(big, fast_path, compresslevel=1)
+    save_collection(big, small_path, compresslevel=9)
+    assert small_path.stat().st_size <= fast_path.stat().st_size
+    assert load_collection(fast_path).node_ids() == big.node_ids()
+    assert load_collection(small_path).node_ids() == big.node_ids()
+
+
+def test_save_index_compresslevel_passthrough(tmp_path, collection):
+    path = tmp_path / "index.json.gz"
+    save_index(InvertedIndex(collection), path, compresslevel=1)
+    assert load_index(path).tokens() == InvertedIndex(collection).tokens()
+
+
+def test_save_rejects_bad_compresslevel(tmp_path, collection):
+    with pytest.raises(StorageError):
+        save_collection(collection, tmp_path / "bad.json.gz", compresslevel=-1)
+    with pytest.raises(StorageError):
+        save_collection(collection, tmp_path / "bad.json.gz", compresslevel=10)
+    # level 0 (store) is legal gzip, and non-.gz paths ignore the level
+    save_collection(collection, tmp_path / "stored.json.gz", compresslevel=0)
+    assert load_collection(tmp_path / "stored.json.gz").node_ids() == collection.node_ids()
+    save_collection(collection, tmp_path / "plain.json", compresslevel=10)

@@ -1,0 +1,240 @@
+"""Benchmark: sustained ingest + query latency on the live index.
+
+Exercises the live-indexing subsystem (:mod:`repro.segments`) the way a
+serving system sees it:
+
+1. **sustained ingest** -- documents stream into a live engine through the
+   memtable/WAL write path; reported as docs/sec, with the segment count the
+   stream leaves behind;
+2. **queries under concurrent ingest** -- a writer thread keeps ingesting
+   while the main thread serves a repeating BOOL workload; reported as query
+   p50/p95 plus the ingest rate sustained *during* serving;
+3. **compaction effect** -- the same query batch before and after a full
+   compaction, showing the drop in segment count, per-query cursor
+   operations (the k-way-merge overhead), and latency.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py --base-docs 4000
+
+or at smoke scale (used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import threading
+import time
+
+from repro.core.engine import FullTextEngine
+from repro.corpus.synthetic import DEFAULT_QUERY_TOKENS, generate_inex_like_collection
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def make_documents(count: int, tokens_per_doc: int, seed: int) -> list[str]:
+    """Synthetic documents over the same vocabulary as the base corpus.
+
+    Mixes the dense Zipf-head background tokens (``w000NN``) with the rare
+    planted query tokens, so the ingested stream keeps extending exactly the
+    posting lists the query workload reads.
+    """
+    rng = random.Random(seed)
+    common = [f"w{i:05d}" for i in range(40)]
+    planted = list(DEFAULT_QUERY_TOKENS)
+    documents = []
+    for _ in range(count):
+        tokens = [rng.choice(common) for _ in range(tokens_per_doc)]
+        if rng.random() < 0.3:
+            tokens[rng.randrange(tokens_per_doc)] = rng.choice(planted)
+        documents.append(" ".join(tokens))
+    return documents
+
+
+def make_queries(count: int, seed: int) -> list[str]:
+    """Repeating two-token BOOL conjunctions (rare AND dense)."""
+    rng = random.Random(seed)
+    planted = list(DEFAULT_QUERY_TOKENS)
+    common = [f"w{i:05d}" for i in range(8)]
+    return [
+        f"'{rng.choice(planted)}' AND '{rng.choice(common)}'"
+        for _ in range(count)
+    ]
+
+
+def run_query_batch(
+    engine: FullTextEngine, queries: list[str], repeats: int
+) -> tuple[list[float], int]:
+    """Latencies (ms) plus total sequential cursor charges for the batch."""
+    latencies: list[float] = []
+    cursor_ops = 0
+    for _ in range(repeats):
+        for query in queries:
+            started = time.perf_counter()
+            results = engine.search(query, top_k=10)
+            latencies.append((time.perf_counter() - started) * 1000.0)
+            if results.cursor_stats is not None:
+                extended = results.cursor_stats.as_extended_dict()
+                cursor_ops += (
+                    extended["next_entry_calls"]
+                    + extended["seek_calls"]
+                    + extended["seek_probes"]
+                )
+    return latencies, cursor_ops
+
+
+def run(
+    base_docs: int,
+    ingest_docs: int,
+    tokens_per_doc: int,
+    queries: int,
+    repeats: int,
+    flush_threshold: int,
+    access_mode: str,
+) -> dict[str, object]:
+    collection = generate_inex_like_collection(
+        num_nodes=base_docs, tokens_per_node=tokens_per_doc, pos_per_entry=3
+    )
+    engine = FullTextEngine.from_collection(
+        collection,
+        access_mode=access_mode,
+        live=True,
+        flush_threshold=flush_threshold,
+    )
+    documents = make_documents(ingest_docs, tokens_per_doc, seed=42)
+    query_batch = make_queries(queries, seed=7)
+
+    # ---- phase 1: sustained ingest, no readers ---------------------------
+    started = time.perf_counter()
+    for text in documents:
+        engine.add_document(text)
+    ingest_seconds = time.perf_counter() - started
+    segments_after_ingest = len(engine.segment_stats())
+
+    # ---- phase 2: queries under concurrent ingest ------------------------
+    stop = threading.Event()
+    concurrent_counter = {"docs": 0}
+    extra_documents = make_documents(ingest_docs, tokens_per_doc, seed=43)
+
+    def writer() -> None:
+        for text in extra_documents:
+            if stop.is_set():
+                return
+            engine.add_document(text)
+            concurrent_counter["docs"] += 1
+        stop.set()
+
+    thread = threading.Thread(target=writer, name="repro-ingest", daemon=True)
+    concurrent_started = time.perf_counter()
+    thread.start()
+    live_latencies, _ = run_query_batch(engine, query_batch, repeats)
+    serving_seconds = time.perf_counter() - concurrent_started
+    stop.set()
+    thread.join()
+
+    # ---- phase 3: compaction effect --------------------------------------
+    pre_latencies, pre_cursor_ops = run_query_batch(engine, query_batch, repeats)
+    segments_before_compact = len(engine.segment_stats())
+    compact_started = time.perf_counter()
+    report = engine.compact()
+    compact_seconds = time.perf_counter() - compact_started
+    segments_after_compact = len(engine.segment_stats())
+    post_latencies, post_cursor_ops = run_query_batch(engine, query_batch, repeats)
+
+    total_queries = queries * repeats
+    live_sorted = sorted(live_latencies)
+    pre_sorted = sorted(pre_latencies)
+    post_sorted = sorted(post_latencies)
+    engine.close()
+    return {
+        "ingest_rate": ingest_docs / max(ingest_seconds, 1e-12),
+        "segments_after_ingest": segments_after_ingest,
+        "concurrent_rate": concurrent_counter["docs"] / max(serving_seconds, 1e-12),
+        "live_p50": _percentile(live_sorted, 0.50),
+        "live_p95": _percentile(live_sorted, 0.95),
+        "segments_before_compact": segments_before_compact,
+        "segments_after_compact": segments_after_compact,
+        "compact_seconds": compact_seconds,
+        "compact_report": report,
+        "pre_p50": _percentile(pre_sorted, 0.50),
+        "pre_p95": _percentile(pre_sorted, 0.95),
+        "post_p50": _percentile(post_sorted, 0.50),
+        "post_p95": _percentile(post_sorted, 0.95),
+        "pre_cursor_ops": pre_cursor_ops / total_queries,
+        "post_cursor_ops": post_cursor_ops / total_queries,
+        "total_queries": total_queries,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base-docs", type=int, default=4_000)
+    parser.add_argument("--ingest-docs", type=int, default=4_000)
+    parser.add_argument("--tokens-per-doc", type=int, default=40)
+    parser.add_argument("--queries", type=int, default=24, help="distinct queries")
+    parser.add_argument("--repeats", type=int, default=4, help="batch repeats")
+    parser.add_argument(
+        "--flush-threshold", type=int, default=256,
+        help="memtable documents per segment seal (default: 256)",
+    )
+    parser.add_argument("--access-mode", default="fast", choices=["paper", "fast"])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke scale (400 base docs, 600 ingested, small batch)",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        args.base_docs, args.ingest_docs = 400, 600
+        args.queries, args.repeats, args.flush_threshold = 12, 2, 64
+
+    row = run(
+        args.base_docs,
+        args.ingest_docs,
+        args.tokens_per_doc,
+        args.queries,
+        args.repeats,
+        args.flush_threshold,
+        args.access_mode,
+    )
+    print(
+        f"ingest benchmark: base {args.base_docs} docs, stream "
+        f"{args.ingest_docs} docs ({args.tokens_per_doc} tokens each), "
+        f"flush threshold {args.flush_threshold}, access mode {args.access_mode}"
+    )
+    print(
+        f"sustained ingest      : {row['ingest_rate']:>10,.0f} docs/s "
+        f"({row['segments_after_ingest']} segments afterwards)"
+    )
+    print(
+        f"under concurrent ingest: {row['concurrent_rate']:>9,.0f} docs/s while "
+        f"serving {row['total_queries']} queries "
+        f"(p50={row['live_p50']:.2f} ms p95={row['live_p95']:.2f} ms)"
+    )
+    print(
+        f"before compaction     : {row['segments_before_compact']} segments, "
+        f"p50={row['pre_p50']:.2f} ms p95={row['pre_p95']:.2f} ms, "
+        f"{row['pre_cursor_ops']:,.0f} cursor ops/query"
+    )
+    print(
+        f"after compaction      : {row['segments_after_compact']} segments, "
+        f"p50={row['post_p50']:.2f} ms p95={row['post_p95']:.2f} ms, "
+        f"{row['post_cursor_ops']:,.0f} cursor ops/query "
+        f"(compaction merged {row['compact_report']['segments_merged']} "
+        f"segments in {row['compact_seconds'] * 1e3:.0f} ms)"
+    )
+    if row["segments_after_compact"] >= row["segments_before_compact"]:
+        raise SystemExit("compaction did not reduce the segment count")
+    if row["post_cursor_ops"] > row["pre_cursor_ops"]:
+        raise SystemExit("compaction did not reduce per-query cursor work")
+
+
+if __name__ == "__main__":
+    main()

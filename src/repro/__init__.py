@@ -5,6 +5,8 @@ The package is organised as follows:
 
 * :mod:`repro.corpus`    -- documents, tokenization, collections, synthetic data;
 * :mod:`repro.index`     -- inverted lists, sequential cursors, statistics;
+* :mod:`repro.segments`  -- live indexing: WAL, memtable, sealed segments,
+  tombstone deletes and background compaction;
 * :mod:`repro.model`     -- positions, predicates, the full-text calculus (FTC)
   and algebra (FTA), and their equivalence translations;
 * :mod:`repro.languages` -- the BOOL, DIST and COMP surface languages;
@@ -84,10 +86,12 @@ __all__ = [
 # partial checkout (e.g. while bisecting) still exposes the formal model.
 from repro.core import FullTextEngine, SearchResult, SearchResults  # noqa: E402
 from repro.cluster import (  # noqa: E402
+    LiveShardedIndex,
     QueryCache,
     ScatterGatherExecutor,
     ShardedIndex,
 )
+from repro.segments import LiveIndex  # noqa: E402
 from repro.exceptions import ClusterError  # noqa: E402
 
 __all__ += [
@@ -98,4 +102,6 @@ __all__ += [
     "ScatterGatherExecutor",
     "QueryCache",
     "ClusterError",
+    "LiveIndex",
+    "LiveShardedIndex",
 ]

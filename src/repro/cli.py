@@ -14,7 +14,12 @@ The CLI exposes the typical lifecycle of the library without writing Python:
   shards (per-shard sizes and balance);
 * ``repro serve``       -- a long-running query server reading one query per
   stdin line (REPL on a terminal, batch otherwise) with per-query latency and
-  cache statistics;
+  cache statistics; ``--live`` enables the mutation commands (``:add``,
+  ``:update``, ``:delete``, ``:flush``, ``:compact``, ``:segments``);
+* ``repro ingest``      -- tail a document stream (file or stdin) into a live
+  index, optionally interleaving queries to measure serving under ingest;
+* ``repro segment-stats`` -- per-segment sizes and tombstone counts of a live
+  index (a saved collection or a persisted live-index directory);
 * ``repro experiment``  -- regenerate the paper's figures as text tables.
 
 Invoke as ``python -m repro ...`` (or the ``repro`` console script when the
@@ -121,7 +126,54 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=128,
         help="LRU result-cache capacity; 0 disables caching (default: 128)",
     )
+    serve_cmd.add_argument(
+        "--live", action="store_true",
+        help="serve a live (mutable) index: ':add TEXT', ':update ID TEXT', "
+        "':delete ID', ':flush', ':compact' and ':segments' become available",
+    )
+    serve_cmd.add_argument(
+        "--flush-threshold", type=int, default=None,
+        help="documents the live memtable holds before it is sealed "
+        "(default: 256; only with --live)",
+    )
     _add_sharding_arguments(serve_cmd)
+
+    ingest_cmd = subparsers.add_parser(
+        "ingest",
+        help="tail documents (one per line) from a file or stdin into a live index",
+    )
+    ingest_cmd.add_argument(
+        "docs", help="document stream: a text file with one document per line, "
+        "or '-' for stdin",
+    )
+    ingest_cmd.add_argument(
+        "--base", default=None,
+        help="start from a saved collection file instead of an empty index",
+    )
+    ingest_cmd.add_argument(
+        "--data-dir", default=None,
+        help="persist the live index (WAL + segment files) in this directory",
+    )
+    ingest_cmd.add_argument(
+        "--queries", default=None,
+        help="file with one query per line, served interleaved with the ingest",
+    )
+    ingest_cmd.add_argument(
+        "--query-every", type=int, default=50,
+        help="run the query set after every N ingested documents (default: 50)",
+    )
+    ingest_cmd.add_argument("--flush-threshold", type=int, default=None)
+    ingest_cmd.add_argument(
+        "--compact", action="store_true",
+        help="run a full compaction after the ingest and report the effect",
+    )
+    ingest_cmd.add_argument(
+        "--access-mode", default="fast", choices=["paper", "fast"],
+    )
+    ingest_cmd.add_argument(
+        "--scoring", default="none", choices=["none", "tfidf", "probabilistic"],
+    )
+    _add_sharding_arguments(ingest_cmd)
 
     explain_cmd = subparsers.add_parser("explain", help="classify a query without running it")
     explain_cmd.add_argument("query", help="the query text")
@@ -144,6 +196,17 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     shard_stats_cmd.add_argument("index_file")
     _add_sharding_arguments(shard_stats_cmd)
+
+    segment_stats_cmd = subparsers.add_parser(
+        "segment-stats",
+        help="per-segment sizes and tombstones of a live index",
+    )
+    segment_stats_cmd.add_argument(
+        "index_path",
+        help="a saved collection file, or a live-index directory "
+        "(as written by 'repro ingest --data-dir')",
+    )
+    segment_stats_cmd.add_argument("--flush-threshold", type=int, default=None)
 
     experiment_cmd = subparsers.add_parser(
         "experiment", help="regenerate the paper's figures"
@@ -177,8 +240,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_index_stats(args)
         if args.command == "shard-stats":
             return _command_shard_stats(args)
+        if args.command == "segment-stats":
+            return _command_segment_stats(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "ingest":
+            return _command_ingest(args)
         if args.command == "experiment":
             return _command_experiment(args)
         parser.error(f"unknown command {args.command!r}")
@@ -210,7 +277,7 @@ def _command_index(args: argparse.Namespace) -> int:
 
 
 def _load_engine(args: argparse.Namespace, cache_size: int | None = None) -> FullTextEngine:
-    """Build a (possibly sharded) engine from an index file + CLI arguments."""
+    """Build a (possibly sharded, possibly live) engine from an index file."""
     scoring = None if args.scoring == "none" else args.scoring
     collection = load_collection(args.index_file)
     return FullTextEngine.from_collection(
@@ -220,6 +287,8 @@ def _load_engine(args: argparse.Namespace, cache_size: int | None = None) -> Ful
         shards=args.shards,
         partitioner=args.partitioner,
         cache_size=cache_size,
+        live=getattr(args, "live", False),
+        flush_threshold=getattr(args, "flush_threshold", None),
     )
 
 
@@ -317,6 +386,123 @@ def _command_shard_stats(args: argparse.Namespace) -> int:
         f"balance        : min={balance['min']} max={balance['max']} "
         f"mean={balance['mean']:.1f} imbalance={balance['imbalance'] * 100:.1f}%"
     )
+    footprint = sharded.memory_footprint()
+    print(
+        f"memory         : {footprint['total_bytes']:,} B total "
+        f"(node ids {footprint['node_ids_bytes']:,} B, "
+        f"offsets {footprint['offsets_bytes']:,} B, "
+        f"bounds {footprint['entry_bounds_bytes']:,} B, "
+        f"structure {footprint['structure_bytes']:,} B)"
+    )
+    return 0
+
+
+def _print_segment_rows(rows: list[dict], with_shard: bool = False) -> None:
+    shard_col = f"{'shard':>5} " if with_shard else ""
+    print(
+        f"{shard_col}{'segment':>8} {'docs':>8} {'live':>8} {'tombs':>6} "
+        f"{'tokens':>8} {'positions':>10} {'memory':>12}"
+    )
+    for row in rows:
+        label = "memtable" if row["generation"] < 0 else str(row["generation"])
+        shard_val = f"{row['shard']:>5} " if with_shard else ""
+        print(
+            f"{shard_val}{label:>8} {row['docs']:>8} {row['live_docs']:>8} "
+            f"{row['tombstones']:>6} {row['tokens']:>8} {row['positions']:>10} "
+            f"{row['memory_bytes']:>10,} B"
+        )
+
+
+def _command_segment_stats(args: argparse.Namespace) -> int:
+    from repro.segments import LiveIndex
+
+    path = Path(args.index_path)
+    kwargs = {}
+    if args.flush_threshold is not None:
+        kwargs["flush_threshold"] = args.flush_threshold
+    if path.is_dir():
+        index = LiveIndex.open(path, **kwargs)
+    else:
+        index = LiveIndex(load_collection(path), **kwargs)
+    try:
+        rows = index.segment_stats()
+        print(f"live documents : {index.node_count()}")
+        print(f"segments       : {len(rows)}")
+        _print_segment_rows(rows)
+        footprint = index.memory_footprint()
+        print(f"memory         : {footprint['total_bytes']:,} B total")
+    finally:
+        index.close()
+    return 0
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    if args.base is not None:
+        collection = load_collection(args.base)
+    else:
+        from repro.corpus import Collection
+
+        collection = Collection({}, "ingested")
+    scoring = None if args.scoring == "none" else args.scoring
+    engine = FullTextEngine.from_collection(
+        collection,
+        scoring=scoring,
+        access_mode=args.access_mode,
+        shards=args.shards,
+        partitioner=args.partitioner,
+        live=True,
+        live_dir=args.data_dir,
+        flush_threshold=args.flush_threshold,
+    )
+    queries: list[str] = []
+    if args.queries is not None:
+        queries = [
+            line.strip()
+            for line in Path(args.queries).read_text(encoding="utf-8").splitlines()
+            if line.strip() and not line.startswith("#")
+        ]
+    stream = sys.stdin if args.docs == "-" else open(args.docs, "r", encoding="utf-8")
+    ingested = 0
+    query_latencies_ms: list[float] = []
+    started = time.perf_counter()
+    try:
+        for line in stream:
+            text = line.strip()
+            if not text:
+                continue
+            engine.add_document(text)
+            ingested += 1
+            if queries and ingested % max(args.query_every, 1) == 0:
+                for query in queries:
+                    q_started = time.perf_counter()
+                    engine.search(query, top_k=5)
+                    query_latencies_ms.append(
+                        (time.perf_counter() - q_started) * 1000.0
+                    )
+        elapsed = time.perf_counter() - started
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    rate = ingested / elapsed if elapsed > 0 else 0.0
+    print(f"ingested {ingested} documents in {elapsed:.2f}s ({rate:,.0f} docs/s)")
+    if query_latencies_ms:
+        ordered = sorted(query_latencies_ms)
+        print(
+            f"served {len(ordered)} queries during ingest: "
+            f"p50={_percentile(ordered, 0.50):.2f} ms "
+            f"p95={_percentile(ordered, 0.95):.2f} ms"
+        )
+    rows = engine.segment_stats()
+    print(f"segments after ingest: {len(rows)}")
+    if args.compact:
+        report = engine.compact()
+        rows = engine.segment_stats()
+        print(
+            f"compacted: merged {report['segments_merged']} segments in "
+            f"{report['merges']} merge(s); {len(rows)} segment(s) remain"
+        )
+    _print_segment_rows(rows, with_shard=args.shards > 1)
+    engine.close()
     return 0
 
 
@@ -327,23 +513,86 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[rank]
 
 
+def _serve_live_command(engine: FullTextEngine, command: str) -> bool:
+    """Execute a live mutation command; returns False when unrecognised."""
+    parts = command.split(None, 1)
+    head = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    if head == ":add":
+        if not rest:
+            print("usage: :add TEXT")
+            return True
+        node_id = engine.add_document(rest)
+        print(f"added node {node_id}")
+        return True
+    if head == ":update":
+        pieces = rest.split(None, 1)
+        if len(pieces) < 2 or not pieces[0].isdigit():
+            print("usage: :update ID TEXT")
+            return True
+        engine.update_document(int(pieces[0]), pieces[1])
+        print(f"updated node {pieces[0]}")
+        return True
+    if head == ":delete":
+        if not rest.strip().isdigit():
+            print("usage: :delete ID")
+            return True
+        removed = engine.delete_document(int(rest.strip()))
+        print(f"deleted node {rest.strip()}" if removed else f"no node {rest.strip()}")
+        return True
+    if head == ":flush":
+        engine.flush()
+        print(f"flushed; {len(engine.segment_stats())} segment(s)")
+        return True
+    if head == ":compact":
+        report = engine.compact()
+        print(
+            f"compacted {report['segments_merged']} segment(s) in "
+            f"{report['merges']} merge(s); {len(engine.segment_stats())} remain"
+        )
+        return True
+    if head == ":segments":
+        _print_segment_rows(engine.segment_stats(), with_shard=engine.num_shards > 1)
+        return True
+    return False
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     cache_size = args.cache_size if args.cache_size > 0 else None
     engine = _load_engine(args, cache_size=cache_size)
     interactive = sys.stdin.isatty()
     if interactive:  # pragma: no cover - exercised manually
+        live_note = ", live" if getattr(args, "live", False) else ""
         print(
             f"repro serve: {engine.collection.name!r}, "
             f"{engine.num_shards} shard(s), scoring={args.scoring}, "
-            f"cache={args.cache_size}"
+            f"cache={args.cache_size}{live_note}"
         )
         print("one query per line; ':stats' for statistics, ':quit' to exit")
+        if engine.is_live:
+            print(
+                "live commands: ':add TEXT', ':update ID TEXT', ':delete ID', "
+                "':flush', ':compact', ':segments'"
+            )
     # Percentiles come from a bounded window of recent requests so a
     # long-running server does not grow (or re-sort) an unbounded list;
     # the mean covers every request served.
     latencies_ms: "deque[float]" = deque(maxlen=10_000)
     total_latency_ms = 0.0
     served = 0
+    # The final summary must appear exactly once however the loop ends --
+    # ':quit', stream EOF, Ctrl-C, or an unexpected error -- so it lives in
+    # the finally block behind a once-guard.
+    summary_printed = False
+
+    def print_final_summary() -> None:
+        nonlocal summary_printed
+        if summary_printed:
+            return
+        summary_printed = True
+        print()
+        _print_serve_stats(engine, served, total_latency_ms, latencies_ms)
+
     try:
         for line in sys.stdin:
             query = line.strip()
@@ -354,6 +603,13 @@ def _command_serve(args: argparse.Namespace) -> int:
             if query in (":stats", ":cache"):
                 _print_serve_stats(engine, served, total_latency_ms, latencies_ms)
                 continue
+            if query.startswith(":") and engine.is_live:
+                try:
+                    if _serve_live_command(engine, query):
+                        continue
+                except ReproError as exc:
+                    print(f"error: {exc}")
+                    continue
             started = time.perf_counter()
             try:
                 results = engine.search(
@@ -378,12 +634,11 @@ def _command_serve(args: argparse.Namespace) -> int:
                     f"  {rank:2d}. node {result.node_id}  "
                     f"score={result.score:.4f}  {result.preview}"
                 )
-    except KeyboardInterrupt:  # pragma: no cover - interactive Ctrl-C
+    except (KeyboardInterrupt, EOFError):  # pragma: no cover - interactive
         print()
     finally:
+        print_final_summary()
         engine.close()
-    print()
-    _print_serve_stats(engine, served, total_latency_ms, latencies_ms)
     return 0
 
 

@@ -15,13 +15,17 @@ the paper's semantics and scores bit-identical:
 * :mod:`repro.cluster.merge`         -- heap-based k-way merging of per-shard
   id streams and rankings;
 * :mod:`repro.cluster.cache`         -- the LRU result cache keyed on
-  normalized plan + access mode + scoring + top-k.
+  normalized plan + access mode + scoring + top-k;
+* :mod:`repro.cluster.live`          -- live (mutable) shards: one
+  :class:`~repro.segments.live_index.LiveIndex` per shard with routed
+  updates/deletes and generation-keyed cache invalidation.
 
 The high-level entry point is
 ``FullTextEngine.from_collection(collection, shards=N)``.
 """
 
 from repro.cluster.cache import DEFAULT_CACHE_SIZE, QueryCache, make_cache_key
+from repro.cluster.live import LiveShardedIndex
 from repro.cluster.merge import (
     MergedEvaluationResult,
     merge_cursor_stats,
@@ -45,6 +49,7 @@ __all__ = [
     "AggregatedStatistics",
     "DEFAULT_CACHE_SIZE",
     "HashPartitioner",
+    "LiveShardedIndex",
     "MergedEvaluationResult",
     "MetadataPartitioner",
     "Partitioner",

@@ -81,23 +81,32 @@ class QueryCache:
             self.invalidations += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def stats(self) -> dict[str, float]:
-        """Counters plus the hit rate over all lookups so far."""
-        lookups = self.hits + self.misses
-        return {
-            "capacity": self.capacity,
-            "size": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "hit_rate": (self.hits / lookups) if lookups else 0.0,
-        }
+        """Counters plus the hit rate over all lookups so far.
+
+        Taken under the cache lock so the snapshot is internally consistent
+        even while scatter-gather workers and ``search_many`` batches are
+        hitting the cache concurrently.
+        """
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            lookups = hits + misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": hits,
+                "misses": misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+            }
 
     @staticmethod
     def empty_stats() -> dict[str, float]:

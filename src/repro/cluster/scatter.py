@@ -69,8 +69,16 @@ class ScatterGatherExecutor:
         ]
         self._pool: ThreadPoolExecutor | None = None
         self.cache = QueryCache(cache_size) if cache_size else None
-        if self.cache is not None:
+        # Two invalidation regimes: a static sharded index has no data
+        # version, so the cache is flushed wholesale on every mutation; a
+        # live index exposes a mutation generation that every cache key
+        # embeds, so stale entries just age out of the LRU and flushes /
+        # compactions (which cannot change results) leave the cache warm.
+        self._generation_keyed = sharded_index.cache_generation() is not None
+        self._cache_listener_registered = False
+        if self.cache is not None and not self._generation_keyed:
             sharded_index.add_invalidation_listener(self.cache.invalidate)
+            self._cache_listener_registered = True
         # An incremental append changes the global df/N, so the shard models
         # must re-bind to the recomputed statistics before the next query.
         self._scoring_stale = False
@@ -197,8 +205,9 @@ class ScatterGatherExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-        if self.cache is not None:
+        if self._cache_listener_registered:
             self.sharded_index.remove_invalidation_listener(self.cache.invalidate)
+            self._cache_listener_registered = False
         if self._scoring_spec is not None:
             self.sharded_index.remove_invalidation_listener(self._mark_scoring_stale)
 
@@ -287,7 +296,7 @@ class ScatterGatherExecutor:
     def _cache_key(
         self, query: ast.QueryNode, engine: str, top_k: int | None
     ) -> tuple:
-        return make_cache_key(
+        key = make_cache_key(
             query.to_text(),
             engine,
             self.access_mode,
@@ -295,6 +304,12 @@ class ScatterGatherExecutor:
             self.npred_orders,
             top_k,
         )
+        if self._generation_keyed:
+            # Segment-aware invalidation: the data generation is part of the
+            # key, so a mutation makes old entries unreachable rather than
+            # flushing the cache.
+            key = key + (self.sharded_index.cache_generation(),)
+        return key
 
     def _cache_get(self, key: tuple) -> MergedEvaluationResult | None:
         if self.cache is None:

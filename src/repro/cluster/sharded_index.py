@@ -67,7 +67,7 @@ class ShardedIndex:
             collection, num_shards, self.partitioner
         )
         self.shards = [
-            Shard(shard_id, InvertedIndex(shard_collection))
+            Shard(shard_id, self._build_shard_index(shard_collection, shard_id))
             for shard_id, shard_collection in enumerate(shard_collections)
         ]
         self._assignment = assignment
@@ -75,6 +75,10 @@ class ShardedIndex:
         self._max_node_id = node_ids[-1] if node_ids else None
         self._statistics: AggregatedStatistics | None = None
         self._invalidation_listeners: list[Callable[[], None]] = []
+
+    def _build_shard_index(self, shard_collection: Collection, shard_id: int):
+        """Build one shard's index; the live subclass overrides this hook."""
+        return InvertedIndex(shard_collection)
 
     @classmethod
     def from_collection(
@@ -183,10 +187,40 @@ class ShardedIndex:
         for listener in self._invalidation_listeners:
             listener()
 
+    def cache_generation(self) -> int | None:
+        """The cache-keying generation, or ``None`` for listener invalidation.
+
+        A static sharded index has no cheap notion of "which version of the
+        data produced this result", so result caches built on top register an
+        invalidation listener and flush wholesale on every mutation.  The
+        live subclass returns a real generation instead, letting caches key
+        entries by data version and keep old entries merely unreachable.
+        """
+        return None
+
     # ------------------------------------------------------------ diagnostics
     def shard_stats(self) -> list[dict[str, int]]:
         """Per-shard size figures, one dict per shard in shard order."""
         return [shard.describe() for shard in self.shards]
+
+    def memory_footprint(self) -> dict[str, int]:
+        """Columnar posting-storage bytes aggregated over every shard.
+
+        The same shape as :meth:`InvertedIndex.memory_footprint`, summed
+        shard-by-shard; surfaced by ``repro shard-stats``.
+        """
+        totals = {
+            "node_ids_bytes": 0,
+            "entry_bounds_bytes": 0,
+            "offsets_bytes": 0,
+            "structure_bytes": 0,
+        }
+        for shard in self.shards:
+            breakdown = shard.index.memory_footprint()
+            for key in totals:
+                totals[key] += breakdown[key]
+        totals["total_bytes"] = sum(totals.values())
+        return totals
 
     def validate(self) -> None:
         """Check every shard's index invariants plus the partition itself."""

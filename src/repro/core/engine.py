@@ -31,12 +31,14 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.cluster.cache import DEFAULT_CACHE_SIZE, QueryCache
+from repro.cluster.live import LiveShardedIndex
 from repro.cluster.merge import MergedEvaluationResult
 from repro.cluster.scatter import ScatterGatherExecutor
 from repro.cluster.sharded_index import ShardedIndex
 from repro.corpus.collection import Collection
-from repro.exceptions import ScoringError
+from repro.exceptions import ReproError, ScoringError
 from repro.index.inverted_index import InvertedIndex
+from repro.segments.live_index import LiveIndex
 from repro.languages import ast
 from repro.model.predicates import Predicate, PredicateRegistry, default_registry
 from repro.scoring.base import ScoringModel, get_model
@@ -83,6 +85,8 @@ class FullTextEngine:
         self.access_mode = access_mode
         self._executor: Executor | None = None
         self._cluster: ScatterGatherExecutor | None = None
+        self._scoring_spec = scoring
+        self._scoring_generation: int | None = None
         if isinstance(index, ShardedIndex):
             self._cluster = ScatterGatherExecutor(
                 index,
@@ -103,6 +107,8 @@ class FullTextEngine:
                 npred_orders=npred_orders,
                 access_mode=access_mode,
             )
+            if isinstance(index, LiveIndex):
+                self._scoring_generation = index.generation
 
     # -------------------------------------------------------------- builders
     @classmethod
@@ -116,6 +122,9 @@ class FullTextEngine:
         partitioner: str = "hash",
         max_workers: int | None = None,
         cache_size=_CACHE_UNSET,
+        live: bool = False,
+        live_dir=None,
+        flush_threshold: int | None = None,
     ) -> "FullTextEngine":
         """Build an engine by indexing ``collection``.
 
@@ -124,6 +133,13 @@ class FullTextEngine:
         ``"metadata:<key>"``) and every search runs scatter-gather across the
         shards with an LRU result cache of ``cache_size`` entries
         (``cache_size=None`` disables caching).
+
+        With ``live=True`` the index is built on the log-structured segment
+        subsystem (:mod:`repro.segments`) and the engine accepts
+        :meth:`add_document` / :meth:`update_document` /
+        :meth:`delete_document` while serving queries.  ``live_dir`` adds
+        WAL + segment-file persistence; ``flush_threshold`` bounds the
+        memtable (documents per segment seal).
 
         Caching lives in the cluster layer, so *explicitly* requesting a
         cache at ``shards=1`` builds a one-shard cluster (the sequential
@@ -140,10 +156,19 @@ class FullTextEngine:
         wants_cluster = shards > 1 or (
             cache_size is not _CACHE_UNSET and requested_cache is not None
         )
+        live_options = {}
+        if flush_threshold is not None:
+            live_options["flush_threshold"] = flush_threshold
         if wants_cluster:
-            index: "InvertedIndex | ShardedIndex" = ShardedIndex(
-                collection, shards, partitioner
-            )
+            if live:
+                index: "InvertedIndex | ShardedIndex" = LiveShardedIndex(
+                    collection, shards, partitioner,
+                    directory=live_dir, **live_options,
+                )
+            else:
+                index = ShardedIndex(collection, shards, partitioner)
+        elif live:
+            index = LiveIndex(collection, directory=live_dir, **live_options)
         else:
             index = InvertedIndex(collection)
         return cls(
@@ -195,6 +220,11 @@ class FullTextEngine:
         return self._cluster is not None
 
     @property
+    def is_live(self) -> bool:
+        """Whether the index accepts updates and deletes while serving."""
+        return isinstance(self.index, (LiveIndex, LiveShardedIndex))
+
+    @property
     def num_shards(self) -> int:
         """Number of index shards (1 for the single-index path)."""
         return self._cluster.num_shards if self._cluster is not None else 1
@@ -214,9 +244,83 @@ class FullTextEngine:
         return QueryCache.empty_stats()
 
     def close(self) -> None:
-        """Release the scatter-gather worker pool (no-op when unsharded)."""
+        """Release the worker pool and close live-index resources.
+
+        On a live index this stops background compaction and makes the WAL
+        durable; on the cluster path it additionally shuts the scatter
+        worker pool down.  Idempotent.
+        """
         if self._cluster is not None:
             self._cluster.close()
+        if isinstance(self.index, (LiveIndex, LiveShardedIndex)):
+            self.index.close()
+
+    # -------------------------------------------------------------- mutation
+    def add_document(self, text: str, metadata=None) -> int:
+        """Tokenize and index a new document; returns its node id.
+
+        Works on every index flavour: plain indexes append (the seed's
+        append-only contract), live indexes route through the WAL + memtable
+        write path.
+        """
+        return self.index.add_text(text, metadata=metadata)
+
+    def update_document(self, node_id: int, text: str, metadata=None) -> None:
+        """Replace a document's content in place (live indexes only)."""
+        index = self._require_live("update")
+        index.update_text(node_id, text, metadata=metadata)
+
+    def delete_document(self, node_id: int) -> bool:
+        """Delete a document (live indexes only); False if the id is unknown."""
+        index = self._require_live("delete")
+        return index.delete_node(node_id)
+
+    def flush(self) -> None:
+        """Seal the live memtable(s) into immutable segments (no-op unless live)."""
+        if self.is_live:
+            self.index.flush()
+
+    def compact(self) -> dict[str, int]:
+        """Fully compact the live index; returns the merge report."""
+        if not self.is_live:
+            return {"merges": 0, "segments_merged": 0}
+        return self.index.compact()
+
+    def segment_stats(self) -> list[dict[str, int]]:
+        """Per-segment size rows of a live index ([] for static indexes)."""
+        if not self.is_live:
+            return []
+        return self.index.segment_stats()
+
+    def _require_live(self, operation: str):
+        if not self.is_live:
+            raise ReproError(
+                f"cannot {operation} documents on a static index; build the "
+                f"engine with live=True (FullTextEngine.from_collection) to "
+                f"get the mutable write path"
+            )
+        return self.index
+
+    def _refresh_scoring(self) -> None:
+        """Re-bind the scoring model after live mutations (single path).
+
+        Statistics (df / N / norms) change with every mutation; a model
+        bound at construction would keep scoring against the old corpus.
+        The cluster path refreshes itself through the sharded index's
+        invalidation listeners; the single live path has no listeners, so
+        the engine compares the index generation lazily before each search.
+        """
+        if (
+            self._executor is None
+            or self._scoring_spec is None
+            or not isinstance(self.index, LiveIndex)
+        ):
+            return
+        generation = self.index.generation
+        if generation != self._scoring_generation:
+            self._scoring = self._resolve_scoring(self._scoring_spec)
+            self._executor.scoring = self._scoring
+            self._scoring_generation = generation
 
     def register_predicate(self, predicate: Predicate) -> None:
         """Add a user-defined position predicate usable in COMP queries."""
@@ -255,6 +359,7 @@ class FullTextEngine:
                 parsed.node, engine=engine, top_k=top_k
             )
         else:
+            self._refresh_scoring()
             outcome = self._executor.execute(parsed.node, engine=engine)
         return self._build_results(parsed, outcome, top_k)
 
@@ -280,6 +385,7 @@ class FullTextEngine:
                 top_k=top_k,
             )
         else:
+            self._refresh_scoring()
             outcomes = self._executor.execute_many(
                 [parsed.node for parsed in parsed_queries], engine=engine
             )
@@ -298,6 +404,7 @@ class FullTextEngine:
         parsed = self._as_query(query, language)
         if self._cluster is not None:
             return self._cluster.execute(parsed.node, engine=engine)
+        self._refresh_scoring()
         return self._executor.execute(parsed.node, engine=engine)
 
     def explain(self, query: "str | Query | ast.QueryNode", language: str = "auto") -> dict:
@@ -327,6 +434,19 @@ class FullTextEngine:
             "scoring must be None, a model name, or a ScoringModel instance"
         )
 
+    def _preview(self, node_id: int) -> str:
+        """The node's text preview, tolerant of a concurrent delete.
+
+        On a live index a matched node can be deleted between evaluation
+        (which correctly saw it, per snapshot isolation) and preview
+        materialisation; the query result is still valid for its snapshot,
+        so the preview degrades gracefully instead of failing the search.
+        """
+        node = self.collection.nodes.get(node_id)
+        if node is None:
+            return "(deleted)"
+        return node.text_preview()
+
     def _as_query(self, query: "str | Query | ast.QueryNode", language: str) -> Query:
         if isinstance(query, Query):
             return query
@@ -353,7 +473,7 @@ class FullTextEngine:
             SearchResult(
                 node_id=node_id,
                 score=score,
-                preview=self.collection.get(node_id).text_preview(),
+                preview=self._preview(node_id),
             )
             for node_id, score in ranked
         ]

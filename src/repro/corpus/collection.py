@@ -76,6 +76,25 @@ class Collection:
             raise CorpusError(f"duplicate node id {node.node_id}")
         self.nodes[node.node_id] = node
 
+    def remove(self, node_id: int) -> ContextNode:
+        """Remove and return the node with ``node_id``; raise if absent.
+
+        Used by the live-indexing layer (:mod:`repro.segments`) to keep the
+        collection in step with tombstone deletes.
+        """
+        try:
+            return self.nodes.pop(node_id)
+        except KeyError as exc:
+            raise CorpusError(f"unknown node id {node_id}") from exc
+
+    def replace(self, node: ContextNode) -> ContextNode:
+        """Swap in a new revision of an existing node; return the old one."""
+        if node.node_id not in self.nodes:
+            raise CorpusError(f"unknown node id {node.node_id}")
+        old = self.nodes[node.node_id]
+        self.nodes[node.node_id] = node
+        return old
+
     def next_node_id(self) -> int:
         """The smallest id greater than every existing node id (0 if empty)."""
         return max(self.nodes, default=-1) + 1

@@ -123,6 +123,19 @@ class Executor:
         return results
 
     # ------------------------------------------------------------- internals
+    def _current_index(self) -> InvertedIndex:
+        """The index view this query should evaluate against.
+
+        A live index (:class:`repro.segments.live_index.LiveIndex`) hands
+        out per-query snapshots: every cursor the query opens then reads one
+        consistent set of segments, no matter what concurrent writers do.
+        Static indexes are their own (trivially consistent) view.
+        """
+        snapshot = getattr(self.index, "snapshot", None)
+        if snapshot is not None:
+            return snapshot()
+        return self.index
+
     def _execute(
         self,
         query: ast.QueryNode,
@@ -132,9 +145,10 @@ class Executor:
     ) -> EvaluationResult:
         language_class = classify_query(query, self.registry)
         engine_name = self._resolve_engine(language_class, engine)
+        index = self._current_index()
         started = time.perf_counter()
         try:
-            node_ids, stats = self._run(query, engine_name, factory, plan_cache)
+            node_ids, stats = self._run(index, query, engine_name, factory, plan_cache)
         except UnsupportedQueryError:
             # The classifier is intentionally syntactic; if a corner case
             # slips past it (or a caller forced a pipelined engine onto a
@@ -143,7 +157,7 @@ class Executor:
             if engine != AUTO and engine_name != "comp":
                 raise
             engine_name = "comp"
-            node_ids, stats = self._run(query, engine_name, factory, plan_cache)
+            node_ids, stats = self._run(index, query, engine_name, factory, plan_cache)
         elapsed = time.perf_counter() - started
         scores = self._score(query, node_ids, engine_name)
         return EvaluationResult(
@@ -172,28 +186,29 @@ class Executor:
 
     def _run(
         self,
+        index: InvertedIndex,
         query: ast.QueryNode,
         engine_name: str,
         factory: CursorFactory | None = None,
         plan_cache: dict | None = None,
     ) -> tuple[list[int], CursorStats | None]:
         if engine_name == "bool":
-            engine = BoolEngine(self.index, scoring=None, access_mode=self.access_mode)
+            engine = BoolEngine(index, scoring=None, access_mode=self.access_mode)
             return engine.evaluate_with_stats(query, factory=factory)
         if engine_name == "ppred":
-            engine = PPredEngine(self.index, self.registry, access_mode=self.access_mode)
+            engine = PPredEngine(index, self.registry, access_mode=self.access_mode)
             plan = self._cached_plan(query, engine_name, plan_cache)
             return engine.evaluate_with_stats(query, factory=factory, plan=plan)
         if engine_name == "npred":
             engine = NPredEngine(
-                self.index,
+                index,
                 self.registry,
                 orders=self.npred_orders,
                 access_mode=self.access_mode,
             )
             plan = self._cached_plan(query, engine_name, plan_cache)
             return engine.evaluate_with_stats(query, factory=factory, plan=plan)
-        engine = NaiveCompEngine(self.index, self.registry)
+        engine = NaiveCompEngine(index, self.registry)
         return engine.evaluate(query), None
 
     def _cached_plan(

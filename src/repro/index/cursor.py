@@ -231,6 +231,172 @@ class InvertedListCursor:
         )
 
 
+class MultiSegmentCursor:
+    """One logical cursor over the same token's list in several segments.
+
+    The live-indexing layer (:mod:`repro.segments`) stores an index as a
+    sequence of immutable segments plus a mutable memtable; a token's logical
+    inverted list is the k-way merge of its per-segment lists with tombstoned
+    entries removed.  This cursor presents that merge through the exact
+    sequential-cursor API of :class:`InvertedListCursor`, so every evaluation
+    engine works unchanged on a live index.
+
+    ``parts`` is a sequence of ``(cursor, dead)`` pairs, one per segment, in
+    any order: ``cursor`` is a plain :class:`InvertedListCursor` over that
+    segment's list and ``dead`` is ``None`` or a predicate ``node_id -> bool``
+    marking entries tombstoned *as of the snapshot* this cursor belongs to.
+    Visible node ids are unique across segments (at most one live revision of
+    a node exists), so the merge is a disjoint union.
+
+    Accounting: all child cursors share this cursor's :class:`CursorStats`
+    object, so every per-segment ``next_entry`` / ``get_positions`` / seek
+    charge (including entries skipped over tombstones) is counted once, here.
+    More segments therefore mean measurably more cursor work for the same
+    query -- which is exactly the overhead background compaction removes.
+    """
+
+    __slots__ = (
+        "token",
+        "mode",
+        "stats",
+        "_parts",
+        "_currents",
+        "_primed",
+        "_on_entry",
+        "_current",
+        "_current_part",
+        "_done",
+    )
+
+    def __init__(self, parts, mode: str = PAPER_MODE, token: str | None = None) -> None:
+        self.mode = check_access_mode(mode)
+        self.token = token
+        self.stats = CursorStats()
+        self._parts = list(parts)
+        for cursor, _ in self._parts:
+            if token is None:
+                self.token = cursor.token
+            cursor.stats = self.stats
+        #: Node id each part is currently on (None = exhausted); filled lazily
+        #: on first access so an unread cursor charges nothing.
+        self._currents: list[int | None] = [None] * len(self._parts)
+        self._primed = False
+        self._on_entry = False
+        self._current: int | None = None
+        self._current_part = -1
+        self._done = False
+
+    # ------------------------------------------------------------- internals
+    def _advance_part(self, index: int) -> int | None:
+        """Move part ``index`` to its next *visible* entry; return its id."""
+        cursor, dead = self._parts[index]
+        while True:
+            node = cursor.next_entry()
+            if node is None:
+                return None
+            if dead is None or not dead(node):
+                return node
+
+    def _prime(self) -> None:
+        if self._primed:
+            return
+        self._primed = True
+        for index in range(len(self._parts)):
+            self._currents[index] = self._advance_part(index)
+
+    def _settle(self) -> int | None:
+        """Pick the smallest current id over all parts (None = exhausted)."""
+        best: int | None = None
+        best_part = -1
+        for index, current in enumerate(self._currents):
+            if current is not None and (best is None or current < best):
+                best = current
+                best_part = index
+        self._current = best
+        self._current_part = best_part
+        if best is None:
+            self._done = True
+            self._on_entry = False
+        else:
+            self._on_entry = True
+        return best
+
+    # ----------------------------------------------------------- paper API
+    def next_entry(self) -> int | None:
+        """Advance to the next visible entry; return its id or ``None``."""
+        charged_before = self.stats.next_entry_calls
+        if not self._primed:
+            self._prime()
+        elif self._on_entry:
+            # Advance every part sitting on the current id (normally exactly
+            # one -- visible ids are unique across segments -- but duplicates
+            # are merged defensively rather than emitted twice).
+            current = self._current
+            for index, value in enumerate(self._currents):
+                if value == current:
+                    self._currents[index] = self._advance_part(index)
+        if self.stats.next_entry_calls == charged_before:
+            # Every part was already exhausted: still pay for the call that
+            # discovers there is nothing left (the sequential convention).
+            self.stats.next_entry_calls += 1
+        return self._settle()
+
+    def get_positions(self) -> list[Position]:
+        """Positions of the current entry (from the segment that holds it)."""
+        if not self._on_entry:
+            raise RuntimeError(
+                "get_positions() called while the cursor is not on an entry"
+            )
+        return self._parts[self._current_part][0].get_positions()
+
+    # -------------------------------------------------------- conveniences
+    def current_node(self) -> int | None:
+        return self._current if self._on_entry else None
+
+    def exhausted(self) -> bool:
+        return self._done
+
+    def entry_count(self) -> int:
+        """Total entries over all segment lists (tombstones included).
+
+        An upper bound on the visible length; used only for rarest-first
+        ordering heuristics, exactly like the single-list count.
+        """
+        return sum(cursor.entry_count() for cursor, _ in self._parts)
+
+    def seek(self, node_id: int) -> int | None:
+        """Move forward to the first visible entry with id ``>= node_id``."""
+        if self._on_entry and self._current is not None and self._current >= node_id:
+            return self._current
+        charged_before = self.stats.next_entry_calls + self.stats.seek_calls
+        if not self._primed:
+            self._prime()
+        for index, current in enumerate(self._currents):
+            if current is None or current >= node_id:
+                continue
+            cursor, dead = self._parts[index]
+            landing = cursor.seek(node_id)
+            while landing is not None and dead is not None and dead(landing):
+                landing = self._advance_part(index)
+            self._currents[index] = landing
+        if (self.stats.next_entry_calls + self.stats.seek_calls) == charged_before:
+            if self.mode == FAST_MODE:
+                self.stats.seek_calls += 1
+            else:
+                self.stats.next_entry_calls += 1
+        return self._settle()
+
+    def advance_to(self, node_id: int) -> int | None:
+        """Merge-style skip primitive (alias of :meth:`seek`)."""
+        return self.seek(node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"MultiSegmentCursor(token={self.token!r}, mode={self.mode!r}, "
+            f"parts={len(self._parts)}, current={self._current})"
+        )
+
+
 @dataclass
 class CursorFactory:
     """Creates cursors for an index and aggregates their statistics.
@@ -253,6 +419,17 @@ class CursorFactory:
         self, posting_list: PostingList, token: str | None = None
     ) -> InvertedListCursor:
         cursor = InvertedListCursor(posting_list, mode=self.mode, token=token)
+        self._open_cursors.append(cursor)
+        return cursor
+
+    def adopt(self, cursor) -> "MultiSegmentCursor | InvertedListCursor":
+        """Register an externally-built cursor (e.g. a multi-segment merge).
+
+        The live-index snapshot layer builds :class:`MultiSegmentCursor`
+        objects itself (they wrap several per-segment lists, not one posting
+        list) and adopts them here so their charges appear in the factory's
+        aggregate exactly like directly-opened cursors.
+        """
         self._open_cursors.append(cursor)
         return cursor
 

@@ -10,7 +10,9 @@ The format is versioned; loading a file with an unknown version raises
 ``statistics`` block (the collection's :meth:`~Collection.describe` summary);
 on load it is checked against the restored nodes, turning silent truncation
 or corruption of the node records into an explicit error.  Version-1 files
-(no statistics) still load.
+(no statistics) still load.  Version 3 is the *sealed segment* format of the
+live-indexing subsystem (:func:`save_segment` / :func:`load_segment`); plain
+collections keep writing version 2, and the v3 writer refuses to downgrade.
 """
 
 from __future__ import annotations
@@ -31,6 +33,17 @@ FORMAT_VERSION = 2
 
 #: Versions :func:`load_collection` understands.
 SUPPORTED_VERSIONS = (1, 2)
+
+#: Version 3: the *segment* format of the live-indexing subsystem
+#: (:mod:`repro.segments`).  A v3 file is one immutable sealed segment --
+#: the v2 node records plus the segment's generation id -- written by
+#: :func:`save_segment`.  The per-segment tombstones live in the live
+#: index's manifest (they keep changing after the segment file is sealed;
+#: the segment file never does).
+SEGMENT_FORMAT_VERSION = 3
+
+#: Segment versions :func:`load_segment` understands.
+SUPPORTED_SEGMENT_VERSIONS = (3,)
 
 #: gzip compression level used when none is given: gzip's own default.
 DEFAULT_COMPRESSLEVEL = 9
@@ -126,6 +139,106 @@ def load_collection(path: Path | str) -> Collection:
                 f"records are truncated or corrupt"
             )
     return collection
+
+
+def _write_document(
+    document: dict[str, Any], path: Path, compresslevel: int
+) -> None:
+    if path.suffix == ".gz" and not 0 <= compresslevel <= 9:
+        raise StorageError(f"compresslevel must be in 0..9, got {compresslevel}")
+    payload = json.dumps(document).encode("utf-8")
+    try:
+        if path.suffix == ".gz":
+            with gzip.open(path, "wb", compresslevel=compresslevel) as handle:
+                handle.write(payload)
+        else:
+            path.write_bytes(payload)
+    except OSError as exc:
+        raise StorageError(f"cannot write {path}: {exc}") from exc
+
+
+def _read_document(path: Path) -> dict[str, Any]:
+    try:
+        if path.suffix == ".gz":
+            with gzip.open(path, "rb") as handle:
+                payload = handle.read()
+        else:
+            payload = path.read_bytes()
+    except OSError as exc:
+        raise StorageError(f"cannot read {path}: {exc}") from exc
+    try:
+        document = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise StorageError(f"{path} does not hold a JSON object")
+    return document
+
+
+def save_segment(
+    nodes: "list[ContextNode]",
+    path: Path | str,
+    *,
+    generation: int,
+    compresslevel: int = DEFAULT_COMPRESSLEVEL,
+    version: int = SEGMENT_FORMAT_VERSION,
+) -> None:
+    """Persist one sealed segment (v3 format; gzip if the suffix is ``.gz``).
+
+    ``version`` exists so callers *see* what they are writing: the segment
+    writer refuses to silently downgrade to the v1/v2 collection formats
+    (which have no segment identity) -- persist via :func:`save_collection`
+    explicitly if a plain collection file is what you want.
+    """
+    if version not in SUPPORTED_SEGMENT_VERSIONS:
+        raise StorageError(
+            f"segment files are written as version {SEGMENT_FORMAT_VERSION}; "
+            f"refusing to downgrade to version {version} (use "
+            f"save_collection for the plain v{FORMAT_VERSION} format)"
+        )
+    statistics = {
+        "nodes": len(nodes),
+        "tokens": sum(len(node) for node in nodes),
+    }
+    document = {
+        "format": "repro-segment",
+        "version": version,
+        "generation": generation,
+        "statistics": statistics,
+        "nodes": [_node_to_dict(node) for node in nodes],
+    }
+    _write_document(document, Path(path), compresslevel)
+
+
+def load_segment(path: Path | str) -> "tuple[list[ContextNode], int]":
+    """Load a sealed segment written by :func:`save_segment`.
+
+    Returns ``(nodes, generation)``; the stored statistics block is checked
+    against the restored nodes so truncation fails loudly, as in v2.
+    """
+    path = Path(path)
+    document = _read_document(path)
+    if document.get("format") != "repro-segment":
+        raise StorageError(f"{path} is not a repro segment file")
+    if document.get("version") not in SUPPORTED_SEGMENT_VERSIONS:
+        raise StorageError(
+            f"unsupported segment format version {document.get('version')}"
+        )
+    nodes = [_node_from_dict(record) for record in document.get("nodes", [])]
+    stored = document.get("statistics")
+    restored = {
+        "nodes": len(nodes),
+        "tokens": sum(len(node) for node in nodes),
+    }
+    if stored is not None and stored != restored:
+        raise StorageError(
+            f"{path} statistics do not match its nodes (file says {stored}, "
+            f"restored {restored}); the node records are truncated or corrupt"
+        )
+    generation = document.get("generation")
+    if not isinstance(generation, int) or generation < 0:
+        raise StorageError(f"{path} has no valid segment generation")
+    return nodes, generation
 
 
 def save_index(

@@ -1,0 +1,117 @@
+"""The memtable: the small mutable head of a live index.
+
+All writes land here first.  Documents are kept as plain
+:class:`~repro.corpus.document.ContextNode` objects in a dict, so add,
+update and delete are O(1) dictionary operations; the columnar posting view
+that queries need is built lazily by :meth:`MemTable.frozen_view` and cached
+until the next mutation.
+
+That laziness is what gives the live index snapshot isolation for free: a
+query snapshot captures the current frozen view *object*, which is immutable
+(:class:`~repro.segments.sealed.SegmentData`); later mutations replace the
+cached view rather than touching it, so in-flight queries keep reading the
+state they started with.
+
+The memtable is deliberately small (the segment manager seals it into an
+immutable :class:`~repro.segments.sealed.SealedSegment` at
+``flush_threshold`` documents), so the rebuild cost after a mutation is
+bounded and amortised across the queries between mutations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.corpus.document import ContextNode
+from repro.exceptions import IndexError_
+from repro.segments.sealed import SegmentData
+
+
+class MemTable:
+    """A mutable in-memory index accepting adds, updates and deletes."""
+
+    __slots__ = ("_docs", "_positions", "_view")
+
+    def __init__(self) -> None:
+        self._docs: dict[int, ContextNode] = {}
+        self._positions = 0
+        self._view: SegmentData | None = None
+
+    # --------------------------------------------------------------- writes
+    def add(self, node: ContextNode) -> None:
+        """Insert a new document; its id must not already be present."""
+        if node.node_id in self._docs:
+            raise IndexError_(
+                f"memtable already holds node {node.node_id}; use update()"
+            )
+        self._docs[node.node_id] = node
+        self._positions += len(node)
+        self._view = None
+
+    def update(self, node: ContextNode) -> ContextNode:
+        """Replace the revision of an existing document; return the old one."""
+        old = self._docs.get(node.node_id)
+        if old is None:
+            raise IndexError_(f"memtable does not hold node {node.node_id}")
+        self._docs[node.node_id] = node
+        self._positions += len(node) - len(old)
+        self._view = None
+        return old
+
+    def delete(self, node_id: int) -> ContextNode:
+        """Remove a document; return the removed revision."""
+        old = self._docs.pop(node_id, None)
+        if old is None:
+            raise IndexError_(f"memtable does not hold node {node_id}")
+        self._positions -= len(old)
+        self._view = None
+        return old
+
+    def clear(self) -> None:
+        """Empty the memtable (after its content was sealed elsewhere)."""
+        self._docs = {}
+        self._positions = 0
+        self._view = None
+
+    # --------------------------------------------------------------- reads
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __bool__(self) -> bool:
+        return bool(self._docs)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._docs
+
+    def get(self, node_id: int) -> ContextNode | None:
+        return self._docs.get(node_id)
+
+    def documents(self) -> Iterator[ContextNode]:
+        """Documents in ascending id order (snapshot of the current state)."""
+        for node_id in sorted(self._docs):
+            yield self._docs[node_id]
+
+    @property
+    def doc_count(self) -> int:
+        return len(self._docs)
+
+    @property
+    def position_count(self) -> int:
+        """Total token positions held (the flush threshold's size measure)."""
+        return self._positions
+
+    def frozen_view(self) -> SegmentData | None:
+        """The current content as an immutable columnar view (cached).
+
+        Returns ``None`` for an empty memtable.  The returned object is
+        never mutated afterwards -- a later write builds a *new* view -- so
+        query snapshots may hold it for their whole execution.
+        """
+        if not self._docs:
+            return None
+        if self._view is None:
+            self._view = SegmentData(self._docs)
+        return self._view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"MemTable(docs={len(self._docs)}, positions={self._positions})"

@@ -1,0 +1,100 @@
+"""Exact corpus statistics over the *surviving* documents of a live index.
+
+Scoring must not notice that an index is live: TF-IDF and the probabilistic
+model read document frequency ``df(t)``, the node count and the per-node
+token tables from an :class:`~repro.index.statistics.IndexStatistics`.  A
+live index cannot reuse the parent's constructor (it derives ``df`` from
+physical posting lists, which still hold tombstoned entries), so this
+subclass recomputes every table from the surviving documents -- yielding
+numbers identical to a fresh :class:`~repro.index.inverted_index.InvertedIndex`
+built from the same survivors, which is what the live-vs-rebuilt contract
+tests pin down.
+
+The same class serves the live *sharded* path (the global collection is the
+disjoint union of the shard collections), mirroring how
+:class:`~repro.cluster.stats.AggregatedStatistics` serves static shards.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.corpus.collection import Collection
+from repro.index.statistics import ComplexityParameters, IndexStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.index.postings import PostingList
+
+
+class _LiveIndexView:
+    """The minimal index surface scoring reaches through ``statistics._index``.
+
+    ``collection`` serves node content (norms, previews); ``posting_lists``
+    chains the physical per-segment lists for complexity parameters.
+    """
+
+    def __init__(
+        self,
+        collection: Collection,
+        posting_lists: "Callable[[], Iterator[PostingList]]",
+    ) -> None:
+        self.collection = collection
+        self._posting_lists = posting_lists
+
+    def posting_lists(self) -> "Iterator[PostingList]":
+        return self._posting_lists()
+
+    def node_count(self) -> int:
+        return len(self.collection)
+
+
+class LiveStatistics(IndexStatistics):
+    """Statistics recomputed from the surviving documents of a live index."""
+
+    def __init__(
+        self,
+        collection: Collection,
+        posting_lists: "Callable[[], Iterator[PostingList]]",
+    ) -> None:
+        # Deliberately no super().__init__: the parent scans physical posting
+        # lists, which on a live index still contain tombstoned entries.
+        #
+        # Freeze the document map first (one atomic dict copy -- documents
+        # themselves are immutable): the scan below and every later
+        # node-content lookup (norms, probabilistic occurrence counts) then
+        # read a self-consistent corpus even while writers keep mutating the
+        # live collection, and a node deleted after this statistics
+        # generation was cut can still be scored by in-flight queries.
+        frozen = Collection(dict(collection.nodes), collection.name)
+        self._index = _LiveIndexView(frozen, posting_lists)
+        self._node_count = len(frozen)
+        document_frequency: dict[str, int] = {}
+        unique_tokens: dict[int, int] = {}
+        node_lengths: dict[int, int] = {}
+        for node in frozen:
+            unique_tokens[node.node_id] = node.unique_token_count()
+            node_lengths[node.node_id] = len(node)
+            for token in node.unique_tokens():
+                document_frequency[token] = document_frequency.get(token, 0) + 1
+        self._document_frequency = document_frequency
+        self._unique_tokens = unique_tokens
+        self._node_lengths = node_lengths
+
+    def complexity_parameters(self) -> ComplexityParameters:
+        """The paper's data-size parameters for the live corpus.
+
+        ``entries_per_token`` comes from the exact (survivor-based) document
+        frequencies; ``pos_per_entry`` is a maximum over the physical
+        per-segment lists, a tight upper bound that may count a tombstoned
+        entry until the next compaction purges it.
+        """
+        pos_per_entry = [
+            posting_list.max_positions_per_entry()
+            for posting_list in self._index.posting_lists()
+        ]
+        return ComplexityParameters(
+            cnodes=self._node_count,
+            pos_per_cnode=max(self._node_lengths.values(), default=0),
+            entries_per_token=max(self._document_frequency.values(), default=0),
+            pos_per_entry=max(pos_per_entry, default=0),
+        )

@@ -1,0 +1,155 @@
+"""Write-ahead log: the durability layer of the live index.
+
+Every mutation (add / update / delete) is serialised as one JSON object per
+line and appended here *before* it is applied in memory.  The format is
+deliberately boring -- JSONL -- because its recovery story is trivial: a
+record is durable if and only if its line parses and is newline-terminated,
+so a crash mid-write tears at most the final line, which replay discards.
+
+Durability is batched: ``append`` pushes the record into the OS via
+``flush()`` immediately, but the expensive ``fsync`` runs only every
+``sync_every`` records (or on an explicit :meth:`sync`, which sealing and
+closing always perform).  A crash therefore loses at most the records since
+the last durable batch -- the classic group-commit trade.
+
+Records carry a monotonic ``seq`` stamped by the caller.  The checkpoint
+manifest of :class:`~repro.segments.live_index.LiveIndex` remembers the
+highest sequence number already folded into sealed segments, so replay
+skips records a checkpoint has made redundant -- re-applying a WAL after a
+crash can never duplicate a document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.exceptions import StorageError
+
+#: Default number of appends between fsync batches.
+DEFAULT_SYNC_EVERY = 32
+
+
+class WriteAheadLog:
+    """An append-only JSONL operation log with batched fsync."""
+
+    def __init__(self, path: Path | str, sync_every: int = DEFAULT_SYNC_EVERY) -> None:
+        if sync_every < 1:
+            raise StorageError(f"sync_every must be >= 1, got {sync_every}")
+        self.path = Path(path)
+        self.sync_every = sync_every
+        self.appended = 0
+        self.synced_batches = 0
+        self._pending = 0
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+        except OSError as exc:
+            raise StorageError(f"cannot open WAL {self.path}: {exc}") from exc
+
+    # ------------------------------------------------------------- writing
+    def append(self, record: dict[str, Any]) -> None:
+        """Serialise one operation record; fsync when the batch fills up."""
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        try:
+            self._handle.write(line.encode("utf-8"))
+            self._handle.flush()
+        except (OSError, ValueError) as exc:
+            raise StorageError(f"cannot append to WAL {self.path}: {exc}") from exc
+        self.appended += 1
+        self._pending += 1
+        if self._pending >= self.sync_every:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the pending batch to stable storage (fsync)."""
+        if self._handle.closed:
+            return
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise StorageError(f"cannot fsync WAL {self.path}: {exc}") from exc
+        if self._pending:
+            self.synced_batches += 1
+        self._pending = 0
+
+    def reset(self) -> None:
+        """Truncate the log (every record is now covered by a checkpoint)."""
+        try:
+            self._handle.truncate(0)
+            self._handle.seek(0)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise StorageError(f"cannot reset WAL {self.path}: {exc}") from exc
+        self._pending = 0
+
+    def close(self) -> None:
+        """fsync any pending batch and close the file (idempotent)."""
+        if not self._handle.closed:
+            self.sync()
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- recovery
+    @staticmethod
+    def replay(path: Path | str) -> list[dict[str, Any]]:
+        """Read back every durable record, discarding a torn final write.
+
+        A record torn by a crash shows up as a final line that either does
+        not end in a newline or does not parse as JSON; recovery stops at
+        the last durable record rather than failing, mirroring how every
+        log-structured store treats its tail.  A torn or unparsable line
+        anywhere *before* the tail means real corruption and raises.
+        """
+        path = Path(path)
+        if not path.exists():
+            return []
+        try:
+            payload = path.read_bytes()
+        except OSError as exc:
+            raise StorageError(f"cannot read WAL {path}: {exc}") from exc
+        records: list[dict[str, Any]] = []
+        lines = payload.split(b"\n")
+        # A payload ending in "\n" splits into [.., b""]; anything else means
+        # the final record was torn mid-write.
+        complete, tail = lines[:-1], lines[-1]
+        for index, line in enumerate(complete):
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if index == len(complete) - 1 and not tail:
+                    # Unparsable final line: torn write, drop it.
+                    break
+                raise StorageError(
+                    f"WAL {path} is corrupt at record {index}: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise StorageError(
+                    f"WAL {path} record {index} is not an object: {record!r}"
+                )
+            records.append(record)
+        return records
+
+    @staticmethod
+    def replay_after(path: Path | str, applied_seq: int) -> Iterator[dict[str, Any]]:
+        """Durable records newer than a checkpoint's ``applied_seq``."""
+        for record in WriteAheadLog.replay(path):
+            if int(record.get("seq", 0)) > applied_seq:
+                yield record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"WriteAheadLog(path={str(self.path)!r}, appended={self.appended}, "
+            f"synced_batches={self.synced_batches})"
+        )

@@ -147,6 +147,46 @@ def test_cache_rejects_bad_capacity():
         QueryCache(capacity=0)
 
 
+def test_cache_is_thread_safe_under_concurrent_mixed_traffic():
+    """get / put / invalidate / stats hammered from worker threads.
+
+    The cache is shared by scatter-gather shard workers and ``search_many``
+    batches, so every public entry point must hold the lock; this would
+    corrupt the OrderedDict (or trip 'dictionary changed size during
+    iteration') if any path skipped it.
+    """
+    import threading
+
+    cache = QueryCache(capacity=16)
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(8)
+
+    def worker(worker_id: int) -> None:
+        try:
+            barrier.wait()
+            for i in range(400):
+                key = (worker_id * 7 + i) % 40
+                cache.put(key, i)
+                cache.get((key + 3) % 40)
+                if i % 17 == 0:
+                    cache.invalidate()
+                stats = cache.stats()
+                assert stats["size"] <= stats["capacity"]
+                len(cache)
+                (key in cache)
+        except BaseException as exc:  # pragma: no cover - failure capture
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    final = cache.stats()
+    assert final["hits"] + final["misses"] == 8 * 400
+
+
 def test_scatter_caches_results_and_marks_hits(collection):
     scatter = ScatterGatherExecutor(ShardedIndex(collection, 2), cache_size=8)
     query = parse_query("'software' AND 'usability'").node

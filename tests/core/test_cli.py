@@ -218,3 +218,137 @@ def test_parser_requires_a_command():
     parser = build_argument_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+# ---------------------------------------------------------------- live index
+def test_serve_live_session_mutates_while_serving(index_file, capsys, monkeypatch):
+    import io
+
+    session = "\n".join(
+        [
+            "'usability'",
+            ":add a brand new usability document",
+            "'usability'",
+            ":update 0 nothing relevant anymore",
+            ":delete 1",
+            "'usability'",
+            ":segments",
+            ":flush",
+            ":compact",
+            ":quit",
+        ]
+    )
+    monkeypatch.setattr("sys.stdin", io.StringIO(session + "\n"))
+    code = main(["serve", str(index_file), "--live", "--scoring", "none"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "added node 3" in captured
+    assert "updated node 0" in captured
+    assert "deleted node 1" in captured
+    assert "flushed;" in captured
+    assert "compacted" in captured
+    assert "memtable" in captured or "segment" in captured
+    assert "served 3 queries" in captured
+
+
+def test_serve_without_live_rejects_mutation_commands(index_file, capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO(":add some text\n:quit\n"))
+    code = main(["serve", str(index_file), "--scoring", "none"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    # Without --live the line is treated as a (failing) query, not a command.
+    assert "added node" not in captured
+    assert "error:" in captured
+
+
+def test_serve_prints_final_summary_exactly_once_on_eof(index_file, capsys, monkeypatch):
+    import io
+
+    # Stream ends without ':quit' -- the EOF path must still summarise once.
+    monkeypatch.setattr("sys.stdin", io.StringIO("'usability'\n"))
+    code = main(["serve", str(index_file), "--scoring", "none"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert captured.count("served 1 queries over") == 1
+    assert captured.count("cache: size=") == 1
+
+
+def test_serve_prints_final_summary_exactly_once_on_interrupt(
+    index_file, capsys, monkeypatch
+):
+    class InterruptingStream:
+        def __iter__(self):
+            yield "'usability'\n"
+            raise KeyboardInterrupt
+
+        def isatty(self):
+            return False
+
+    monkeypatch.setattr("sys.stdin", InterruptingStream())
+    code = main(["serve", str(index_file), "--scoring", "none"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert captured.count("served 1 queries over") == 1
+
+
+def test_ingest_command_streams_documents(index_file, tmp_path, capsys):
+    docs = tmp_path / "stream.txt"
+    docs.write_text(
+        "usability in streamed form\nsoftware streamed twice\n"
+        "another streamed document\n",
+        encoding="utf-8",
+    )
+    queries = tmp_path / "queries.txt"
+    queries.write_text("'usability'\n# comment\n", encoding="utf-8")
+    code = main(
+        [
+            "ingest", str(docs),
+            "--base", str(index_file),
+            "--queries", str(queries),
+            "--query-every", "1",
+            "--flush-threshold", "2",
+            "--compact",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "ingested 3 documents" in captured
+    assert "served 3 queries during ingest" in captured
+    assert "compacted" in captured
+
+
+def test_ingest_from_stdin_without_base(tmp_path, capsys, monkeypatch):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("only document\n\n"))
+    code = main(["ingest", "-"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "ingested 1 documents" in captured
+
+
+def test_ingest_persists_into_data_dir(index_file, tmp_path, capsys):
+    docs = tmp_path / "stream.txt"
+    docs.write_text("streamed one\nstreamed two\n", encoding="utf-8")
+    data_dir = tmp_path / "livedir"
+    code = main(
+        ["ingest", str(docs), "--base", str(index_file), "--data-dir", str(data_dir)]
+    )
+    assert code == 0
+    assert (data_dir / "MANIFEST.json").exists()
+    capsys.readouterr()
+    code = main(["segment-stats", str(data_dir)])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "live documents : 5" in captured
+
+
+def test_segment_stats_on_collection_file(index_file, capsys):
+    code = main(["segment-stats", str(index_file), "--flush-threshold", "2"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "live documents : 3" in captured
+    assert "segment" in captured
+    assert "memory" in captured

@@ -1,0 +1,149 @@
+"""Storage back-compat: v1/v2 files still load; v3 segments round-trip.
+
+Satellite contract of the live-indexing PR: introducing the v3 segment
+format must not strand existing files -- version-1 and version-2 collection
+files (gzip and plain) keep loading, `load_index(validate=True)` still
+passes on them, and the v3 segment writer refuses to silently downgrade.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.corpus import Collection
+from repro.exceptions import StorageError
+from repro.index import load_collection, load_index, save_collection
+from repro.index.storage import (
+    FORMAT_VERSION,
+    SEGMENT_FORMAT_VERSION,
+    load_segment,
+    save_segment,
+)
+
+
+@pytest.fixture
+def collection() -> Collection:
+    return Collection.from_texts(
+        [
+            "usability testing of software. a second sentence",
+            "software task completion\n\nsecond paragraph here",
+            "task analysis for usability engineering",
+        ],
+        name="backcompat",
+    )
+
+
+@pytest.mark.parametrize("suffix", [".json", ".json.gz"])
+def test_v2_files_load_with_validation(tmp_path, collection, suffix):
+    path = tmp_path / f"v2{suffix}"
+    save_collection(collection, path)
+    raw = (
+        json.loads(gzip.decompress(path.read_bytes()))
+        if suffix.endswith(".gz")
+        else json.loads(path.read_text(encoding="utf-8"))
+    )
+    assert raw["version"] == FORMAT_VERSION == 2
+    index = load_index(path, validate=True)
+    assert index.node_ids() == collection.node_ids()
+
+
+@pytest.mark.parametrize("suffix", [".json", ".json.gz"])
+def test_v1_files_load_with_validation(tmp_path, collection, suffix):
+    path = tmp_path / f"v1{suffix}"
+    document = {
+        "format": "repro-collection",
+        "version": 1,
+        "name": collection.name,
+        # Exactly what the v1 writer produced: node records, no statistics.
+        "nodes": [
+            {
+                "id": node.node_id,
+                "metadata": dict(node.metadata),
+                "occurrences": [
+                    [occ.token, occ.position.offset,
+                     occ.position.sentence, occ.position.paragraph]
+                    for occ in node.occurrences
+                ],
+            }
+            for node in collection
+        ],
+    }
+    payload = json.dumps(document).encode("utf-8")
+    if suffix.endswith(".gz"):
+        path.write_bytes(gzip.compress(payload))
+    else:
+        path.write_bytes(payload)
+    index = load_index(path, validate=True)
+    assert index.node_ids() == collection.node_ids()
+    assert load_collection(path).describe() == collection.describe()
+
+
+@pytest.mark.parametrize("suffix", [".json", ".json.gz"])
+def test_v3_segment_round_trip(tmp_path, collection, suffix):
+    path = tmp_path / f"segment{suffix}"
+    nodes = list(collection)
+    save_segment(nodes, path, generation=7)
+    restored, generation = load_segment(path)
+    assert generation == 7
+    assert [n.node_id for n in restored] == [n.node_id for n in nodes]
+    for original, back in zip(nodes, restored):
+        assert back.tokens == original.tokens
+        assert [p.paragraph for p in back.positions()] == [
+            p.paragraph for p in original.positions()
+        ]
+
+
+def test_v3_writer_refuses_to_downgrade(tmp_path, collection):
+    nodes = list(collection)
+    for version in (1, 2):
+        with pytest.raises(StorageError, match="refusing to downgrade"):
+            save_segment(
+                nodes, tmp_path / "seg.json", generation=1, version=version
+            )
+    save_segment(
+        nodes, tmp_path / "seg.json", generation=1, version=SEGMENT_FORMAT_VERSION
+    )
+
+
+def test_load_segment_rejects_collection_files_and_vice_versa(tmp_path, collection):
+    collection_path = tmp_path / "collection.json"
+    save_collection(collection, collection_path)
+    with pytest.raises(StorageError, match="not a repro segment"):
+        load_segment(collection_path)
+    segment_path = tmp_path / "segment.json"
+    save_segment(list(collection), segment_path, generation=1)
+    with pytest.raises(StorageError, match="not a repro collection"):
+        load_collection(segment_path)
+
+
+def test_load_segment_rejects_truncation(tmp_path, collection):
+    path = tmp_path / "segment.json"
+    save_segment(list(collection), path, generation=1)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    document["nodes"] = document["nodes"][:-1]
+    path.write_text(json.dumps(document), encoding="utf-8")
+    with pytest.raises(StorageError, match="statistics do not match"):
+        load_segment(path)
+
+
+def test_load_segment_rejects_future_versions(tmp_path, collection):
+    path = tmp_path / "segment.json"
+    save_segment(list(collection), path, generation=1)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    document["version"] = 99
+    path.write_text(json.dumps(document), encoding="utf-8")
+    with pytest.raises(StorageError, match="unsupported segment format"):
+        load_segment(path)
+
+
+def test_load_segment_rejects_missing_generation(tmp_path, collection):
+    path = tmp_path / "segment.json"
+    save_segment(list(collection), path, generation=1)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    del document["generation"]
+    path.write_text(json.dumps(document), encoding="utf-8")
+    with pytest.raises(StorageError, match="generation"):
+        load_segment(path)

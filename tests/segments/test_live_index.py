@@ -1,0 +1,240 @@
+"""Tests for LiveIndex: the facade, persistence, and crash recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus.collection import Collection
+from repro.exceptions import IndexError_, StorageError
+from repro.index.inverted_index import InvertedIndex
+from repro.segments import LiveIndex, WriteAheadLog
+
+
+def collect(cursor) -> list[int]:
+    ids = []
+    current = cursor.next_entry()
+    while current is not None:
+        ids.append(current)
+        current = cursor.next_entry()
+    return ids
+
+
+@pytest.fixture
+def texts() -> list[str]:
+    return [
+        "usability testing of software",
+        "software task completion",
+        "task analysis for usability",
+        "efficient software testing",
+    ]
+
+
+# ------------------------------------------------------------------- facade
+def test_in_memory_lifecycle(texts):
+    live = LiveIndex(Collection.from_texts(texts), flush_threshold=2)
+    new_id = live.add_text("fresh software document")
+    assert new_id == 4
+    live.update_text(0, "rewritten document")
+    assert live.delete_node(1)
+    assert not live.delete_node(1)
+    assert live.node_ids() == [0, 2, 3, 4]
+    assert live.node_count() == 4
+    assert collect(live.open_cursor("software")) == [3, 4]
+    live.validate()
+
+
+def test_update_unknown_node_raises(texts):
+    live = LiveIndex(Collection.from_texts(texts))
+    with pytest.raises(IndexError_):
+        live.update_text(99, "whatever")
+
+
+def test_document_frequency_and_tokens_are_exact(texts):
+    live = LiveIndex(Collection.from_texts(texts), flush_threshold=2)
+    live.delete_node(0)
+    live.update_text(1, "nothing relevant here")
+    reference = InvertedIndex(
+        Collection.from_nodes(sorted(live.collection, key=lambda n: n.node_id))
+    )
+    for token in reference.tokens():
+        assert live.document_frequency(token) == reference.document_frequency(token)
+    assert live.tokens() == reference.tokens()
+    assert "software" in live
+
+
+def test_statistics_match_fresh_rebuild(texts):
+    live = LiveIndex(Collection.from_texts(texts), flush_threshold=2)
+    live.add_text("brand new software tokens")
+    live.delete_node(2)
+    live.update_text(0, "task software task")
+    reference = InvertedIndex(
+        Collection.from_nodes(sorted(live.collection, key=lambda n: n.node_id))
+    )
+    stats, ref_stats = live.statistics, reference.statistics
+    assert stats.node_count == ref_stats.node_count
+    assert stats.vocabulary() == ref_stats.vocabulary()
+    for token in ref_stats.vocabulary():
+        assert stats.document_frequency(token) == ref_stats.document_frequency(token)
+        assert stats.idf(token) == ref_stats.idf(token)
+    for node_id in reference.node_ids():
+        assert stats.node_l2_norm(node_id) == ref_stats.node_l2_norm(node_id)
+    params = stats.complexity_parameters()
+    assert params.cnodes == ref_stats.complexity_parameters().cnodes
+
+
+def test_statistics_freeze_survives_concurrent_delete(texts):
+    """A scoring model bound to one statistics generation must keep working
+
+    (norms, occurrence counts) for nodes deleted after that generation was
+    cut -- in-flight queries may still legitimately score them."""
+    live = LiveIndex(Collection.from_texts(texts), flush_threshold=2)
+    stats = live.statistics
+    norm_before = stats.node_l2_norm(0)
+    live.delete_node(0)
+    assert stats.node_l2_norm(0) == norm_before  # frozen corpus, no KeyError
+    assert live.statistics.node_count == stats.node_count - 1
+
+
+def test_statistics_cache_refreshes_on_mutation(texts):
+    live = LiveIndex(Collection.from_texts(texts))
+    first = live.statistics
+    assert live.statistics is first  # cached while nothing changes
+    live.add_text("another doc")
+    assert live.statistics is not first
+
+
+def test_memory_footprint_shape(texts):
+    live = LiveIndex(Collection.from_texts(texts), flush_threshold=2)
+    live.add_text("extra doc in the memtable")
+    footprint = live.memory_footprint()
+    assert footprint["total_bytes"] > 0
+    assert set(footprint) == {
+        "node_ids_bytes",
+        "entry_bounds_bytes",
+        "offsets_bytes",
+        "structure_bytes",
+        "total_bytes",
+    }
+
+
+# -------------------------------------------------------------- persistence
+def test_persistence_round_trip(tmp_path, texts):
+    live = LiveIndex(
+        Collection.from_texts(texts), directory=tmp_path / "idx", flush_threshold=100
+    )
+    live.add_text("added after build")
+    live.update_text(0, "rewritten after build")
+    live.delete_node(1)
+    live.close()
+
+    reopened = LiveIndex.open(tmp_path / "idx", flush_threshold=100)
+    assert reopened.node_ids() == [0, 2, 3, 4]
+    assert reopened.collection.get(0).tokens == ["rewritten", "after", "build"]
+    assert collect(reopened.open_cursor("build")) == [0, 4]
+    reopened.validate()
+    reopened.close()
+
+
+def test_flush_truncates_wal_and_reopen_uses_manifest(tmp_path, texts):
+    directory = tmp_path / "idx"
+    live = LiveIndex(Collection.from_texts(texts), directory=directory)
+    live.add_text("doc one")
+    live.add_text("doc two")
+    live.flush()
+    live.close()
+    assert WriteAheadLog.replay(directory / "wal.jsonl") == []
+    manifest = json.loads((directory / "MANIFEST.json").read_text())
+    assert manifest["format"] == "repro-manifest"
+    assert len(manifest["segments"]) == 2
+    reopened = LiveIndex.open(directory)
+    assert reopened.node_count() == len(texts) + 2
+    reopened.close()
+
+
+def test_wal_crash_recovery_truncated_mid_record(tmp_path, texts):
+    """Acceptance: replay after a torn write recovers the durable batch
+
+    without losing documents or duplicating node ids."""
+    directory = tmp_path / "idx"
+    live = LiveIndex(
+        Collection.from_texts(texts), directory=directory, flush_threshold=100
+    )
+    id_a = live.add_text("first durable document")
+    id_b = live.add_text("second durable document")
+    live.delete_node(0)
+    # Simulate a crash: no close(), and the final record is torn mid-write.
+    wal_path = directory / "wal.jsonl"
+    payload = wal_path.read_bytes()
+    assert payload.count(b"\n") == 3
+    wal_path.write_bytes(payload[:-10])
+
+    recovered = LiveIndex.open(directory, flush_threshold=100)
+    # The torn record was the delete: both adds survive, node 0 is back.
+    assert recovered.node_ids() == [0, 1, 2, 3, id_a, id_b]
+    assert sorted(set(recovered.node_ids())) == recovered.node_ids()  # no dupes
+    recovered.validate()
+    recovered.close()
+
+
+def test_crash_between_manifest_and_wal_reset_is_idempotent(tmp_path, texts):
+    """A WAL already covered by the manifest must not re-apply on open."""
+    directory = tmp_path / "idx"
+    live = LiveIndex(
+        Collection.from_texts(texts), directory=directory, flush_threshold=100
+    )
+    live.add_text("doc after build")
+    live.delete_node(0)
+    live.flush()  # manifest now covers everything; WAL was truncated
+    # Simulate the crash window by rewriting the pre-flush WAL records.
+    with WriteAheadLog(directory / "wal.jsonl") as wal:
+        wal.append({"op": "add", "seq": 1, "node": {"id": 4, "metadata": {},
+                    "occurrences": [["doc", 0, 0, 0]]}})
+        wal.append({"op": "delete", "seq": 2, "id": 0})
+    recovered = LiveIndex.open(directory, flush_threshold=100)
+    # Records with seq <= applied_seq are skipped: no duplicate node 4.
+    assert recovered.node_ids() == [1, 2, 3, 4]
+    recovered.validate()
+    recovered.close()
+
+
+def test_compaction_rewrites_manifest_and_drops_old_files(tmp_path, texts):
+    directory = tmp_path / "idx"
+    live = LiveIndex(
+        Collection.from_texts(texts), directory=directory, flush_threshold=2
+    )
+    for i in range(6):
+        live.add_text(f"streamed document {i}")
+    live.delete_node(0)
+    segment_files_before = sorted((directory / "segments").iterdir())
+    assert len(segment_files_before) >= 3
+    live.compact()
+    segment_files_after = sorted((directory / "segments").iterdir())
+    assert len(segment_files_after) < len(segment_files_before)
+    live.close()
+    reopened = LiveIndex.open(directory)
+    assert reopened.node_ids() == [1, 2, 3] + list(
+        range(len(texts), len(texts) + 6)
+    )
+    reopened.validate()
+    reopened.close()
+
+
+def test_open_with_collection_on_existing_directory_raises(tmp_path, texts):
+    directory = tmp_path / "idx"
+    LiveIndex(Collection.from_texts(texts), directory=directory).close()
+    with pytest.raises(StorageError, match="already holds a live index"):
+        LiveIndex(Collection.from_texts(texts), directory=directory)
+
+
+def test_wal_stats_exposed(tmp_path, texts):
+    live = LiveIndex(Collection.from_texts(texts))
+    assert live.wal_stats() == {"appended": 0, "synced_batches": 0}
+    persisted = LiveIndex(
+        Collection.from_texts(texts), directory=tmp_path / "idx", sync_every=1
+    )
+    persisted.add_text("doc")
+    assert persisted.wal_stats()["appended"] == 1
+    assert persisted.wal_stats()["synced_batches"] == 1
+    persisted.close()

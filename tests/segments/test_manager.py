@@ -1,0 +1,280 @@
+"""Tests for the segment manager: sealing, tombstones, snapshots, compaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import Collection
+from repro.corpus.document import ContextNode
+from repro.exceptions import IndexError_
+from repro.segments import SegmentManager, TombstoneSet
+
+
+def node(node_id: int, text: str) -> ContextNode:
+    return ContextNode.from_text(node_id, text)
+
+
+def collect(cursor) -> list[int]:
+    ids = []
+    current = cursor.next_entry()
+    while current is not None:
+        ids.append(current)
+        current = cursor.next_entry()
+    return ids
+
+
+# ---------------------------------------------------------------- tombstones
+def test_tombstone_seq_visibility():
+    tombs = TombstoneSet()
+    tombs.mark(4, 10)
+    assert tombs.is_dead(4, 10)
+    assert tombs.is_dead(4, 11)
+    assert not tombs.is_dead(4, 9)  # snapshot taken before the delete
+    assert not tombs.is_dead(5, 99)
+    assert tombs.dead_ids(9) == set()
+    assert tombs.dead_ids(10) == {4}
+
+
+def test_tombstone_filter_at_none_when_empty():
+    tombs = TombstoneSet()
+    assert tombs.filter_at(5) is None
+    tombs.mark(1, 3)
+    dead = tombs.filter_at(5)
+    assert dead(1) and not dead(2)
+    assert tombs.filter_at(2)(1) is False
+
+
+def test_tombstone_remark_keeps_earliest_seq():
+    tombs = TombstoneSet()
+    tombs.mark(1, 5)
+    tombs.mark(1, 9)
+    assert tombs.seq_of(1) == 5
+
+
+# ------------------------------------------------------------------- sealing
+def test_bootstrap_builds_one_segment():
+    collection = Collection.from_texts(["a b", "b c", "c d"])
+    manager = SegmentManager(collection)
+    snapshot = manager.snapshot()
+    assert len(snapshot.segments) == 1
+    assert snapshot.memview is None
+    assert snapshot.node_ids() == [0, 1, 2]
+
+
+def test_flush_threshold_seals_automatically():
+    manager = SegmentManager(flush_threshold=2)
+    manager.add(node(0, "a"))
+    assert len(manager.segments) == 0
+    manager.add(node(1, "b"))
+    assert len(manager.segments) == 1  # sealed at the threshold
+    assert manager.memtable.doc_count == 0
+    manager.add(node(2, "c"))
+    assert manager.memtable.doc_count == 1
+
+
+def test_add_rejects_live_duplicate_but_allows_reuse_after_delete():
+    manager = SegmentManager(flush_threshold=100)
+    manager.add(node(0, "a"))
+    with pytest.raises(IndexError_):
+        manager.add(node(0, "b"))
+    assert manager.delete(0)
+    manager.add(node(0, "b"))  # the id is free again
+    assert manager.collection.get(0).tokens == ["b"]
+
+
+def test_next_node_id_is_monotonic_across_deletes():
+    manager = SegmentManager(flush_threshold=100)
+    manager.add(node(0, "a"))
+    manager.add(node(1, "b"))
+    manager.delete(1)
+    assert manager.next_node_id() == 2  # never reassigns the highest id
+
+
+# ------------------------------------------------------- updates and deletes
+def test_update_of_sealed_node_tombstones_and_reinserts():
+    manager = SegmentManager(flush_threshold=100)
+    manager.add(node(0, "alpha beta"))
+    manager.add(node(1, "beta gamma"))
+    manager.flush()
+    manager.update(node(0, "gamma delta"))
+    snapshot = manager.snapshot()
+    assert collect(snapshot.open_cursor("beta")) == [1]
+    assert collect(snapshot.open_cursor("gamma")) == [0, 1]
+    assert snapshot.node_ids() == [0, 1]
+    assert manager.collection.get(0).tokens == ["gamma", "delta"]
+
+
+def test_delete_of_memtable_node_is_physical():
+    manager = SegmentManager(flush_threshold=100)
+    manager.add(node(0, "alpha"))
+    assert manager.delete(0)
+    assert not manager.delete(0)
+    snapshot = manager.snapshot()
+    assert snapshot.node_ids() == []
+    assert snapshot.memview is None
+
+
+def test_delete_of_sealed_node_uses_tombstone():
+    manager = SegmentManager(flush_threshold=100)
+    manager.add(node(0, "alpha"))
+    manager.add(node(1, "alpha beta"))
+    manager.flush()
+    assert manager.delete(0)
+    snapshot = manager.snapshot()
+    assert collect(snapshot.open_cursor("alpha")) == [1]
+    assert snapshot.node_ids() == [1]
+    # Physically the entry is still there until compaction.
+    assert manager.segments[0].doc_count == 2
+    assert manager.segments[0].live_count() == 1
+
+
+# ------------------------------------------------------------------ snapshots
+def test_snapshot_isolation_against_delete_and_update():
+    manager = SegmentManager(flush_threshold=100)
+    manager.add(node(0, "alpha"))
+    manager.add(node(1, "alpha beta"))
+    manager.flush()
+    before = manager.snapshot()
+    manager.delete(0)
+    manager.update(node(1, "gamma"))
+    # The old snapshot still sees the original state...
+    assert collect(before.open_cursor("alpha")) == [0, 1]
+    assert before.node_ids() == [0, 1]
+    # ...and a fresh one sees the new state.
+    after = manager.snapshot()
+    assert collect(after.open_cursor("alpha")) == []
+    assert collect(after.open_cursor("gamma")) == [1]
+    assert after.node_ids() == [1]
+
+
+def test_snapshot_isolation_against_memtable_writes():
+    manager = SegmentManager(flush_threshold=100)
+    manager.add(node(0, "alpha"))
+    before = manager.snapshot()
+    manager.add(node(1, "alpha"))
+    assert collect(before.open_cursor("alpha")) == [0]
+    assert collect(manager.snapshot().open_cursor("alpha")) == [0, 1]
+
+
+def test_snapshot_any_cursor_covers_survivors():
+    manager = SegmentManager(flush_threshold=2)
+    manager.add(node(0, "a b"))
+    manager.add(node(1, "c"))
+    manager.add(node(2, "d"))
+    manager.delete(1)
+    snapshot = manager.snapshot()
+    assert collect(snapshot.open_any_cursor()) == [0, 2]
+
+
+def test_seq_is_stable_across_flush_and_compact():
+    manager = SegmentManager(flush_threshold=100)
+    manager.add(node(0, "a"))
+    manager.add(node(1, "b"))
+    seq = manager.seq
+    manager.flush()
+    manager.compact()
+    assert manager.seq == seq  # maintenance cannot change results
+
+
+# ------------------------------------------------------------------ compaction
+def test_full_compaction_purges_tombstones():
+    manager = SegmentManager(flush_threshold=2)
+    for i in range(6):
+        manager.add(node(i, f"tok{i} shared"))
+    manager.delete(1)
+    manager.update(node(2, "replaced shared"))
+    assert len(manager.segments) >= 3
+    report = manager.compact()
+    assert report["merges"] == 1
+    segments = manager.segments
+    assert len(segments) == 1
+    assert len(segments[0].tombstones) == 0
+    assert segments[0].doc_count == segments[0].live_count()
+    snapshot = manager.snapshot()
+    assert snapshot.node_ids() == [0, 2, 3, 4, 5]
+    assert collect(snapshot.open_cursor("shared")) == [0, 2, 3, 4, 5]
+    assert collect(snapshot.open_cursor("tok2")) == []
+    assert collect(snapshot.open_cursor("replaced")) == [2]
+
+
+def test_tiered_compaction_reduces_segment_count():
+    manager = SegmentManager(flush_threshold=2, compaction_fanout=3)
+    for i in range(18):
+        manager.add(node(i, f"tok{i} shared"))
+    assert len(manager.segments) == 9
+    report = manager.maybe_compact()
+    assert report["merges"] >= 1
+    assert len(manager.segments) < 9
+    snapshot = manager.snapshot()
+    assert snapshot.node_ids() == list(range(18))
+
+
+def test_compact_on_single_clean_segment_is_a_noop():
+    collection = Collection.from_texts(["a", "b"])
+    manager = SegmentManager(collection)
+    assert manager.compact() == {"merges": 0, "segments_merged": 0}
+    assert len(manager.segments) == 1
+
+
+def test_old_snapshots_survive_compaction():
+    manager = SegmentManager(flush_threshold=2)
+    for i in range(4):
+        manager.add(node(i, "shared"))
+    manager.delete(0)
+    before = manager.snapshot()
+    manager.compact()
+    # The snapshot pinned the pre-compaction segments.
+    assert collect(before.open_cursor("shared")) == [1, 2, 3]
+    assert collect(manager.snapshot().open_cursor("shared")) == [1, 2, 3]
+
+
+def test_background_compaction_thread():
+    manager = SegmentManager(flush_threshold=2, compaction_fanout=2)
+    manager.start_auto_compaction(interval=0.005)
+    try:
+        for i in range(40):
+            manager.add(node(i, f"tok{i % 5} shared"))
+        deadline = 100
+        import time
+
+        while len(manager.segments) > 4 and deadline:
+            time.sleep(0.01)
+            deadline -= 1
+        assert len(manager.segments) <= 4
+    finally:
+        manager.stop_auto_compaction()
+    snapshot = manager.snapshot()
+    assert snapshot.node_ids() == list(range(40))
+    assert collect(snapshot.open_cursor("shared")) == list(range(40))
+
+
+def test_snapshot_collection_is_pinned_against_concurrent_delete():
+    """Snapshot isolation covers content, not just matching: a node the
+
+    snapshot still matches must stay readable (scoring, COMP scans) even
+    after a writer deletes it from the live store mid-query."""
+    manager = SegmentManager(flush_threshold=100)
+    manager.add(node(0, "alpha beta"))
+    manager.add(node(1, "beta gamma"))
+    manager.flush()
+    snapshot = manager.snapshot()
+    manager.delete(0)
+    manager.update(node(1, "rewritten"))
+    assert snapshot.collection.get(0).tokens == ["alpha", "beta"]
+    assert snapshot.collection.get(1).tokens == ["beta", "gamma"]  # old revision
+    assert [n.node_id for n in snapshot.collection] == [0, 1]
+    # And a fresh snapshot pins the new state.
+    assert manager.snapshot().collection.node_ids() == [1]
+
+
+def test_segment_stats_rows():
+    manager = SegmentManager(flush_threshold=2)
+    for i in range(3):
+        manager.add(node(i, f"tok{i}"))
+    manager.delete(0)
+    rows = manager.segment_stats()
+    assert len(rows) == 2  # one sealed segment + the memtable
+    sealed, memtable = rows
+    assert sealed["docs"] == 2 and sealed["live_docs"] == 1
+    assert sealed["tombstones"] == 1
+    assert memtable["generation"] == -1 and memtable["docs"] == 1

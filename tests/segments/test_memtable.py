@@ -1,0 +1,87 @@
+"""Tests for the memtable and its frozen columnar views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.document import ContextNode
+from repro.exceptions import IndexError_
+from repro.segments import MemTable
+
+
+def node(node_id: int, text: str) -> ContextNode:
+    return ContextNode.from_text(node_id, text)
+
+
+def test_add_update_delete_lifecycle():
+    table = MemTable()
+    table.add(node(0, "alpha beta"))
+    table.add(node(5, "beta gamma"))
+    assert len(table) == 2
+    assert 5 in table
+    assert table.position_count == 4
+    table.update(node(0, "gamma"))
+    assert table.position_count == 3
+    removed = table.delete(5)
+    assert removed.node_id == 5
+    assert len(table) == 1 and 5 not in table
+
+
+def test_add_duplicate_and_update_missing_raise():
+    table = MemTable()
+    table.add(node(1, "alpha"))
+    with pytest.raises(IndexError_):
+        table.add(node(1, "beta"))
+    with pytest.raises(IndexError_):
+        table.update(node(9, "beta"))
+    with pytest.raises(IndexError_):
+        table.delete(9)
+
+
+def test_documents_iterate_in_id_order():
+    table = MemTable()
+    table.add(node(9, "c"))
+    table.add(node(2, "a"))
+    table.add(node(5, "b"))
+    assert [n.node_id for n in table.documents()] == [2, 5, 9]
+
+
+def test_frozen_view_is_cached_and_replaced_on_mutation():
+    table = MemTable()
+    table.add(node(0, "alpha beta"))
+    view1 = table.frozen_view()
+    assert table.frozen_view() is view1  # cached between mutations
+    table.add(node(1, "beta"))
+    view2 = table.frozen_view()
+    assert view2 is not view1
+    # Snapshot isolation: the old view still shows the old state.
+    assert view1.node_ids() == [0]
+    assert view2.node_ids() == [0, 1]
+    assert view1.lists["beta"].node_ids() == [0]
+    assert view2.lists["beta"].node_ids() == [0, 1]
+
+
+def test_frozen_view_of_empty_table_is_none():
+    table = MemTable()
+    assert table.frozen_view() is None
+    table.add(node(0, "x"))
+    table.delete(0)
+    assert table.frozen_view() is None
+
+
+def test_frozen_view_builds_any_list():
+    table = MemTable()
+    table.add(node(3, "alpha beta alpha"))
+    view = table.frozen_view()
+    assert view.any_list.node_ids() == [3]
+    assert view.any_list.total_positions() == 3
+    assert view.position_count == 3
+
+
+def test_clear_empties_everything():
+    table = MemTable()
+    table.add(node(0, "alpha"))
+    table.clear()
+    assert len(table) == 0
+    assert table.position_count == 0
+    assert table.frozen_view() is None

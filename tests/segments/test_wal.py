@@ -1,0 +1,103 @@
+"""Tests for the write-ahead log: batching, replay, crash recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.segments import WriteAheadLog
+
+
+def test_append_and_replay_round_trip(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    with WriteAheadLog(path, sync_every=2) as wal:
+        wal.append({"op": "add", "seq": 1})
+        wal.append({"op": "delete", "seq": 2, "id": 7})
+        wal.append({"op": "add", "seq": 3})
+    records = WriteAheadLog.replay(path)
+    assert [r["seq"] for r in records] == [1, 2, 3]
+    assert records[1] == {"op": "delete", "seq": 2, "id": 7}
+
+
+def test_fsync_batching_counters(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl", sync_every=3)
+    for seq in range(1, 8):
+        wal.append({"seq": seq})
+    # 7 appends at sync_every=3 -> 2 full batches; the tail is pending.
+    assert wal.appended == 7
+    assert wal.synced_batches == 2
+    wal.close()  # close flushes the pending batch
+    assert wal.synced_batches == 3
+
+
+def test_sync_with_nothing_pending_counts_no_batch(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.jsonl", sync_every=10)
+    wal.sync()
+    assert wal.synced_batches == 0
+    wal.close()
+
+
+def test_replay_missing_file_is_empty(tmp_path):
+    assert WriteAheadLog.replay(tmp_path / "absent.jsonl") == []
+
+
+def test_replay_discards_torn_final_record(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    with WriteAheadLog(path) as wal:
+        for seq in range(1, 5):
+            wal.append({"seq": seq, "op": "add", "payload": "x" * 20})
+    data = path.read_bytes()
+    path.write_bytes(data[:-9])  # crash mid-record: tear the last line
+    records = WriteAheadLog.replay(path)
+    assert [r["seq"] for r in records] == [1, 2, 3]
+
+
+def test_replay_rejects_corruption_before_the_tail(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    lines = [json.dumps({"seq": 1}), "garbage{{{", json.dumps({"seq": 3})]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    with pytest.raises(StorageError, match="corrupt"):
+        WriteAheadLog.replay(path)
+
+
+def test_replay_rejects_non_object_records(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    path.write_text("[1, 2, 3]\n", encoding="utf-8")
+    with pytest.raises(StorageError, match="not an object"):
+        WriteAheadLog.replay(path)
+
+
+def test_replay_after_skips_checkpointed_records(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    with WriteAheadLog(path) as wal:
+        for seq in range(1, 6):
+            wal.append({"seq": seq})
+    assert [r["seq"] for r in WriteAheadLog.replay_after(path, 3)] == [4, 5]
+    assert [r["seq"] for r in WriteAheadLog.replay_after(path, 0)] == [1, 2, 3, 4, 5]
+    assert list(WriteAheadLog.replay_after(path, 5)) == []
+
+
+def test_reset_truncates(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    wal = WriteAheadLog(path)
+    wal.append({"seq": 1})
+    wal.reset()
+    wal.append({"seq": 2})
+    wal.close()
+    assert [r["seq"] for r in WriteAheadLog.replay(path)] == [2]
+
+
+def test_append_after_reopen_appends(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    with WriteAheadLog(path) as wal:
+        wal.append({"seq": 1})
+    with WriteAheadLog(path) as wal:
+        wal.append({"seq": 2})
+    assert [r["seq"] for r in WriteAheadLog.replay(path)] == [1, 2]
+
+
+def test_rejects_bad_sync_every(tmp_path):
+    with pytest.raises(StorageError):
+        WriteAheadLog(tmp_path / "wal.jsonl", sync_every=0)

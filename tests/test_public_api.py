@@ -17,6 +17,8 @@ SUBPACKAGES = [
     "repro.scoring",
     "repro.core",
     "repro.bench",
+    "repro.cluster",
+    "repro.segments",
     "repro.cli",
 ]
 

@@ -47,6 +47,22 @@ from repro.index.inverted_index import InvertedIndex
 from repro.index.storage import load_collection, load_index, save_collection
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for ``--top-k``: the uniform ``top_k >= 1`` contract.
+
+    Matches the :func:`repro.engine.topk.check_top_k` validation applied by
+    the engine and cluster entry points, so a bad ``k`` fails at argument
+    parsing instead of deep inside a search.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_sharding_arguments(command: argparse.ArgumentParser) -> None:
     """The sharding knobs shared by ``search``, ``serve`` and ``shard-stats``."""
     command.add_argument(
@@ -96,7 +112,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
     search_cmd.add_argument(
         "--scoring", default="tfidf", choices=["none", "tfidf", "probabilistic"]
     )
-    search_cmd.add_argument("--top-k", type=int, default=10)
+    search_cmd.add_argument("--top-k", type=_positive_int, default=10)
     search_cmd.add_argument(
         "--access-mode",
         default="paper",
@@ -117,7 +133,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--scoring", default="tfidf", choices=["none", "tfidf", "probabilistic"]
     )
-    serve_cmd.add_argument("--top-k", type=int, default=5)
+    serve_cmd.add_argument("--top-k", type=_positive_int, default=5)
     serve_cmd.add_argument(
         "--access-mode", default="fast", choices=["paper", "fast"],
         help="cursor access mode (default: fast, the production path)",

@@ -15,7 +15,8 @@ the paper's semantics and scores bit-identical:
 * :mod:`repro.cluster.merge`         -- heap-based k-way merging of per-shard
   id streams and rankings;
 * :mod:`repro.cluster.cache`         -- the LRU result cache keyed on
-  normalized plan + access mode + scoring + top-k;
+  normalized plan + access mode + scoring, serving smaller top-k requests
+  from a warm wider entry (exact rankings are prefixes of each other);
 * :mod:`repro.cluster.live`          -- live (mutable) shards: one
   :class:`~repro.segments.live_index.LiveIndex` per shard with routed
   updates/deletes and generation-keyed cache invalidation.

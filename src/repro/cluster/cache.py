@@ -3,9 +3,14 @@
 Keys are built from everything that determines the answer: the *normalized*
 query plan (the parsed AST rendered back to canonical text, so surface
 variants of the same query share an entry), the forced engine, the cursor
-access mode, the scoring backend, the NPRED order strategy, and the top-k
-cut (a top-k merged result is genuinely a different -- truncated -- object,
-see :mod:`repro.cluster.merge`).
+access mode, the scoring backend, and the NPRED order strategy.
+
+The top-k cut is deliberately **not** part of the key: exact top-k rankings
+are prefixes of each other, so one entry computed at ``k=10`` can serve any
+request with ``k <= 10`` (see the ``accept`` hook of :meth:`QueryCache.get`
+and the coverage check in :mod:`repro.cluster.scatter`).  An entry that is
+*too narrow* for the requested ``k`` counts as a miss and is overwritten by
+the wider recomputation, so entries only ever grow toward the full ranking.
 
 The cache is invalidated wholesale on incremental index updates: a new node
 can change global document frequencies, so *every* cached score is suspect,
@@ -17,7 +22,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 from repro.exceptions import ClusterError
 
@@ -31,10 +36,9 @@ def make_cache_key(
     access_mode: str,
     scoring: str,
     npred_orders: str,
-    top_k: int | None,
 ) -> tuple:
-    """The canonical cache key for one query execution."""
-    return (plan_text, engine, access_mode, scoring, npred_orders, top_k)
+    """The canonical cache key for one query execution (top-k excluded)."""
+    return (plan_text, engine, access_mode, scoring, npred_orders)
 
 
 class QueryCache:
@@ -51,11 +55,20 @@ class QueryCache:
         self.evictions = 0
         self.invalidations = 0
 
-    def get(self, key: Hashable) -> Any | None:
-        """The cached value for ``key`` (refreshing its recency) or ``None``."""
+    def get(
+        self, key: Hashable, accept: "Callable[[Any], bool] | None" = None
+    ) -> Any | None:
+        """The cached value for ``key`` (refreshing its recency) or ``None``.
+
+        ``accept`` lets the caller reject an entry that exists but cannot
+        serve the request (e.g. a top-k ranking prefix narrower than the
+        requested ``k``); a rejected entry counts as a miss and keeps its
+        LRU position, and the caller is expected to overwrite it with the
+        wider recomputation.
+        """
         with self._lock:
             value = self._entries.get(key)
-            if value is None:
+            if value is None or (accept is not None and not accept(value)):
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)

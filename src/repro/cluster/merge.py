@@ -23,6 +23,7 @@ import heapq
 from dataclasses import dataclass, field
 
 from repro.engine.executor import EvaluationResult
+from repro.engine.topk import check_top_k
 from repro.index.cursor import CursorStats
 from repro.languages.classify import LanguageClass
 
@@ -31,9 +32,12 @@ from repro.languages.classify import LanguageClass
 class MergedEvaluationResult(EvaluationResult):
     """An :class:`EvaluationResult` assembled from per-shard results.
 
-    ``node_ids`` and ``scores`` cover *all* matches (so ``total_matches``
-    stays exact); :meth:`ranked` returns the pre-merged ranking, truncated to
-    the ``top_k`` the merge was asked for (``None`` = full).
+    ``node_ids`` covers *all* matches (so ``total_matches`` stays exact);
+    :meth:`ranked` returns the pre-merged ranking, truncated to the
+    ``ranked_limit`` the merge was asked for (``None`` = full).  When the
+    shards themselves executed with top-k pushdown, ``scores`` holds only
+    the scores the shards actually computed -- the ranking prefix is still
+    exact, because every globally-top-k node is in its own shard's top-k.
     """
 
     shard_count: int = 0
@@ -64,14 +68,17 @@ def merge_ranked(
     contract of :meth:`EvaluationResult.ranked`).  With ``top_k`` the merge
     stops after ``k`` items, so the cost is ``O(k log s)`` instead of
     ``O(n log s)`` -- the scatter-gather path's answer to top-k queries.
+
+    ``top_k`` must be ``None`` or ``>= 1`` -- the same validation every
+    other entry point applies (a non-positive ``k`` used to return an empty
+    ranking here while the single-index slice treated it differently).
     """
+    check_top_k(top_k)
     merged = heapq.merge(
         *ranked_streams, key=lambda pair: (-pair[1], pair[0])
     )
     if top_k is None:
         return list(merged)
-    if top_k <= 0:
-        return []
     out = []
     for pair in merged:
         out.append(pair)
@@ -107,6 +114,7 @@ def merge_shard_results(
         elapsed_seconds=elapsed_seconds,
         scores=scores,
         cursor_stats=merge_cursor_stats([r.cursor_stats for r in per_shard]),
+        ranked_limit=top_k,
         shard_count=len(per_shard),
         _ranked=ranked,
     )

@@ -12,9 +12,16 @@ Single-shard clusters (and ``max_workers=1``) skip the pool entirely and run
 sequentially; the results are identical either way.
 
 Merged results are memoised in a :class:`~repro.cluster.cache.QueryCache`
-keyed on the normalized plan, engine choice, access mode, scoring backend,
-NPRED order strategy and top-k cut; the cache registers itself for
-invalidation on incremental updates of the sharded index.
+keyed on the normalized plan, engine choice, access mode, scoring backend
+and NPRED order strategy -- but *not* the top-k cut: exact top-k rankings
+are prefixes of each other, so a warm ``k=10`` entry serves a ``k=5``
+request (a genuine hit) and only a wider request recomputes and overwrites
+the entry.  The cache registers itself for invalidation on incremental
+updates of the sharded index.
+
+``top_k`` is forwarded to every shard executor, so each shard runs the
+score-bounded pushdown of :mod:`repro.engine.topk` and ships back only its
+own exact top-``k`` prefix; the k-way merge then needs ``O(k log s)`` work.
 
 One executor serves one caller at a time (the worker pool parallelises
 *shards*, not client sessions); wrap it in its own lock if several threads
@@ -31,6 +38,7 @@ from repro.cluster.cache import DEFAULT_CACHE_SIZE, QueryCache, make_cache_key
 from repro.cluster.merge import MergedEvaluationResult, merge_shard_results
 from repro.cluster.sharded_index import ShardedIndex
 from repro.engine.executor import AUTO, EvaluationResult, Executor
+from repro.engine.topk import check_top_k
 from repro.index.cursor import PAPER_MODE, check_access_mode
 from repro.languages import ast
 from repro.model.predicates import PredicateRegistry, default_registry
@@ -104,17 +112,19 @@ class ScatterGatherExecutor:
         """Evaluate ``query`` on every shard and merge the answers.
 
         The merged result's ``elapsed_seconds`` is the scatter-gather wall
-        clock; ``top_k`` truncates the merged ranking (``node_ids`` and the
-        match count stay complete).
+        clock; ``top_k`` is pushed down to every shard executor (each ships
+        back only its exact best-``k`` prefix) and bounds the k-way merge
+        (``node_ids`` and the match count stay complete).
         """
-        key = self._cache_key(query, engine, top_k)
-        cached = self._cache_get(key)
+        check_top_k(top_k)
+        key = self._cache_key(query, engine)
+        cached = self._cache_get(key, top_k)
         if cached is not None:
             return cached
         self._refresh_scoring_if_stale()
         started = time.perf_counter()
         per_shard = self._scatter(
-            lambda executor: executor.execute(query, engine=engine)
+            lambda executor: executor.execute(query, engine=engine, top_k=top_k)
         )
         merged = merge_shard_results(
             per_shard, time.perf_counter() - started, top_k
@@ -143,7 +153,8 @@ class ScatterGatherExecutor:
         anyway); with caching disabled every query is evaluated, matching
         the single-index ``execute_many`` semantics exactly.
         """
-        keys = [self._cache_key(query, engine, top_k) for query in queries]
+        check_top_k(top_k)
+        keys = [self._cache_key(query, engine) for query in queries]
         answers: dict[int, MergedEvaluationResult] = {}
         pending: list[int] = []
         scheduled: dict[tuple, int] = {}
@@ -152,7 +163,7 @@ class ScatterGatherExecutor:
                 # A duplicate of a query scheduled in this batch: served from
                 # the cache after execution (and counted as a hit there).
                 continue
-            cached = self._cache_get(key)
+            cached = self._cache_get(key, top_k)
             if cached is not None:
                 answers[position] = cached
             else:
@@ -162,7 +173,9 @@ class ScatterGatherExecutor:
             self._refresh_scoring_if_stale()
             batch = [queries[position] for position in pending]
             per_shard_batches = self._scatter(
-                lambda executor: executor.execute_many(batch, engine=engine)
+                lambda executor: executor.execute_many(
+                    batch, engine=engine, top_k=top_k
+                )
             )
             for offset, position in enumerate(pending):
                 per_shard = [shard_batch[offset] for shard_batch in per_shard_batches]
@@ -181,7 +194,7 @@ class ScatterGatherExecutor:
         # result so no two positions alias one mutable object.)
         for position, key in enumerate(keys):
             if position not in answers:
-                hit = self._cache_get(key)
+                hit = self._cache_get(key, top_k)
                 answers[position] = (
                     hit
                     if hit is not None
@@ -293,16 +306,13 @@ class ScatterGatherExecutor:
             return spec.lower()
         return getattr(spec, "name", type(spec).__name__)
 
-    def _cache_key(
-        self, query: ast.QueryNode, engine: str, top_k: int | None
-    ) -> tuple:
+    def _cache_key(self, query: ast.QueryNode, engine: str) -> tuple:
         key = make_cache_key(
             query.to_text(),
             engine,
             self.access_mode,
             self.scoring_name,
             self.npred_orders,
-            top_k,
         )
         if self._generation_keyed:
             # Segment-aware invalidation: the data generation is part of the
@@ -311,28 +321,57 @@ class ScatterGatherExecutor:
             key = key + (self.sharded_index.cache_generation(),)
         return key
 
-    def _cache_get(self, key: tuple) -> MergedEvaluationResult | None:
+    @staticmethod
+    def _covers(entry: MergedEvaluationResult, top_k: int | None) -> bool:
+        """Whether a cached entry's ranking can serve a ``top_k`` request.
+
+        A full ranking (``ranked_limit is None``) serves everything; a
+        pruned one serves any request that is at most as wide.  Exact top-k
+        rankings are prefixes of each other (the merge contract), so serving
+        a smaller ``k`` from a wider entry is just a truncation.
+        """
+        if entry.ranked_limit is None:
+            return True
+        return top_k is not None and top_k <= entry.ranked_limit
+
+    def _cache_get(
+        self, key: tuple, top_k: int | None = None
+    ) -> MergedEvaluationResult | None:
         if self.cache is None:
             return None
-        hit = self.cache.get(key)
+        hit = self.cache.get(key, accept=lambda entry: self._covers(entry, top_k))
         if hit is None:
             return None
-        return self._detached(hit, from_cache=True)
+        return self._detached(hit, from_cache=True, top_k=top_k)
 
     def _cache_put(self, key: tuple, merged: MergedEvaluationResult) -> None:
         if self.cache is not None:
             self.cache.put(key, merged)
 
+    #: Sentinel for "hand the result back at its own width" (``None`` is a
+    #: meaningful top_k value -- the full ranking -- so it cannot be used).
+    _OWN_WIDTH = object()
+
     def _detached(
-        self, result: MergedEvaluationResult, from_cache: bool
+        self,
+        result: MergedEvaluationResult,
+        from_cache: bool,
+        top_k=_OWN_WIDTH,
     ) -> MergedEvaluationResult:
         """A caller-owned copy of a (possibly cached) merged result.
 
         The object stored in the cache must never be handed out directly:
         ``node_ids`` / ``scores`` / ``_ranked`` are mutable and
         ``CursorStats.merge`` mutates in place, so a caller poking at a
-        returned result would otherwise corrupt every future hit.
+        returned result would otherwise corrupt every future hit.  With
+        ``top_k`` the copy's ranking is narrowed to the requested prefix
+        (the cache stores one entry per query at its widest ranking).
         """
+        ranked = list(result.ranked())
+        limit = result.ranked_limit
+        if top_k is not self._OWN_WIDTH and top_k is not None:
+            ranked = ranked[:top_k]
+            limit = top_k
         return MergedEvaluationResult(
             node_ids=list(result.node_ids),
             language_class=result.language_class,
@@ -344,7 +383,8 @@ class ScatterGatherExecutor:
                 if result.cursor_stats is not None
                 else None
             ),
+            ranked_limit=limit,
             shard_count=result.shard_count,
             from_cache=from_cache,
-            _ranked=list(result.ranked()),
+            _ranked=ranked,
         )

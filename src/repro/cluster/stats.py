@@ -43,6 +43,19 @@ class _ShardedIndexView:
         for shard in self._shards:
             yield from shard.posting_lists()
 
+    def max_positions(self, token: str) -> int:
+        """Global ``max_occurrences(t)``: a max over the shards' lists.
+
+        Exact, because every posting entry lives wholly inside one shard.
+        """
+        return max(
+            (
+                shard.posting_list(token).max_positions_per_entry()
+                for shard in self._shards
+            ),
+            default=0,
+        )
+
     def node_count(self) -> int:
         return len(self.collection)
 
@@ -81,6 +94,11 @@ class AggregatedStatistics(IndexStatistics):
         self._document_frequency = document_frequency
         self._unique_tokens = unique_tokens
         self._node_lengths = node_lengths
+        self._max_occurrences = {}
+        self._idf_cache = {}
+
+    def _compute_max_occurrences(self, token: str) -> int:
+        return self._index.max_positions(token)
 
     def complexity_parameters(self) -> ComplexityParameters:
         """Global complexity parameters of the sharded corpus.

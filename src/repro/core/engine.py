@@ -43,6 +43,7 @@ from repro.languages import ast
 from repro.model.predicates import Predicate, PredicateRegistry, default_registry
 from repro.scoring.base import ScoringModel, get_model
 from repro.engine.executor import AUTO, EvaluationResult, Executor
+from repro.engine.topk import check_top_k
 from repro.core.query import Query, parse_query
 from repro.core.results import SearchResult, SearchResults
 
@@ -351,8 +352,14 @@ class FullTextEngine:
             ``"npred"``, ``"comp"``); ``"auto"`` picks the cheapest engine for
             the query's class.
         top_k:
-            Return only the best ``top_k`` results (all matches by default).
+            Return only the best ``top_k`` results (all matches by default;
+            must be ``>= 1`` when given).  The cut is pushed down into
+            execution -- scoring models bound candidate scores so nodes that
+            cannot reach the top ``k`` are never fully scored -- and the
+            returned prefix is exactly the first ``top_k`` entries of the
+            full ranking.
         """
+        check_top_k(top_k)
         parsed = self._as_query(query, language)
         if self._cluster is not None:
             outcome: EvaluationResult = self._cluster.execute(
@@ -360,7 +367,7 @@ class FullTextEngine:
             )
         else:
             self._refresh_scoring()
-            outcome = self._executor.execute(parsed.node, engine=engine)
+            outcome = self._executor.execute(parsed.node, engine=engine, top_k=top_k)
         return self._build_results(parsed, outcome, top_k)
 
     def search_many(
@@ -377,6 +384,7 @@ class FullTextEngine:
         when serving many small queries against the same index: repeated
         query shapes skip re-planning entirely.
         """
+        check_top_k(top_k)
         parsed_queries = [self._as_query(query, language) for query in queries]
         if self._cluster is not None:
             outcomes: Sequence[EvaluationResult] = self._cluster.execute_many(
@@ -387,7 +395,9 @@ class FullTextEngine:
         else:
             self._refresh_scoring()
             outcomes = self._executor.execute_many(
-                [parsed.node for parsed in parsed_queries], engine=engine
+                [parsed.node for parsed in parsed_queries],
+                engine=engine,
+                top_k=top_k,
             )
         return [
             self._build_results(parsed, outcome, top_k)

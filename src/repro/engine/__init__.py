@@ -35,8 +35,11 @@ from repro.engine.plan import (
     plan_polarities,
 )
 from repro.engine.ppred_engine import PPredEngine
+from repro.engine.topk import TopKCollector, check_top_k
 
 __all__ = [
+    "TopKCollector",
+    "check_top_k",
     "BoolEngine",
     "AUTO",
     "ENGINE_CLASS",

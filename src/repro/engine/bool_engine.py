@@ -74,9 +74,22 @@ class BoolEngine:
         return {node: result.scores.get(node, 0.0) for node in result.nodes}
 
     def evaluate_with_stats(
-        self, query: ast.QueryNode, factory: CursorFactory | None = None
+        self,
+        query: ast.QueryNode,
+        factory: CursorFactory | None = None,
+        observer=None,
     ) -> tuple[list[int], CursorStats]:
+        """Evaluate; ``observer`` sees each result node exactly once.
+
+        BOOL evaluation materialises node sets (OR / NOT / nested
+        conjuncts), so unlike the PPRED pipeline the observer is fed after
+        the merge finishes -- the top-k collector behind it only needs every
+        final node once, in any order.
+        """
         result, stats = self._evaluate(query, factory)
+        if observer is not None:
+            for node_id in result.nodes:
+                observer(node_id)
         return result.nodes, stats
 
     # ------------------------------------------------------------- internals

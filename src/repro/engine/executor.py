@@ -25,6 +25,7 @@ from repro.engine.bool_engine import BoolEngine
 from repro.engine.naive_engine import NaiveCompEngine
 from repro.engine.npred_engine import NPredEngine
 from repro.engine.ppred_engine import PPredEngine
+from repro.engine.topk import TopKCollector, check_top_k
 
 #: Engine name accepted by :meth:`Executor.execute` for automatic selection.
 AUTO = "auto"
@@ -49,7 +50,15 @@ ENGINE_CLASS = {
 
 @dataclass
 class EvaluationResult:
-    """Outcome of evaluating one query."""
+    """Outcome of evaluating one query.
+
+    ``node_ids`` always covers *every* match (``total_matches`` stays exact
+    even under top-k pushdown); with ``ranked_limit`` set, the ranking was
+    pruned during evaluation and :meth:`ranked` returns the precomputed best
+    ``ranked_limit`` pairs -- identical to sorting the full ranking and
+    slicing, see :mod:`repro.engine.topk`.  ``scores`` is partial on a
+    pruned result (the skipped nodes were never scored, that is the point).
+    """
 
     node_ids: list[int]
     language_class: LanguageClass
@@ -57,12 +66,16 @@ class EvaluationResult:
     elapsed_seconds: float
     scores: dict[int, float] = field(default_factory=dict)
     cursor_stats: CursorStats | None = None
+    ranked_limit: int | None = None
+    _ranked: list[tuple[int, float]] | None = None
 
     def __len__(self) -> int:
         return len(self.node_ids)
 
     def ranked(self) -> list[tuple[int, float]]:
         """Node ids with scores, best first (unscored results keep id order)."""
+        if self._ranked is not None:
+            return self._ranked
         if not self.scores:
             return [(node_id, 0.0) for node_id in self.node_ids]
         return sorted(
@@ -89,32 +102,49 @@ class Executor:
         self.access_mode = check_access_mode(access_mode)
 
     # ------------------------------------------------------------------ API
-    def execute(self, query: ast.QueryNode, engine: str = AUTO) -> EvaluationResult:
+    def execute(
+        self,
+        query: ast.QueryNode,
+        engine: str = AUTO,
+        top_k: int | None = None,
+    ) -> EvaluationResult:
         """Evaluate a parsed (closed) surface query.
 
         ``engine`` may be ``"auto"`` (default) or one of ``"bool"``,
         ``"ppred"``, ``"npred"``, ``"comp"`` to force a specific evaluation
         algorithm; forcing an engine below the query's class raises
         :class:`UnsupportedQueryError`.
+
+        ``top_k`` pushes the ranking cut into execution: matching nodes are
+        fed to a score-bounded :class:`~repro.engine.topk.TopKCollector`
+        while the engines run, so only candidates whose score upper bound
+        can still reach the current top-``k`` floor are actually scored.
+        ``node_ids`` (and with it the match count) stays complete; the
+        returned ranking is the exact best-``k`` prefix of the full one.
         """
-        return self._execute(query, engine)
+        return self._execute(query, engine, top_k=top_k)
 
     def execute_many(
-        self, queries: Sequence[ast.QueryNode], engine: str = AUTO
+        self,
+        queries: Sequence[ast.QueryNode],
+        engine: str = AUTO,
+        top_k: int | None = None,
     ) -> list[EvaluationResult]:
         """Evaluate a batch of queries, amortising per-query setup.
 
         One :class:`CursorFactory` is shared by the whole batch (each
         result's ``cursor_stats`` reports only its own query's delta) and
         extracted plans are cached by query text, so a batch that repeats
-        query shapes skips re-planning.
+        query shapes skips re-planning.  ``top_k`` applies the pushdown of
+        :meth:`execute` to every query in the batch.
         """
+        check_top_k(top_k)
         factory = CursorFactory(mode=self.access_mode)
         plan_cache: dict[tuple[str, str], object] = {}
         results = []
         snapshot = factory.checkpoint()
         for query in queries:
-            result = self._execute(query, engine, factory, plan_cache)
+            result = self._execute(query, engine, factory, plan_cache, top_k)
             total = factory.checkpoint()
             if result.cursor_stats is not None:
                 result.cursor_stats = total.delta_since(snapshot)
@@ -142,24 +172,38 @@ class Executor:
         engine: str,
         factory: CursorFactory | None = None,
         plan_cache: dict | None = None,
+        top_k: int | None = None,
     ) -> EvaluationResult:
+        check_top_k(top_k)
         language_class = classify_query(query, self.registry)
         engine_name = self._resolve_engine(language_class, engine)
         index = self._current_index()
+        collector = self._make_collector(query, top_k)
         started = time.perf_counter()
         try:
-            node_ids, stats = self._run(index, query, engine_name, factory, plan_cache)
+            node_ids, stats = self._run(
+                index, query, engine_name, factory, plan_cache, collector
+            )
         except UnsupportedQueryError:
             # The classifier is intentionally syntactic; if a corner case
             # slips past it (or a caller forced a pipelined engine onto a
             # query it cannot plan), fall back to the always-applicable
-            # naive COMP engine rather than failing the search.
+            # naive COMP engine rather than failing the search.  A partially
+            # fed collector is discarded with the failed attempt.
             if engine != AUTO and engine_name != "comp":
                 raise
             engine_name = "comp"
-            node_ids, stats = self._run(index, query, engine_name, factory, plan_cache)
+            collector = self._make_collector(query, top_k)
+            node_ids, stats = self._run(
+                index, query, engine_name, factory, plan_cache, collector
+            )
         elapsed = time.perf_counter() - started
-        scores = self._score(query, node_ids, engine_name)
+        if collector is not None:
+            scores = collector.scores()
+            ranked = collector.ranked()
+        else:
+            scores = self._score(query, node_ids, engine_name)
+            ranked = None
         return EvaluationResult(
             node_ids=node_ids,
             language_class=language_class,
@@ -167,7 +211,25 @@ class Executor:
             elapsed_seconds=elapsed,
             scores=scores,
             cursor_stats=stats,
+            ranked_limit=top_k if collector is not None else None,
+            _ranked=ranked,
         )
+
+    def _make_collector(
+        self, query: ast.QueryNode, top_k: int | None
+    ) -> TopKCollector | None:
+        """The score-bounded collector for one pushdown execution.
+
+        The scoring model is prepared for the query *before* evaluation
+        starts (the non-pushdown path prepares it after), so the collector
+        can score and bound candidates as the engines produce them.
+        """
+        if top_k is None:
+            return None
+        scoring = self.scoring
+        if scoring is not None:
+            scoring.prepare(sorted(ast.query_tokens(query)))
+        return TopKCollector(top_k, scoring)
 
     def _resolve_engine(self, language_class: LanguageClass, engine: str) -> str:
         if engine == AUTO:
@@ -191,14 +253,20 @@ class Executor:
         engine_name: str,
         factory: CursorFactory | None = None,
         plan_cache: dict | None = None,
+        collector: TopKCollector | None = None,
     ) -> tuple[list[int], CursorStats | None]:
+        observer = collector.add if collector is not None else None
         if engine_name == "bool":
             engine = BoolEngine(index, scoring=None, access_mode=self.access_mode)
-            return engine.evaluate_with_stats(query, factory=factory)
+            return engine.evaluate_with_stats(
+                query, factory=factory, observer=observer
+            )
         if engine_name == "ppred":
             engine = PPredEngine(index, self.registry, access_mode=self.access_mode)
             plan = self._cached_plan(query, engine_name, plan_cache)
-            return engine.evaluate_with_stats(query, factory=factory, plan=plan)
+            return engine.evaluate_with_stats(
+                query, factory=factory, plan=plan, observer=observer
+            )
         if engine_name == "npred":
             engine = NPredEngine(
                 index,
@@ -207,9 +275,15 @@ class Executor:
                 access_mode=self.access_mode,
             )
             plan = self._cached_plan(query, engine_name, plan_cache)
-            return engine.evaluate_with_stats(query, factory=factory, plan=plan)
+            return engine.evaluate_with_stats(
+                query, factory=factory, plan=plan, observer=observer
+            )
         engine = NaiveCompEngine(index, self.registry)
-        return engine.evaluate(query), None
+        node_ids = engine.evaluate(query)
+        if observer is not None:
+            for node_id in node_ids:
+                observer(node_id)
+        return node_ids, None
 
     def _cached_plan(
         self, query: ast.QueryNode, engine_name: str, plan_cache: dict | None

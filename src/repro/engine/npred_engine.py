@@ -252,7 +252,14 @@ class NPredEngine:
         query: ast.QueryNode,
         factory: CursorFactory | None = None,
         plan=None,
+        observer=None,
     ) -> tuple[list[int], CursorStats]:
+        """Evaluate; ``observer`` sees each result node exactly once.
+
+        The permutation threads can each rediscover the same node, so the
+        observer is fed from the deduplicated, sorted union -- never from
+        inside a thread.
+        """
         if plan is None:
             plan = extract_plan(query, self.registry)
         polarities = plan_polarities(plan, self.registry)
@@ -264,6 +271,9 @@ class NPredEngine:
         if factory is None:
             factory = CursorFactory(mode=self.access_mode)
         nodes = sorted(self._evaluate_plan(plan, factory))
+        if observer is not None:
+            for node_id in nodes:
+                observer(node_id)
         return nodes, factory.collect_stats()
 
     # ------------------------------------------------------------- internals

@@ -27,7 +27,7 @@ the predicates' advance hints.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.exceptions import EvaluationError
 from repro.index.cursor import FAST_MODE, InvertedListCursor
@@ -531,11 +531,26 @@ def zigzag_node_intersect(cursors: Sequence[InvertedListCursor]) -> list[int]:
                 return result
 
 
-def collect_nodes(operator: PlanOperator) -> list[int]:
-    """Drive ``advance_node`` to exhaustion and collect the node ids."""
+def collect_nodes(
+    operator: PlanOperator, observer: "Callable[[int], None] | None" = None
+) -> list[int]:
+    """Drive ``advance_node`` to exhaustion and collect the node ids.
+
+    ``observer`` is called with each node id as it is produced -- the hook
+    the top-k pushdown uses to score-and-prune candidates *while* the cursor
+    merge is still running, instead of in a second pass over the finished
+    list.  Pass it only when every produced node is a final result (the
+    PPRED root operator); intermediate merges must not observe.
+    """
     result: list[int] = []
     node = operator.advance_node()
+    if observer is None:
+        while node is not None:
+            result.append(node)
+            node = operator.advance_node()
+        return result
     while node is not None:
         result.append(node)
+        observer(node)
         node = operator.advance_node()
     return result

@@ -65,12 +65,17 @@ class PPredEngine:
         query: ast.QueryNode,
         factory: CursorFactory | None = None,
         plan=None,
+        observer=None,
     ) -> tuple[list[int], CursorStats]:
         """Evaluate and also report how much inverted-list data was scanned.
 
         ``factory`` and ``plan`` let a batch driver share one cursor factory
         and reuse an extracted plan across calls (see
-        :meth:`repro.engine.executor.Executor.execute_many`).
+        :meth:`repro.engine.executor.Executor.execute_many`).  ``observer``
+        sees every result node exactly once, streamed from the root operator
+        while the single forward scan is still running -- each node the plan
+        produces is final, so the top-k pushdown can score-and-prune it
+        immediately.
         """
         if plan is None:
             plan = extract_plan(query, self.registry)
@@ -78,7 +83,7 @@ class PPredEngine:
         if factory is None:
             factory = CursorFactory(mode=self.access_mode)
         operator = self.build_operator(plan, factory)
-        nodes = ops.collect_nodes(operator)
+        nodes = ops.collect_nodes(operator, observer)
         return nodes, factory.collect_stats()
 
     # ----------------------------------------------------------- plan -> ops

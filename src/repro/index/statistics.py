@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.corpus.collection import Collection
+    from repro.corpus.document import ContextNode
     from repro.index.inverted_index import InvertedIndex
 
 
@@ -56,6 +58,8 @@ class IndexStatistics:
         }
         self._unique_tokens: dict[int, int] = {}
         self._node_lengths: dict[int, int] = {}
+        self._max_occurrences: dict[str, int] = {}
+        self._idf_cache: dict[str, float] = {}
         for node in index.collection:
             self._unique_tokens[node.node_id] = node.unique_token_count()
             self._node_lengths[node.node_id] = len(node)
@@ -65,6 +69,22 @@ class IndexStatistics:
     def node_count(self) -> int:
         """``db_size``: the number of context nodes."""
         return self._node_count
+
+    @property
+    def collection(self) -> "Collection":
+        """The corpus these statistics describe.
+
+        This is the public route to node content for scoring models -- the
+        sharded (:class:`~repro.cluster.stats.AggregatedStatistics`) and live
+        (:class:`~repro.segments.stats.LiveStatistics`) statistics have no
+        single backing :class:`~repro.index.inverted_index.InvertedIndex`,
+        so reaching through ``statistics._index`` is not portable.
+        """
+        return self._index.collection
+
+    def node(self, node_id: int) -> "ContextNode":
+        """The corpus node for ``node_id`` (raises ``CorpusError`` if unknown)."""
+        return self._index.collection.get(node_id)
 
     def document_frequency(self, token: str) -> int:
         """``df(t)``: number of nodes containing ``token`` (0 if absent)."""
@@ -82,6 +102,25 @@ class IndexStatistics:
         """Every indexed token."""
         return set(self._document_frequency)
 
+    def max_occurrences(self, token: str) -> int:
+        """Largest ``occurs(n, t)`` over all nodes (0 for unknown tokens).
+
+        This is the per-token quantity behind the scoring models'
+        :meth:`~repro.scoring.base.ScoringModel.score_upper_bound`: no node
+        can contribute more than ``max_occurrences(t)`` occurrences of ``t``
+        to its score.  Computed lazily from the token's posting list (one
+        pass over the entry bounds) and cached -- only queries that use
+        top-k pruning ever pay for it.
+        """
+        cached = self._max_occurrences.get(token)
+        if cached is None:
+            cached = self._compute_max_occurrences(token)
+            self._max_occurrences[token] = cached
+        return cached
+
+    def _compute_max_occurrences(self, token: str) -> int:
+        return self._index.posting_list(token).max_positions_per_entry()
+
     # --------------------------------------------------------------- scoring
     def idf(self, token: str) -> float:
         """``idf(t) = ln(1 + db_size / df(t))`` (paper, Section 3.1).
@@ -89,11 +128,20 @@ class IndexStatistics:
         Tokens that never occur get an IDF of ``ln(1 + db_size)`` -- i.e. the
         value obtained with ``df = 1`` would be larger, so instead we treat a
         missing token as maximally rare but finite by using ``df = 1``.
+
+        Memoised per token: scoring calls this once per query token per
+        scored node, and recomputing the logarithm dominated the ranked hot
+        path before the cache.
         """
+        cached = self._idf_cache.get(token)
+        if cached is not None:
+            return cached
         df = self.document_frequency(token)
         if df == 0:
             df = 1
-        return math.log(1.0 + self._node_count / df)
+        value = math.log(1.0 + self._node_count / df)
+        self._idf_cache[token] = value
+        return value
 
     def node_l2_norm(self, node_id: int) -> float:
         """The L2 norm ``||n||_2`` of the node's TF-IDF vector."""

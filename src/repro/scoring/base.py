@@ -25,6 +25,7 @@ of the library works with:
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterable, Sequence
 
 from repro.exceptions import ScoringError
@@ -41,11 +42,13 @@ class ScoringModel:
     def __init__(self, statistics: IndexStatistics) -> None:
         self.statistics = statistics
         self._query_tokens: tuple[str, ...] = ()
+        self._bound_state: object | None = None
 
     # ----------------------------------------------------------- query setup
     def prepare(self, query_tokens: Sequence[str]) -> None:
         """Fold the query-dependent factors of the model for ``query_tokens``."""
         self._query_tokens = tuple(query_tokens)
+        self._bound_state = None
 
     @property
     def query_tokens(self) -> tuple[str, ...]:
@@ -59,6 +62,25 @@ class ScoringModel:
     def document_score(self, node_id: int) -> float:
         """Document-level score of ``node_id`` for the prepared query tokens."""
         raise NotImplementedError
+
+    def score_upper_bound(self, node_id: int) -> float:
+        """A cheap upper bound on :meth:`document_score` for ``node_id``.
+
+        Contract (relied on by the top-k pushdown in
+        :mod:`repro.engine.topk`): for the currently prepared query tokens,
+        ``score_upper_bound(n) >= document_score(n)`` must hold for every
+        node -- including under floating-point evaluation, so concrete models
+        widen their bound by a small relative slack.  The bound should be
+        computable from precomputed statistics alone (no per-token node
+        content lookups); a model that cannot bound its scores simply
+        inherits this default, which returns ``inf`` and thereby disables
+        pruning (results stay correct, just unpruned).
+
+        ``prepare`` resets ``self._bound_state``; models lazily derive their
+        per-query bound tables into it so the cost is only paid by queries
+        that actually prune.
+        """
+        return math.inf
 
     def rank(self, node_ids: Iterable[int]) -> list[tuple[int, float]]:
         """Rank node ids by document score, descending (ties by node id)."""

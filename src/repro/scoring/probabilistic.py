@@ -54,13 +54,48 @@ class ProbabilisticScoring(ScoringModel):
         ``p(n, t) = 1 - (1 - p_t)^{occurs(n, t)}`` per token, combined
         disjunctively over the query tokens.
         """
-        node = self.statistics._index.collection.get(node_id)
+        node = self.statistics.node(node_id)
         not_relevant = 1.0
         for token in dict.fromkeys(self._query_tokens):
             occurs = node.occurrence_count(token)
             if occurs == 0:
                 continue
             per_token = 1.0 - (1.0 - self.token_probability(token)) ** occurs
+            not_relevant *= 1.0 - per_token
+        return _clamp(1.0 - not_relevant)
+
+    def score_upper_bound(self, node_id: int) -> float:
+        """Bound ``document_score`` from per-token occurrence maxima.
+
+        The score is ``1 - Π_t (1 - p_t)^occurs(n, t)``; replacing every
+        exponent by the larger ``min(max_occurrences(t), len(n))`` shrinks
+        each miss factor, so the product is a lower bound on the node's miss
+        probability and its complement an upper bound on the score --
+        computed from cached statistics only.
+
+        As in the TF-IDF model, the bound replays :meth:`document_score`'s
+        exact float operation sequence with only the exponent substituted.
+        When the exponents coincide the factors are bit-identical (exact
+        ties prune through the id tie-break); when they differ, the real
+        gap is at least a factor ``1 - p_t <= 0.59`` per extra occurrence
+        (``idf >= ln 2`` forces ``p_t >= 0.41``), dwarfing any rounding.
+        """
+        terms = self._bound_state
+        if terms is None:
+            terms = []
+            for token in dict.fromkeys(self._query_tokens):
+                max_occurrences = self.statistics.max_occurrences(token)
+                if max_occurrences == 0:
+                    continue
+                terms.append((self.token_probability(token), max_occurrences))
+            self._bound_state = terms
+        length = self.statistics.node_length(node_id)
+        if length == 0 or not terms:
+            return 0.0
+        not_relevant = 1.0
+        for probability, max_occurrences in terms:
+            capped = max_occurrences if max_occurrences < length else length
+            per_token = 1.0 - (1.0 - probability) ** capped
             not_relevant *= 1.0 - per_token
         return _clamp(1.0 - not_relevant)
 

@@ -79,16 +79,57 @@ class TfIdfScoring(ScoringModel):
     # --------------------------------------------------------- document score
     def document_score(self, node_id: int) -> float:
         """Classic cosine TF-IDF of the node against the prepared query."""
-        node = self.statistics._index.collection.get(node_id)
+        node = self.statistics.node(node_id)
         unique_query_tokens = dict.fromkeys(self._query_tokens)
+        unique_tokens = max(self.statistics.unique_token_count(node_id), 1)
         total = 0.0
         for token in unique_query_tokens:
             occurs = node.occurrence_count(token)
             if occurs == 0:
                 continue
-            unique_tokens = max(self.statistics.unique_token_count(node_id), 1)
             tf = occurs / unique_tokens
             total += self.token_weight(token) * tf * self.statistics.idf(token)
+        return total / (self._node_norm(node_id) * self._query_norm)
+
+    def score_upper_bound(self, node_id: int) -> float:
+        """Bound ``document_score`` from per-token occurrence maxima.
+
+        ``occurs(n, t) <= min(max_occurrences(t), len(n))``, so substituting
+        that cap into the score leaves only cached statistics -- no node
+        content is touched, which is what makes pruning cheaper than scoring.
+
+        The bound deliberately replays :meth:`document_score`'s float
+        operation sequence term by term (same token order, same association,
+        same divisions), only with the occurrence cap in place of the true
+        count.  Every IEEE operation involved is correctly rounded and hence
+        weakly monotone, so ``bound >= score`` holds *in floating point*
+        with no slack -- and when a node actually attains the cap for every
+        token the bound equals its score bit-for-bit, which lets the
+        collector prune exact ties through the node-id tie-break (score
+        distributions with saturated top ranks would otherwise never prune).
+        """
+        terms = self._bound_state
+        if terms is None:
+            terms = [
+                (
+                    self.token_weight(token),
+                    self.statistics.idf(token),
+                    self.statistics.max_occurrences(token),
+                )
+                for token in dict.fromkeys(self._query_tokens)
+            ]
+            self._bound_state = terms
+        length = self.statistics.node_length(node_id)
+        if length == 0:
+            return 0.0
+        unique_tokens = max(self.statistics.unique_token_count(node_id), 1)
+        total = 0.0
+        for weight, idf, max_occurrences in terms:
+            capped = max_occurrences if max_occurrences < length else length
+            if capped == 0:
+                continue
+            tf = capped / unique_tokens
+            total += weight * tf * idf
         return total / (self._node_norm(node_id) * self._query_norm)
 
     # ------------------------------------------------ operator transformations

@@ -79,6 +79,39 @@ class LiveStatistics(IndexStatistics):
         self._document_frequency = document_frequency
         self._unique_tokens = unique_tokens
         self._node_lengths = node_lengths
+        self._max_occurrences = {}
+        self._max_occurrences_scanned = False
+        self._idf_cache = {}
+
+    def _compute_max_occurrences(self, token: str) -> int:
+        """Survivor-exact per-token occurrence maxima.
+
+        The physical posting lists still hold tombstoned entries and are
+        re-snapshotted on every call, so deriving the maxima from them could
+        go stale against this generation's frozen corpus.  Instead the whole
+        table is built in one pass over the frozen survivors on first use --
+        paid only by queries that score with top-k pruning, at most once per
+        statistics generation.
+
+        One ``LiveStatistics`` instance is shared by every shard's scoring
+        model on the live sharded path, and shard executors run
+        concurrently -- so the table is built into a *local* dict and
+        published with one atomic reference swap.  A concurrent reader
+        either sees the complete table or (pre-swap) misses and runs its
+        own scan over the same frozen corpus: duplicated work at worst,
+        never a partially-built maximum (which would under-estimate a score
+        upper bound and make the top-k pruning silently inexact).
+        """
+        if not self._max_occurrences_scanned:
+            table: dict[str, int] = {}
+            for node in self._index.collection:
+                for node_token in node.unique_tokens():
+                    count = node.occurrence_count(node_token)
+                    if count > table.get(node_token, 0):
+                        table[node_token] = count
+            self._max_occurrences = table
+            self._max_occurrences_scanned = True
+        return self._max_occurrences.get(token, 0)
 
     def complexity_parameters(self) -> ComplexityParameters:
         """The paper's data-size parameters for the live corpus.

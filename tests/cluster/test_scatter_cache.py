@@ -116,7 +116,12 @@ def test_merge_ranked_orders_by_score_then_id():
         (1, 0.5),
         (2, 0.5),
     ]
-    assert merge_ranked([[(1, 0.5)]], top_k=0) == []
+
+
+@pytest.mark.parametrize("bad_top_k", [0, -1, -7])
+def test_merge_ranked_rejects_non_positive_top_k(bad_top_k):
+    with pytest.raises(ValueError):
+        merge_ranked([[(1, 0.5)]], top_k=bad_top_k)
 
 
 def test_merge_cursor_stats_handles_missing_reports():
@@ -199,14 +204,38 @@ def test_scatter_caches_results_and_marks_hits(collection):
     scatter.close()
 
 
-def test_cache_key_separates_modes_scoring_and_k(collection):
+def test_cache_serves_smaller_k_from_wider_entry(collection):
     sharded = ShardedIndex(collection, 2)
     scatter = ScatterGatherExecutor(sharded, scoring="tfidf", cache_size=8)
     query = parse_query("'software'").node
-    scatter.execute(query)
-    assert scatter.execute(query, top_k=2).from_cache is False  # different k
+    full = scatter.execute(query)
+    # Any k is a prefix of the cached full ranking: a genuine hit.
+    top = scatter.execute(query, top_k=2)
+    assert top.from_cache is True
+    assert top.ranked() == full.ranked()[:2]
+    assert scatter.cache_stats()["hits"] == 1
+    scatter.close()
+
+
+def test_cache_widens_entry_on_larger_k_request(collection):
+    sharded = ShardedIndex(collection, 2)
+    scatter = ScatterGatherExecutor(sharded, scoring="tfidf", cache_size=8)
+    query = parse_query("'software'").node
+    scatter.execute(query, top_k=1)
+    # A wider request cannot be served by the k=1 prefix: a miss that
+    # recomputes and overwrites the entry with the wider ranking...
+    wider = scatter.execute(query, top_k=2)
+    assert wider.from_cache is False
+    assert len(wider.ranked()) == 2
+    # ...after which both the wider and the narrower k are hits.
     assert scatter.execute(query, top_k=2).from_cache is True
+    assert scatter.execute(query, top_k=1).from_cache is True
+    assert scatter.execute(query, top_k=1).ranked() == wider.ranked()[:1]
+    # The full ranking is still wider than any pruned entry: a miss again.
+    assert scatter.execute(query).from_cache is False
     assert scatter.execute(query).from_cache is True
+    stats = scatter.cache_stats()
+    assert stats["hits"] == 4 and stats["misses"] == 3
     scatter.close()
 
 

@@ -85,3 +85,59 @@ def test_complexity_parameters(index):
 
 def test_vocabulary(index):
     assert "usability" in index.statistics.vocabulary()
+
+
+def test_public_collection_and_node_accessors(index):
+    stats = index.statistics
+    assert stats.collection is index.collection
+    assert stats.node(0) is index.collection.get(0)
+    from repro.exceptions import CorpusError
+
+    with pytest.raises(CorpusError):
+        stats.node(999)
+
+
+def test_max_occurrences(index):
+    stats = index.statistics
+    assert stats.max_occurrences("software") == 2  # doubled in node 0
+    assert stats.max_occurrences("usability") == 1
+    assert stats.max_occurrences("missing") == 0
+    # Cached: the same answer comes back without re-scanning.
+    assert stats.max_occurrences("software") == 2
+
+
+def test_max_occurrences_matches_across_statistics_flavours(index):
+    """Sharded and live statistics agree with the single-index maxima."""
+    from repro.cluster.sharded_index import ShardedIndex
+    from repro.segments.live_index import LiveIndex
+
+    collection = index.collection
+    sharded = ShardedIndex(collection, 3)
+    live = LiveIndex(collection)
+    try:
+        for token in ["software", "usability", "databases", "missing"]:
+            expected = index.statistics.max_occurrences(token)
+            assert sharded.statistics.max_occurrences(token) == expected
+            assert live.statistics.max_occurrences(token) == expected
+        # Scoring routes through the public accessor on every flavour.
+        assert sharded.statistics.node(1).node_id == 1
+        assert live.statistics.node(1).node_id == 1
+        assert len(sharded.statistics.collection) == len(collection)
+    finally:
+        live.close()
+
+
+def test_live_max_occurrences_track_survivors(index):
+    """Deletes and updates change the survivor maxima, not the physical ones."""
+    from repro.corpus import Collection
+    from repro.segments.live_index import LiveIndex
+
+    live = LiveIndex(Collection.from_texts(["beta beta beta", "beta alpha"]))
+    try:
+        assert live.statistics.max_occurrences("beta") == 3
+        live.delete_node(0)
+        assert live.statistics.max_occurrences("beta") == 1
+        live.add_text("beta beta gamma")
+        assert live.statistics.max_occurrences("beta") == 2
+    finally:
+        live.close()

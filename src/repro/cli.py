@@ -44,6 +44,7 @@ from repro.core.query import parse_query
 from repro.corpus.loaders import load_directory, load_text_files
 from repro.exceptions import ReproError
 from repro.index.inverted_index import InvertedIndex
+from repro.index.packed import packed_index_bytes
 from repro.index.storage import load_collection, load_index, save_collection
 
 
@@ -77,6 +78,14 @@ def _add_sharding_arguments(command: argparse.ArgumentParser) -> None:
         default="hash",
         help="shard assignment: 'hash', 'round-robin' or 'metadata:<key>' "
         "(default: hash)",
+    )
+    command.add_argument(
+        "--workers",
+        default="thread",
+        choices=["thread", "process"],
+        help="scatter worker pool: 'thread' (default, shared memory) or "
+        "'process' (one process per shard over mmap'd packed segments; "
+        "escapes the GIL, static indexes only)",
     )
 
 
@@ -305,6 +314,7 @@ def _load_engine(args: argparse.Namespace, cache_size: int | None = None) -> Ful
         cache_size=cache_size,
         live=getattr(args, "live", False),
         flush_threshold=getattr(args, "flush_threshold", None),
+        workers=getattr(args, "workers", "thread"),
     )
 
 
@@ -379,6 +389,18 @@ def _command_index_stats(args: argparse.Namespace) -> int:
             total_positions + index.any_list().total_positions()
         )
         print(f"  bytes/position      : {per_position:.1f}")
+    packed_bytes = packed_index_bytes(index)
+    source_bytes = Path(args.index_file).stat().st_size
+    print("on-disk formats:")
+    print(f"  source file         : {source_bytes:,} bytes ({args.index_file})")
+    print(f"  packed v4           : {packed_bytes:,} bytes")
+    if source_bytes:
+        print(f"  packed/source ratio : {packed_bytes / source_bytes:.2f}")
+    if footprint["total_bytes"]:
+        print(
+            f"  packed/memory ratio : "
+            f"{packed_bytes / footprint['total_bytes']:.2f}"
+        )
     return 0
 
 
@@ -410,6 +432,17 @@ def _command_shard_stats(args: argparse.Namespace) -> int:
         f"bounds {footprint['entry_bounds_bytes']:,} B, "
         f"structure {footprint['structure_bytes']:,} B)"
     )
+    packed_total = sum(
+        packed_index_bytes(shard.index) for shard in sharded.shards
+    )
+    source_bytes = Path(args.index_file).stat().st_size
+    line = (
+        f"packed v4      : {packed_total:,} B over {sharded.num_shards} "
+        f"shard spill files"
+    )
+    if source_bytes:
+        line += f" ({packed_total / source_bytes:.2f}x the source file)"
+    print(line)
     return 0
 
 

@@ -42,7 +42,8 @@ from repro.cluster.partition import (
     make_partitioner,
     partition_collection,
 )
-from repro.cluster.scatter import ScatterGatherExecutor
+from repro.cluster.process_scatter import FrozenStatistics, freeze_statistics
+from repro.cluster.scatter import WORKER_MODES, ScatterGatherExecutor
 from repro.cluster.sharded_index import Shard, ShardedIndex
 from repro.cluster.stats import AggregatedStatistics
 

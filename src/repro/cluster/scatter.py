@@ -11,6 +11,20 @@ and combines them with the heap merge of :mod:`repro.cluster.merge`.
 Single-shard clusters (and ``max_workers=1``) skip the pool entirely and run
 sequentially; the results are identical either way.
 
+With ``workers="process"`` the fan-out escapes the GIL: each shard is
+spilled once to a packed v4 segment file
+(:mod:`repro.index.packed`), and a persistent
+:class:`~concurrent.futures.ProcessPoolExecutor` of workers serves queries
+against mmap'd, zero-copy views of those files -- the spill pages are
+shared read-only across all workers through the OS page cache, and each
+worker ships back only its exact best-k prefix.  Scores stay bit-identical
+to the thread path because the aggregated statistics (including every
+TF-IDF norm) are computed once in the parent and shipped to the workers
+(:mod:`repro.cluster.process_scatter`).  Process mode requires a *static*
+sharded index (no live generation) and a registered scoring name;
+incremental appends are supported -- the next query respills and restarts
+the pool.
+
 Merged results are memoised in a :class:`~repro.cluster.cache.QueryCache`
 keyed on the normalized plan, engine choice, access mode, scoring backend
 and NPRED order strategy -- but *not* the top-k cut: exact top-k rankings
@@ -30,19 +44,34 @@ must share it.
 
 from __future__ import annotations
 
+import multiprocessing
+import shutil
+import tempfile
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
 from typing import Sequence
 
 from repro.cluster.cache import DEFAULT_CACHE_SIZE, QueryCache, make_cache_key
 from repro.cluster.merge import MergedEvaluationResult, merge_shard_results
+from repro.cluster.process_scatter import (
+    WorkerConfig,
+    _init_worker,
+    freeze_statistics,
+    run_shard_batch,
+)
 from repro.cluster.sharded_index import ShardedIndex
 from repro.engine.executor import AUTO, EvaluationResult, Executor
 from repro.engine.topk import check_top_k
+from repro.exceptions import ClusterError
 from repro.index.cursor import PAPER_MODE, check_access_mode
+from repro.index.packed_index import save_packed_index
 from repro.languages import ast
 from repro.model.predicates import PredicateRegistry, default_registry
-from repro.scoring.base import ScoringModel, get_model
+from repro.scoring.base import ScoringModel, available_models, get_model
+
+#: Worker-pool flavours of the scatter stage.
+WORKER_MODES = ("thread", "process")
 
 
 class ScatterGatherExecutor:
@@ -57,7 +86,15 @@ class ScatterGatherExecutor:
         access_mode: str = PAPER_MODE,
         max_workers: int | None = None,
         cache_size: int | None = DEFAULT_CACHE_SIZE,
+        workers: str = "thread",
+        spool_dir: "Path | str | None" = None,
+        mp_context: str | None = None,
     ) -> None:
+        if workers not in WORKER_MODES:
+            raise ClusterError(
+                f"unknown workers mode {workers!r} (choose from {WORKER_MODES})"
+            )
+        self.workers = workers
         self.sharded_index = sharded_index
         self.registry = registry or default_registry()
         self.npred_orders = npred_orders
@@ -92,6 +129,36 @@ class ScatterGatherExecutor:
         self._scoring_stale = False
         if self._scoring_spec is not None:
             sharded_index.add_invalidation_listener(self._mark_scoring_stale)
+        # Process-mode state: the spill files, the worker pool, and a dirty
+        # flag that forces a respill + pool restart after any mutation.
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._spool_root = Path(spool_dir) if spool_dir is not None else None
+        self._spool_owned = False
+        self._spool_epoch = 0
+        self._shard_paths: tuple[str, ...] = ()
+        self._process_stale = True
+        self._process_listener_registered = False
+        self.mp_context = mp_context
+        if workers == "process":
+            if sharded_index.cache_generation() is not None:
+                raise ClusterError(
+                    "workers='process' requires a static sharded index: live "
+                    "(mutable) shards change under the spilled segment files; "
+                    "use the thread pool for live indexes"
+                )
+            if (
+                self._scoring_spec is not None
+                and self.scoring_name not in available_models()
+            ):
+                from repro.exceptions import ScoringError
+
+                raise ScoringError(
+                    f"workers='process' needs a registered scoring model name "
+                    f"to rebuild scoring in the workers; {self.scoring_name!r} "
+                    f"is not registered (see repro.scoring.base.register_model)"
+                )
+            sharded_index.add_invalidation_listener(self._mark_process_stale)
+            self._process_listener_registered = True
 
     # ------------------------------------------------------------------ API
     @property
@@ -123,9 +190,15 @@ class ScatterGatherExecutor:
             return cached
         self._refresh_scoring_if_stale()
         started = time.perf_counter()
-        per_shard = self._scatter(
-            lambda executor: executor.execute(query, engine=engine, top_k=top_k)
-        )
+        if self.workers == "process":
+            per_shard = [
+                shard_batch[0]
+                for shard_batch in self._process_scatter([query], engine, top_k)
+            ]
+        else:
+            per_shard = self._scatter(
+                lambda executor: executor.execute(query, engine=engine, top_k=top_k)
+            )
         merged = merge_shard_results(
             per_shard, time.perf_counter() - started, top_k
         )
@@ -172,11 +245,14 @@ class ScatterGatherExecutor:
         if pending:
             self._refresh_scoring_if_stale()
             batch = [queries[position] for position in pending]
-            per_shard_batches = self._scatter(
-                lambda executor: executor.execute_many(
-                    batch, engine=engine, top_k=top_k
+            if self.workers == "process":
+                per_shard_batches = self._process_scatter(batch, engine, top_k)
+            else:
+                per_shard_batches = self._scatter(
+                    lambda executor: executor.execute_many(
+                        batch, engine=engine, top_k=top_k
+                    )
                 )
-            )
             for offset, position in enumerate(pending):
                 per_shard = [shard_batch[offset] for shard_batch in per_shard_batches]
                 # With a pool the shards overlap, so the best wall-clock
@@ -218,6 +294,16 @@ class ScatterGatherExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._teardown_process_pool()
+        if self._spool_owned and self._spool_root is not None:
+            shutil.rmtree(self._spool_root, ignore_errors=True)
+            self._spool_root = None
+            self._spool_owned = False
+        if self._process_listener_registered:
+            self.sharded_index.remove_invalidation_listener(
+                self._mark_process_stale
+            )
+            self._process_listener_registered = False
         if self._cache_listener_registered:
             self.sharded_index.remove_invalidation_listener(self.cache.invalidate)
             self._cache_listener_registered = False
@@ -248,6 +334,89 @@ class ScatterGatherExecutor:
                 thread_name_prefix="repro-shard",
             )
         return self._pool
+
+    # ---------------------------------------------------- process-pool path
+    def _mark_process_stale(self) -> None:
+        self._process_stale = True
+
+    def _process_scatter(
+        self,
+        batch: Sequence[ast.QueryNode],
+        engine: str,
+        top_k: int | None,
+    ) -> "list[list[EvaluationResult]]":
+        """Fan a batch out to the worker processes; one result list per shard.
+
+        Queries travel as canonical text (``to_text()`` is also the cache
+        key, so it is the established canonical form); results come back as
+        picklable per-shard :class:`EvaluationResult` lists in shard order.
+        """
+        pool = self._ensure_process_pool()
+        texts = [query.to_text() for query in batch]
+        futures = [
+            pool.submit(run_shard_batch, shard_id, texts, engine, top_k)
+            for shard_id in range(self.num_shards)
+        ]
+        return [future.result() for future in futures]
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        if self._process_stale:
+            self._teardown_process_pool()
+            self._spill_shards()
+            self._process_stale = False
+        if self._process_pool is None:
+            config = WorkerConfig(
+                shard_paths=self._shard_paths,
+                scoring_name=self.scoring_name,
+                npred_orders=self.npred_orders,
+                access_mode=self.access_mode,
+                statistics=(
+                    freeze_statistics(
+                        self.sharded_index.statistics, with_norms=True
+                    )
+                    if self._scoring_spec is not None
+                    else None
+                ),
+            )
+            context = multiprocessing.get_context(self.mp_context or "spawn")
+            workers = self.max_workers or self.num_shards
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=max(1, min(workers, self.num_shards)),
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(config,),
+            )
+        return self._process_pool
+
+    def _spill_shards(self) -> None:
+        """Write every shard index as a packed v4 file the workers can mmap.
+
+        Each (re)spill goes to a fresh epoch subdirectory: a worker from a
+        dying pool may still hold mappings of the previous files, so they
+        are never overwritten in place.
+        """
+        if self._spool_root is None:
+            self._spool_root = Path(
+                tempfile.mkdtemp(prefix="repro-shard-spool-")
+            )
+            self._spool_owned = True
+        previous = self._spool_root / f"epoch-{self._spool_epoch:04d}"
+        self._spool_epoch += 1
+        epoch_dir = self._spool_root / f"epoch-{self._spool_epoch:04d}"
+        epoch_dir.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for shard in self.sharded_index.shards:
+            path = epoch_dir / f"shard-{shard.shard_id:04d}.seg"
+            save_packed_index(shard.index, path)
+            paths.append(str(path))
+        self._shard_paths = tuple(paths)
+        if previous.exists():
+            shutil.rmtree(previous, ignore_errors=True)
+
+    def _teardown_process_pool(self) -> None:
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
 
     def _make_shard_model(self) -> ScoringModel | None:
         """A private scoring-model instance for one shard executor.

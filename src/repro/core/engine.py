@@ -80,6 +80,7 @@ class FullTextEngine:
         access_mode: str = "paper",
         max_workers: int | None = None,
         cache_size: int | None = DEFAULT_CACHE_SIZE,
+        workers: str = "thread",
     ) -> None:
         self.index = index
         self.registry = registry or default_registry()
@@ -88,6 +89,12 @@ class FullTextEngine:
         self._cluster: ScatterGatherExecutor | None = None
         self._scoring_spec = scoring
         self._scoring_generation: int | None = None
+        if workers != "thread" and not isinstance(index, ShardedIndex):
+            raise ReproError(
+                f"workers={workers!r} requires a sharded index; build the "
+                f"engine with shards >= 1 via FullTextEngine.from_collection "
+                f"or pass a ShardedIndex"
+            )
         if isinstance(index, ShardedIndex):
             self._cluster = ScatterGatherExecutor(
                 index,
@@ -97,6 +104,7 @@ class FullTextEngine:
                 access_mode=access_mode,
                 max_workers=max_workers,
                 cache_size=cache_size,
+                workers=workers,
             )
             self._scoring = None
         else:
@@ -126,6 +134,7 @@ class FullTextEngine:
         live: bool = False,
         live_dir=None,
         flush_threshold: int | None = None,
+        workers: str = "thread",
     ) -> "FullTextEngine":
         """Build an engine by indexing ``collection``.
 
@@ -148,14 +157,24 @@ class FullTextEngine:
         request -- the shape a cached long-running server such as
         ``repro serve`` uses.  Left unspecified, ``shards=1`` stays the
         plain single-index path.
+
+        ``workers="process"`` fans each search out to a pool of worker
+        *processes* (one per shard) instead of threads: per-shard evaluation
+        escapes the GIL, at the cost of spilling the shards to packed
+        segment files the workers ``mmap``.  It requires a static (non-live)
+        index; results stay bit-identical to the thread path.  At
+        ``shards=1`` it still builds a one-shard cluster so the process
+        pool applies.
         """
         requested_cache = (
             DEFAULT_CACHE_SIZE if cache_size is _CACHE_UNSET else cache_size
         )
         if not requested_cache:  # 0 disables caching, like the CLI flag
             requested_cache = None
-        wants_cluster = shards > 1 or (
-            cache_size is not _CACHE_UNSET and requested_cache is not None
+        wants_cluster = (
+            shards > 1
+            or workers != "thread"
+            or (cache_size is not _CACHE_UNSET and requested_cache is not None)
         )
         live_options = {}
         if flush_threshold is not None:
@@ -179,6 +198,7 @@ class FullTextEngine:
             access_mode=access_mode,
             max_workers=max_workers,
             cache_size=requested_cache,
+            workers=workers,
         )
 
     @classmethod

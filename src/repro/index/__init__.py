@@ -15,6 +15,21 @@ from repro.index.inverted_index import (
     build_index,
     merge_node_ids,
 )
+from repro.index.packed import (
+    PACKED_SEGMENT_VERSION,
+    PackedPostingList,
+    PackedSegmentReader,
+    build_packed_segment,
+    is_packed_segment,
+    open_packed_segment,
+    write_packed_segment,
+)
+from repro.index.packed_index import (
+    LazyCollection,
+    PackedInvertedIndex,
+    open_packed_index,
+    save_packed_index,
+)
 from repro.index.postings import EmptyPostingList, PostingEntry, PostingList
 from repro.index.statistics import ComplexityParameters, IndexStatistics
 from repro.index.storage import (
@@ -25,6 +40,17 @@ from repro.index.storage import (
 )
 
 __all__ = [
+    "LazyCollection",
+    "PACKED_SEGMENT_VERSION",
+    "PackedInvertedIndex",
+    "PackedPostingList",
+    "PackedSegmentReader",
+    "build_packed_segment",
+    "is_packed_segment",
+    "open_packed_index",
+    "open_packed_segment",
+    "save_packed_index",
+    "write_packed_segment",
     "ACCESS_MODES",
     "FAST_MODE",
     "PAPER_MODE",

@@ -1,0 +1,134 @@
+"""Read-only inverted index served straight from a packed v4 segment.
+
+:class:`PackedInvertedIndex` gives the engine stack (executors, cursors,
+scoring, CLI stats) the full :class:`~repro.index.inverted_index.InvertedIndex`
+read surface over an mmap'd :class:`~repro.index.packed.PackedSegmentReader`
+without rebuilding anything: posting lists are zero-copy
+:class:`~repro.index.packed.PackedPostingList` shells over the file's pages,
+and the collection decodes document records lazily per node id.  Opening is
+O(directory); queries that never touch a document (the engine pipelines
+without scoring) never deserialise one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.corpus.collection import Collection
+from repro.corpus.document import ContextNode
+from repro.exceptions import IndexError_
+from repro.index.inverted_index import InvertedIndex
+from repro.index.packed import PackedSegmentReader, open_packed_segment
+from repro.index.postings import PostingList
+
+
+class _LazyNodeMap:
+    """A read-only ``{node_id: ContextNode}`` mapping that decodes lazily."""
+
+    __slots__ = ("_reader", "_ids", "_id_set")
+
+    def __init__(self, reader: PackedSegmentReader) -> None:
+        self._reader = reader
+        self._ids = reader.doc_ids()
+        self._id_set = frozenset(self._ids)
+
+    def __getitem__(self, node_id: int) -> ContextNode:
+        return self._reader.document(node_id)
+
+    def get(self, node_id: int, default=None):
+        if node_id not in self._id_set:
+            return default
+        return self._reader.document(node_id)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._id_set
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids)
+
+    def keys(self):
+        return list(self._ids)
+
+    def values(self):
+        return self._reader.documents()
+
+    def items(self):
+        for node_id in self._ids:
+            yield node_id, self._reader.document(node_id)
+
+
+class LazyCollection(Collection):
+    """A :class:`Collection` whose nodes decode on first access.
+
+    Read paths (iteration, lookup, statistics) behave exactly like an
+    in-memory collection; mutation paths fail because the backing segment
+    file is immutable.
+    """
+
+    def __init__(self, reader: PackedSegmentReader, name: str | None = None) -> None:
+        self.nodes = _LazyNodeMap(reader)
+        self.name = name if name is not None else reader.name
+
+
+class PackedInvertedIndex(InvertedIndex):
+    """An :class:`InvertedIndex` view over a packed v4 segment file.
+
+    Construction builds only the posting-list *shells* (memoryview casts per
+    directory row -- no payload decode); the actual column data stays on OS
+    page-cache pages until a cursor touches it.  The index is read-only:
+    the append paths raise, matching the immutability of the backing file.
+    """
+
+    def __init__(self, reader: PackedSegmentReader) -> None:
+        self._reader = reader
+        self.collection = LazyCollection(reader)
+        self._lists: dict[str, PostingList] = {
+            token: reader.posting_list(token) for token in reader.tokens()
+        }
+        self._any_list = reader.any_list()
+        self._statistics = None
+
+    @classmethod
+    def open(cls, path, *, verify: bool = False) -> "PackedInvertedIndex":
+        """Open a packed segment file as a read-only index."""
+        return cls(open_packed_segment(path, verify=verify))
+
+    @property
+    def reader(self) -> PackedSegmentReader:
+        """The underlying open segment reader."""
+        return self._reader
+
+    def add_node(self, node) -> None:
+        raise IndexError_(
+            "a packed inverted index is read-only (backed by an immutable "
+            "segment file); rebuild and re-save the index to add nodes"
+        )
+
+    def close(self) -> None:
+        """Close the underlying reader (see its caveats on borrowed views)."""
+        self._reader.close()
+
+    def __enter__(self) -> "PackedInvertedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def save_packed_index(index: InvertedIndex, path) -> None:
+    """Persist an index as one packed v4 segment file."""
+    from repro.index.packed import write_packed_segment
+
+    lists = {pl.token: pl for pl in index.posting_lists()}
+    docs = {node.node_id: node for node in index.collection}
+    write_packed_segment(
+        path, docs, lists, index.any_list(), name=index.collection.name
+    )
+
+
+def open_packed_index(path, *, verify: bool = False) -> PackedInvertedIndex:
+    """Open a packed v4 segment file as a read-only inverted index."""
+    return PackedInvertedIndex.open(path, verify=verify)

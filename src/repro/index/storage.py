@@ -13,6 +13,10 @@ or corruption of the node records into an explicit error.  Version-1 files
 (no statistics) still load.  Version 3 is the *sealed segment* format of the
 live-indexing subsystem (:func:`save_segment` / :func:`load_segment`); plain
 collections keep writing version 2, and the v3 writer refuses to downgrade.
+Version 4 (:mod:`repro.index.packed`) is the packed *binary* segment format:
+the columnar posting arrays written contiguously so segments open in O(1)
+and serve cursors zero-copy via ``mmap``.  :func:`load_segment` sniffs the
+magic and reads both v3 and v4 files; :func:`save_segment` writes either.
 """
 
 from __future__ import annotations
@@ -24,9 +28,14 @@ from typing import Any
 
 from repro.corpus.collection import Collection
 from repro.corpus.document import ContextNode
-from repro.corpus.tokenizer import TokenOccurrence
 from repro.exceptions import StorageError
 from repro.index.inverted_index import InvertedIndex
+from repro.index.packed import (
+    PACKED_SEGMENT_VERSION,
+    is_packed_segment,
+    open_packed_segment,
+    write_packed_segment,
+)
 from repro.model.positions import Position
 
 FORMAT_VERSION = 2
@@ -42,34 +51,18 @@ SUPPORTED_VERSIONS = (1, 2)
 #: the segment file never does).
 SEGMENT_FORMAT_VERSION = 3
 
-#: Segment versions :func:`load_segment` understands.
-SUPPORTED_SEGMENT_VERSIONS = (3,)
+#: Segment versions :func:`load_segment` understands (v4 is the packed
+#: binary format of :mod:`repro.index.packed`, sniffed by magic).
+SUPPORTED_SEGMENT_VERSIONS = (3, PACKED_SEGMENT_VERSION)
 
 #: gzip compression level used when none is given: gzip's own default.
 DEFAULT_COMPRESSLEVEL = 9
 
 
-def _node_to_dict(node: ContextNode) -> dict[str, Any]:
-    return {
-        "id": node.node_id,
-        "metadata": dict(node.metadata),
-        "occurrences": [
-            [occ.token, occ.position.offset, occ.position.sentence,
-             occ.position.paragraph]
-            for occ in node.occurrences
-        ],
-    }
-
-
-def _node_from_dict(payload: dict[str, Any]) -> ContextNode:
-    try:
-        occurrences = tuple(
-            TokenOccurrence(token, Position(offset, sentence, paragraph))
-            for token, offset, sentence, paragraph in payload["occurrences"]
-        )
-        return ContextNode(payload["id"], occurrences, payload.get("metadata", {}))
-    except (KeyError, TypeError, ValueError) as exc:
-        raise StorageError(f"malformed node record: {exc}") from exc
+# The per-node JSON record codec is shared with the packed v4 format (the
+# packed docs section stores the same records, offset-indexed).
+from repro.index.packed import node_from_record as _node_from_dict  # noqa: E402
+from repro.index.packed import node_to_record as _node_to_dict  # noqa: E402
 
 
 def save_collection(
@@ -125,7 +118,9 @@ def load_collection(path: Path | str) -> Collection:
         raise StorageError(f"{path} is not a repro collection file")
     if document.get("version") not in SUPPORTED_VERSIONS:
         raise StorageError(
-            f"unsupported collection format version {document.get('version')}"
+            f"{path}: unsupported collection format version "
+            f"{document.get('version')} (supported: "
+            f"{', '.join(map(str, SUPPORTED_VERSIONS))})"
         )
     nodes = [_node_from_dict(record) for record in document.get("nodes", [])]
     collection = Collection.from_nodes(nodes, document.get("name", "collection"))
@@ -183,19 +178,34 @@ def save_segment(
     compresslevel: int = DEFAULT_COMPRESSLEVEL,
     version: int = SEGMENT_FORMAT_VERSION,
 ) -> None:
-    """Persist one sealed segment (v3 format; gzip if the suffix is ``.gz``).
+    """Persist one sealed segment (gzip if the suffix is ``.gz``).
 
-    ``version`` exists so callers *see* what they are writing: the segment
-    writer refuses to silently downgrade to the v1/v2 collection formats
-    (which have no segment identity) -- persist via :func:`save_collection`
-    explicitly if a plain collection file is what you want.
+    ``version`` selects the on-disk layout: 3 writes the JSON segment
+    document, 4 the packed binary format of :mod:`repro.index.packed`
+    (``compresslevel`` does not apply to v4 -- the packed columns are
+    already dense).  The writer refuses to silently downgrade to the v1/v2
+    collection formats (which have no segment identity) -- persist via
+    :func:`save_collection` explicitly if a plain collection file is what
+    you want.
     """
     if version not in SUPPORTED_SEGMENT_VERSIONS:
         raise StorageError(
-            f"segment files are written as version {SEGMENT_FORMAT_VERSION}; "
-            f"refusing to downgrade to version {version} (use "
-            f"save_collection for the plain v{FORMAT_VERSION} format)"
+            f"segment files are written as version {SEGMENT_FORMAT_VERSION} "
+            f"or {PACKED_SEGMENT_VERSION}; refusing to downgrade to version "
+            f"{version} (use save_collection for the plain "
+            f"v{FORMAT_VERSION} format)"
         )
+    if version == PACKED_SEGMENT_VERSION:
+        index = InvertedIndex(Collection.from_nodes(nodes))
+        lists = {pl.token: pl for pl in index.posting_lists()}
+        write_packed_segment(
+            Path(path),
+            index.collection.nodes,
+            lists,
+            index.any_list(),
+            generation=generation,
+        )
+        return
     statistics = {
         "nodes": len(nodes),
         "tokens": sum(len(node) for node in nodes),
@@ -214,15 +224,38 @@ def load_segment(path: Path | str) -> "tuple[list[ContextNode], int]":
     """Load a sealed segment written by :func:`save_segment`.
 
     Returns ``(nodes, generation)``; the stored statistics block is checked
-    against the restored nodes so truncation fails loudly, as in v2.
+    against the restored nodes so truncation fails loudly, as in v2.  Both
+    the v3 JSON layout and the packed v4 binary layout (sniffed by magic)
+    are understood; v4 files are fully materialised here -- open them with
+    :func:`repro.index.packed.open_packed_segment` for the zero-copy path.
     """
     path = Path(path)
+    if is_packed_segment(path):
+        reader = open_packed_segment(path)
+        try:
+            nodes = reader.materialize_nodes()
+            stored = reader.statistics
+            restored = {
+                "nodes": len(nodes),
+                "tokens": sum(len(node) for node in nodes),
+            }
+            if stored != restored:
+                raise StorageError(
+                    f"{path} statistics do not match its nodes (file says "
+                    f"{stored}, restored {restored}); the node records are "
+                    f"truncated or corrupt"
+                )
+            return nodes, reader.generation
+        finally:
+            reader.close()
     document = _read_document(path)
     if document.get("format") != "repro-segment":
         raise StorageError(f"{path} is not a repro segment file")
-    if document.get("version") not in SUPPORTED_SEGMENT_VERSIONS:
+    if document.get("version") not in (SEGMENT_FORMAT_VERSION,):
         raise StorageError(
-            f"unsupported segment format version {document.get('version')}"
+            f"{path}: unsupported segment format version "
+            f"{document.get('version')} (supported: "
+            f"{', '.join(map(str, SUPPORTED_SEGMENT_VERSIONS))})"
         )
     nodes = [_node_from_dict(record) for record in document.get("nodes", [])]
     stored = document.get("statistics")

@@ -34,8 +34,14 @@ from repro.corpus.collection import Collection
 from repro.corpus.document import ContextNode
 from repro.exceptions import StorageError
 from repro.index.cursor import CursorFactory, PAPER_MODE
+from repro.index.packed import (
+    is_packed_segment,
+    open_packed_segment,
+    write_packed_segment,
+)
 from repro.index.storage import (
     DEFAULT_COMPRESSLEVEL,
+    PACKED_SEGMENT_VERSION,
     SEGMENT_FORMAT_VERSION,
     _node_from_dict,
     _node_to_dict,
@@ -48,7 +54,7 @@ from repro.segments.manager import (
     SegmentManager,
     SegmentSnapshot,
 )
-from repro.segments.sealed import SealedSegment, SegmentData
+from repro.segments.sealed import PackedSegmentData, SealedSegment, SegmentData
 from repro.segments.stats import LiveStatistics
 from repro.segments.tombstones import TombstoneSet
 from repro.segments.wal import DEFAULT_SYNC_EVERY, WriteAheadLog
@@ -57,6 +63,12 @@ from repro.segments.wal import DEFAULT_SYNC_EVERY, WriteAheadLog
 MANIFEST_NAME = "MANIFEST.json"
 WAL_NAME = "wal.jsonl"
 SEGMENT_DIR = "segments"
+
+#: On-disk layouts for sealed segment files.  ``"packed"`` (the default for
+#: new seals) writes the binary v4 format and restores zero-copy via mmap;
+#: ``"json"`` keeps the gzip'd v3 JSON documents.  Restore sniffs each file,
+#: so a directory may mix both (e.g. after changing the setting).
+SEGMENT_FORMATS = ("packed", "json")
 
 
 def _fsync_path(path: Path) -> None:
@@ -86,12 +98,23 @@ class LiveIndex:
         sync_every: int = DEFAULT_SYNC_EVERY,
         auto_compact: bool = False,
         compaction_interval: float = 0.05,
+        segment_format: str = "packed",
     ) -> None:
+        if segment_format not in SEGMENT_FORMATS:
+            raise StorageError(
+                f"unknown segment_format {segment_format!r} "
+                f"(choose from {SEGMENT_FORMATS})"
+            )
+        self._segment_format = segment_format
         self.directory = Path(directory) if directory is not None else None
         self._wal: WriteAheadLog | None = None
         self._durable_seq = 0
         self._replaying = False
         self._persisted_generations: set[int] = set()
+        #: Actual file per persisted generation -- restored segments may use
+        #: a different layout (suffix) than the configured one.
+        self._segment_files: dict[int, Path] = {}
+        self._packed_readers: list = []
         self._statistics: LiveStatistics | None = None
         self._stats_seq = -1
         manifest = None
@@ -204,6 +227,10 @@ class LiveIndex:
         self._manager.stop_auto_compaction()
         if self._wal is not None:
             self._wal.close()
+        # Packed readers opened by _restore are deliberately left open: the
+        # in-memory segments keep borrowed views of their pages, and reads
+        # must survive close() (which only settles durability).  The OS
+        # reclaims the mappings when the segments are garbage-collected.
 
     def __enter__(self) -> "LiveIndex":
         return self
@@ -388,7 +415,8 @@ class LiveIndex:
             self._wal.append(record)
 
     def _segment_path(self, generation: int) -> Path:
-        return self.directory / SEGMENT_DIR / f"seg-{generation:08d}.json.gz"
+        suffix = ".seg" if self._segment_format == "packed" else ".json.gz"
+        return self.directory / SEGMENT_DIR / f"seg-{generation:08d}{suffix}"
 
     def _handle_seal(self, segment: SealedSegment) -> None:
         # Called by the manager with its lock held and the memtable empty,
@@ -411,37 +439,59 @@ class LiveIndex:
         # Only now are the source files unreferenced; drop them best-effort.
         for source in sources:
             self._persisted_generations.discard(source.generation)
+            path = self._segment_files.pop(
+                source.generation, self._segment_path(source.generation)
+            )
             try:
-                self._segment_path(source.generation).unlink()
+                path.unlink()
             except OSError:
                 pass
 
     def _persist_segment(self, segment: SealedSegment) -> None:
         path = self._segment_path(segment.generation)
-        save_segment(
-            list(segment.data.documents()),
-            path,
-            generation=segment.generation,
-            compresslevel=DEFAULT_COMPRESSLEVEL,
-        )
+        if self._segment_format == "packed":
+            write_packed_segment(
+                path,
+                segment.data.docs,
+                segment.data.lists,
+                segment.data.any_list,
+                generation=segment.generation,
+                name=self.collection.name,
+            )
+        else:
+            save_segment(
+                list(segment.data.documents()),
+                path,
+                generation=segment.generation,
+                compresslevel=DEFAULT_COMPRESSLEVEL,
+            )
         # The WAL is truncated once a seal checkpoint completes, making this
         # file the *only* durable copy of its documents -- so it (and its
         # directory entry) must reach stable storage before that happens.
         _fsync_path(path)
         _fsync_path(path.parent)
         self._persisted_generations.add(segment.generation)
+        self._segment_files[segment.generation] = path
 
     def _write_manifest(self) -> None:
         import json
 
+        version = (
+            PACKED_SEGMENT_VERSION
+            if self._segment_format == "packed"
+            else SEGMENT_FORMAT_VERSION
+        )
         manifest = {
             "format": "repro-manifest",
-            "version": SEGMENT_FORMAT_VERSION,
+            "version": version,
             "applied_seq": self._durable_seq,
             "next_node_id": self._manager.next_node_id(),
             "segments": [
                 {
-                    "file": self._segment_path(segment.generation).name,
+                    "file": self._segment_files.get(
+                        segment.generation,
+                        self._segment_path(segment.generation),
+                    ).name,
                     "generation": segment.generation,
                     "tombstones": sorted(segment.tombstones.dead_ids()),
                 }
@@ -474,9 +524,12 @@ class LiveIndex:
             or manifest.get("format") != "repro-manifest"
         ):
             raise StorageError(f"{path} is not a live-index manifest")
-        if manifest.get("version") != SEGMENT_FORMAT_VERSION:
+        if manifest.get("version") not in (
+            SEGMENT_FORMAT_VERSION,
+            PACKED_SEGMENT_VERSION,
+        ):
             raise StorageError(
-                f"unsupported manifest version {manifest.get('version')}"
+                f"{path}: unsupported manifest version {manifest.get('version')}"
             )
         manifest.setdefault("applied_seq", 0)
         manifest.setdefault("next_node_id", 0)
@@ -484,12 +537,23 @@ class LiveIndex:
         return manifest
 
     def _restore(self, manifest: dict[str, Any]) -> None:
-        """Rebuild the in-memory segment state from a manifest's files."""
+        """Rebuild the in-memory segment state from a manifest's files.
+
+        Packed (v4) files restore zero-copy: their posting columns stay on
+        the mmap'd file and only the header is read here.  JSON (v3) files
+        are materialised and their posting lists rebuilt, as before.
+        """
         segments: list[SealedSegment] = []
         for record in manifest["segments"]:
-            nodes, generation = load_segment(
-                self.directory / SEGMENT_DIR / record["file"]
-            )
+            path = self.directory / SEGMENT_DIR / record["file"]
+            if is_packed_segment(path):
+                reader = open_packed_segment(path)
+                self._packed_readers.append(reader)
+                generation = reader.generation
+                data: SegmentData = PackedSegmentData(reader)
+            else:
+                nodes, generation = load_segment(path)
+                data = SegmentData.from_nodes(nodes)
             if generation != record["generation"]:
                 raise StorageError(
                     f"segment file {record['file']} claims generation "
@@ -500,10 +564,9 @@ class LiveIndex:
                 # Persisted tombstones are all "from the past": stamp them at
                 # sequence 0 so every post-restart snapshot sees them applied.
                 tombstones.mark(int(node_id), 0)
-            segments.append(
-                SealedSegment(generation, SegmentData.from_nodes(nodes), tombstones)
-            )
+            segments.append(SealedSegment(generation, data, tombstones))
             self._persisted_generations.add(generation)
+            self._segment_files[generation] = path
         self._manager.restore(segments, int(manifest["next_node_id"]) - 1)
         self._durable_seq = int(manifest["applied_seq"])
         # Resume the op clock where the checkpoint left it so replayed WAL

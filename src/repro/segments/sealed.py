@@ -12,6 +12,12 @@ monotonically increasing id assigned at seal time) and the segment's
 :class:`~repro.segments.tombstones.TombstoneSet`.  The posting data of a
 sealed segment never changes; deletes and updates of its nodes only ever
 append tombstones, and compaction replaces whole segments.
+
+:class:`PackedSegmentData` is the zero-copy counterpart of
+:class:`SegmentData` for segments restored from packed v4 files
+(:mod:`repro.index.packed`): its posting lists are ``memoryview`` shells
+over the mmap'd file, so restoring a sealed segment does not rebuild any
+posting columns.
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ from typing import Iterable, Iterator, Mapping
 
 from repro.corpus.document import ContextNode
 from repro.index.inverted_index import ANY_TOKEN
+from repro.index.packed import PackedSegmentReader
+from repro.index.packed_index import _LazyNodeMap
 from repro.index.postings import PostingList
 from repro.segments.tombstones import TombstoneSet
 
@@ -93,6 +101,76 @@ class SegmentData:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"SegmentData(docs={len(self.docs)}, tokens={len(self.lists)})"
+
+
+class _LazyListMap:
+    """A read-only ``{token: PostingList}`` view over a packed segment."""
+
+    __slots__ = ("_reader", "_tokens")
+
+    def __init__(self, reader: PackedSegmentReader) -> None:
+        self._reader = reader
+        self._tokens = reader.tokens()
+
+    def get(self, token: str, default=None):
+        found = self._reader.posting_list(token)
+        return default if found is None else found
+
+    def __getitem__(self, token: str) -> PostingList:
+        found = self._reader.posting_list(token)
+        if found is None:
+            raise KeyError(token)
+        return found
+
+    def __contains__(self, token: object) -> bool:
+        return self._reader.posting_list(token) is not None
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tokens)
+
+    def keys(self):
+        return list(self._tokens)
+
+    def values(self):
+        return [self._reader.posting_list(token) for token in self._tokens]
+
+    def items(self):
+        return [(token, self._reader.posting_list(token)) for token in self._tokens]
+
+
+class PackedSegmentData(SegmentData):
+    """Frozen segment data served zero-copy from a packed v4 file.
+
+    Mirrors the :class:`SegmentData` surface the manager and snapshots rely
+    on (``docs``/``lists``/``any_list``/``node_ids``/``position_count``),
+    but posting lists are mmap-backed
+    :class:`~repro.index.packed.PackedPostingList` shells and documents
+    decode lazily per node id -- restoring a segment reads only the file
+    header.
+    """
+
+    __slots__ = ("_reader",)
+
+    def __init__(self, reader: PackedSegmentReader) -> None:
+        self._reader = reader
+        self.docs = _LazyNodeMap(reader)
+        self.lists = _LazyListMap(reader)
+        self.any_list = reader.any_list()
+        self._node_ids = reader.doc_ids()
+        self.position_count = self.any_list.total_positions()
+
+    @property
+    def reader(self) -> PackedSegmentReader:
+        return self._reader
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"PackedSegmentData(docs={len(self.docs)}, tokens={len(self.lists)}, "
+            f"path={str(self._reader.path)!r})"
+        )
 
 
 class SealedSegment:

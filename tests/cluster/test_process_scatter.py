@@ -1,0 +1,186 @@
+"""Tests for the multi-process scatter path (``workers="process"``).
+
+The tentpole contract: process-pool scatter returns results byte-identical
+to the thread pool (ids, bit-identical scores, order, cursor statistics),
+caching and incremental appends keep working (an append respills and
+restarts the pool), and the mode fails loudly where its memory model cannot
+hold -- live shards or scoring models the workers cannot rebuild by name.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ScatterGatherExecutor, ShardedIndex
+from repro.cluster.live import LiveShardedIndex
+from repro.core.query import parse_query
+from repro.corpus import Collection
+from repro.exceptions import ClusterError, ScoringError
+from repro.scoring.base import ScoringModel
+
+TEXTS = [
+    "usability testing of efficient software",
+    "software measures how well users achieve task completion",
+    "efficient task completion with usability in mind",
+    "databases support full text search with inverted lists",
+    "networks route packets between hosts efficiently",
+    "software usability and software testing",
+    "usability of software task completion software",
+    "efficient inverted lists for efficient search",
+]
+
+QUERIES = [
+    "'software'",
+    "'software' AND 'usability'",
+    "'efficient' AND NOT 'networks'",
+    "dist('task', 'completion', 2)",
+]
+
+
+def _collection() -> Collection:
+    return Collection.from_texts(TEXTS, name="process-scatter")
+
+
+def _row(result):
+    stats = result.cursor_stats
+    return (
+        result.node_ids,
+        result.ranked(),
+        result.language_class,
+        result.engine,
+        stats.as_extended_dict() if stats is not None else None,
+    )
+
+
+@pytest.mark.parametrize("num_shards", [1, 2])
+def test_process_results_match_thread_results(num_shards):
+    thread = ScatterGatherExecutor(
+        ShardedIndex(_collection(), num_shards), scoring="tfidf", cache_size=None
+    )
+    process = ScatterGatherExecutor(
+        ShardedIndex(_collection(), num_shards),
+        scoring="tfidf",
+        cache_size=None,
+        workers="process",
+    )
+    try:
+        for text in QUERIES:
+            query = parse_query(text).node
+            for top_k in (None, 3):
+                expected = thread.execute(query, top_k=top_k)
+                actual = process.execute(query, top_k=top_k)
+                assert _row(actual) == _row(expected), text
+    finally:
+        thread.close()
+        process.close()
+
+
+def test_process_execute_many_matches_thread():
+    thread = ScatterGatherExecutor(
+        ShardedIndex(_collection(), 2), scoring="tfidf", cache_size=None
+    )
+    process = ScatterGatherExecutor(
+        ShardedIndex(_collection(), 2),
+        scoring="tfidf",
+        cache_size=None,
+        workers="process",
+    )
+    try:
+        queries = [parse_query(text).node for text in QUERIES]
+        expected = thread.execute_many(queries, top_k=3)
+        actual = process.execute_many(queries, top_k=3)
+        assert [_row(r) for r in actual] == [_row(r) for r in expected]
+    finally:
+        thread.close()
+        process.close()
+
+
+def test_process_mode_serves_cache_hits():
+    executor = ScatterGatherExecutor(
+        ShardedIndex(_collection(), 2), scoring="tfidf", workers="process"
+    )
+    try:
+        query = parse_query("'software' AND 'usability'").node
+        first = executor.execute(query)
+        second = executor.execute(query)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.node_ids == first.node_ids
+        assert second.ranked() == first.ranked()
+    finally:
+        executor.close()
+
+
+def test_append_respills_and_results_stay_equal():
+    thread_index = ShardedIndex(_collection(), 2)
+    process_index = ShardedIndex(_collection(), 2)
+    thread = ScatterGatherExecutor(thread_index, scoring="tfidf", cache_size=None)
+    process = ScatterGatherExecutor(
+        process_index, scoring="tfidf", cache_size=None, workers="process"
+    )
+    try:
+        query = parse_query("'software'").node
+        assert _row(process.execute(query)) == _row(thread.execute(query))
+        new_text = "fresh software document about search"
+        thread_index.add_text(new_text)
+        process_index.add_text(new_text)
+        expected = thread.execute(query)
+        actual = process.execute(query)
+        assert max(actual.node_ids) == len(TEXTS)  # the append is visible
+        assert _row(actual) == _row(expected)
+    finally:
+        thread.close()
+        process.close()
+
+
+def test_explicit_spool_dir_is_used_and_kept(tmp_path):
+    executor = ScatterGatherExecutor(
+        ShardedIndex(_collection(), 2),
+        cache_size=None,
+        workers="process",
+        spool_dir=tmp_path,
+    )
+    try:
+        executor.execute(parse_query("'software'").node)
+        spilled = sorted(tmp_path.glob("epoch-*/shard-*.seg"))
+        assert len(spilled) == 2
+    finally:
+        executor.close()
+    assert tmp_path.exists()  # caller-owned directory is not deleted
+
+
+def test_close_is_idempotent_and_removes_owned_spool():
+    executor = ScatterGatherExecutor(
+        ShardedIndex(_collection(), 2), cache_size=None, workers="process"
+    )
+    executor.execute(parse_query("'software'").node)
+    spool = executor._spool_root
+    assert spool is not None and spool.exists()
+    executor.close()
+    assert not spool.exists()
+    executor.close()  # second close is a no-op
+
+
+def test_live_sharded_index_is_rejected():
+    with pytest.raises(ClusterError, match="static"):
+        ScatterGatherExecutor(
+            LiveShardedIndex(_collection(), 2), workers="process"
+        )
+
+
+def test_unregistered_scoring_model_is_rejected():
+    class LocalModel(ScoringModel):
+        name = "local-unregistered"
+
+        def score(self, query, node_id):  # pragma: no cover - never called
+            return 0.0
+
+    index = ShardedIndex(_collection(), 2)
+    with pytest.raises(ScoringError, match="local-unregistered"):
+        ScatterGatherExecutor(index, scoring=LocalModel(index.statistics),
+                              workers="process")
+
+
+def test_unknown_workers_mode_is_rejected():
+    with pytest.raises(ClusterError, match="unknown workers mode"):
+        ScatterGatherExecutor(ShardedIndex(_collection(), 2), workers="fiber")

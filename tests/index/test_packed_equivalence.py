@@ -1,0 +1,136 @@
+"""Packed v4 indexes answer queries byte-identically to in-memory indexes.
+
+The tentpole contract of the mmap-scatter PR: for every language fragment
+(BOOL / PPRED / NPRED), both access modes, every scoring model and both
+unbounded and top-k execution, an :class:`Executor` over a
+:class:`PackedInvertedIndex` (mmap-backed, zero-copy) returns exactly the
+node ids, bit-identical scores, the same ranking order and the same cursor
+statistics as an :class:`Executor` over the in-memory index it was spilled
+from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import parse_query
+from repro.corpus import Collection
+from repro.engine.executor import Executor
+from repro.exceptions import IndexError_
+from repro.index import InvertedIndex, PackedInvertedIndex, save_packed_index
+from repro.model.predicates import default_registry
+from repro.scoring.base import get_model
+
+TEXTS = [
+    "usability testing of efficient software",
+    "software measures how well users achieve task completion",
+    "efficient task completion with usability in mind",
+    "databases support full text search with inverted lists",
+    "networks route packets between hosts efficiently",
+    "software usability and software testing",
+    "usability of software task completion software",
+    "efficient inverted lists for efficient search",
+    "task completion and task analysis for software",
+    "search engines rank documents by usability measures",
+]
+
+QUERIES = [
+    # BOOL (positive and with negation)
+    "'software'",
+    "'software' AND 'usability'",
+    "'software' OR 'databases'",
+    "'efficient' AND NOT 'networks'",
+    "NOT 'software'",
+    # PPRED (positive position predicates)
+    "dist('task', 'completion', 2)",
+    "SOME p1 SOME p2 (p1 HAS 'software' AND p2 HAS 'usability' "
+    "AND ordered(p1, p2))",
+    # NPRED (negative position predicates)
+    "SOME p1 SOME p2 (p1 HAS 'task' AND p2 HAS 'completion' "
+    "AND not_ordered(p1, p2))",
+]
+
+
+@pytest.fixture(scope="module")
+def indexes(tmp_path_factory):
+    collection = Collection.from_texts(TEXTS, name="packed-equivalence")
+    memory = InvertedIndex(collection)
+    path = tmp_path_factory.mktemp("packed") / "index.seg"
+    save_packed_index(memory, path)
+    packed = PackedInvertedIndex.open(path)
+    yield memory, packed
+    packed.close()
+
+
+def _executors(indexes, scoring_name, access_mode):
+    memory, packed = indexes
+    registry = default_registry()
+    executors = []
+    for index in (memory, packed):
+        scoring = (
+            None if scoring_name == "none"
+            else get_model(scoring_name, index.statistics)
+        )
+        executors.append(
+            Executor(index, registry, scoring, access_mode=access_mode)
+        )
+    return executors
+
+
+@pytest.mark.parametrize("access_mode", ["paper", "fast"])
+@pytest.mark.parametrize("scoring_name", ["none", "tfidf", "probabilistic"])
+@pytest.mark.parametrize("query_text", QUERIES)
+def test_packed_executor_is_byte_identical(
+    indexes, query_text, scoring_name, access_mode
+):
+    reference, packed = _executors(indexes, scoring_name, access_mode)
+    query = parse_query(query_text).node
+    for top_k in (None, 3):
+        expected = reference.execute(query, top_k=top_k)
+        actual = packed.execute(query, top_k=top_k)
+        assert actual.node_ids == expected.node_ids
+        assert actual.ranked() == expected.ranked()  # exact float equality
+        assert actual.language_class == expected.language_class
+        assert actual.engine == expected.engine
+        if expected.cursor_stats is not None:
+            assert (
+                actual.cursor_stats.as_extended_dict()
+                == expected.cursor_stats.as_extended_dict()
+            )
+
+
+@pytest.mark.parametrize("access_mode", ["paper", "fast"])
+def test_packed_execute_many_is_byte_identical(indexes, access_mode):
+    reference, packed = _executors(indexes, "tfidf", access_mode)
+    queries = [parse_query(text).node for text in QUERIES]
+    expected = reference.execute_many(queries, top_k=4)
+    actual = packed.execute_many(queries, top_k=4)
+    assert [r.node_ids for r in actual] == [r.node_ids for r in expected]
+    assert [r.ranked() for r in actual] == [r.ranked() for r in expected]
+
+
+def test_packed_statistics_match_in_memory(indexes):
+    memory, packed = indexes
+    reference = memory.statistics
+    actual = packed.statistics
+    assert actual.node_count == reference.node_count
+    for token in memory.tokens():
+        assert actual.document_frequency(token) == reference.document_frequency(
+            token
+        )
+        assert actual.idf(token) == reference.idf(token)
+    for node_id in memory.collection.node_ids():
+        assert actual.node_length(node_id) == reference.node_length(node_id)
+        assert actual.node_l2_norm(node_id) == reference.node_l2_norm(node_id)
+
+
+def test_packed_index_surface(indexes):
+    memory, packed = indexes
+    assert packed.tokens() == memory.tokens()
+    assert packed.node_count() == memory.node_count()
+    assert packed.collection.node_ids() == memory.collection.node_ids()
+    assert len(packed.any_list()) == len(memory.any_list())
+    node = packed.collection.nodes[0]
+    assert node.occurrences == memory.collection.nodes[0].occurrences
+    with pytest.raises(IndexError_):
+        packed.add_node(node)

@@ -1,0 +1,26 @@
+# repro query service -- stdlib-only, so the image is just Python + sources.
+#
+# Build:   docker build -t repro-server .
+# Index:   docker run --rm -v "$PWD/docs:/docs" -v "$PWD/data:/data" \
+#              repro-server index /docs -o /data/collection.json
+# Serve:   docker run --rm -p 8080:8080 -v "$PWD/data:/data:ro" repro-server
+#
+# SIGTERM (docker stop) triggers the server's graceful drain: in-flight
+# requests finish, a summary line is printed, and the process exits 0.
+
+FROM python:3.12-slim
+
+WORKDIR /app
+COPY src/ src/
+
+ENV PYTHONPATH=/app/src \
+    PYTHONUNBUFFERED=1
+
+EXPOSE 8080
+
+# /health answers while serving and reports "draining" during shutdown.
+HEALTHCHECK --interval=10s --timeout=3s --start-period=5s --retries=3 \
+    CMD ["python", "-c", "import urllib.request; urllib.request.urlopen('http://127.0.0.1:8080/health', timeout=2)"]
+
+ENTRYPOINT ["python", "-m", "repro.cli"]
+CMD ["serve-http", "/data/collection.json", "--host", "0.0.0.0", "--port", "8080", "--access-log", "-"]

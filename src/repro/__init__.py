@@ -49,7 +49,10 @@ from repro.index import ACCESS_MODES, FAST_MODE, PAPER_MODE, InvertedIndex, buil
 from repro.languages import LanguageClass, classify_query, parse_bool, parse_comp, parse_dist
 from repro.model import Position, PredicateRegistry, default_registry
 
-__version__ = "1.0.0"
+#: Single source of truth for the package version: the CLI's ``--version``
+#: flag and the HTTP server's ``/health`` + ``/stats`` responses all read it
+#: from here.
+__version__ = "1.1.0"
 
 __all__ = [
     "ACCESS_MODES",

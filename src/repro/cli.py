@@ -16,6 +16,13 @@ The CLI exposes the typical lifecycle of the library without writing Python:
   stdin line (REPL on a terminal, batch otherwise) with per-query latency and
   cache statistics; ``--live`` enables the mutation commands (``:add``,
   ``:update``, ``:delete``, ``:flush``, ``:compact``, ``:segments``);
+* ``repro serve-http``  -- the network query service: an asyncio HTTP/JSON
+  server with request micro-batching, per-request deadlines, admission
+  control, ``/health`` + ``/stats`` endpoints and graceful SIGTERM drain
+  (see :mod:`repro.server`); accepts a saved collection file or a live
+  data directory;
+* ``repro doctor``      -- validate the environment (and optionally an index
+  file / live data directory, or a host:port) before serving traffic;
 * ``repro ingest``      -- tail a document stream (file or stdin) into a live
   index, optionally interleaving queries to measure serving under ingest;
 * ``repro segment-stats`` -- per-segment sizes and tombstone counts of a live
@@ -31,10 +38,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from collections import deque
 from pathlib import Path
 from typing import Sequence
 
+from repro import __version__
 from repro.bench.complexity import QueryParameters, hierarchy_table
 from repro.bench.figures import ALL_FIGURES, FigureScale, run_all
 from repro.bench.reporting import render_report, shape_summary, table_to_text
@@ -46,6 +53,7 @@ from repro.exceptions import ReproError
 from repro.index.inverted_index import InvertedIndex
 from repro.index.packed import packed_index_bytes
 from repro.index.storage import load_collection, load_index, save_collection
+from repro.server.metrics import LatencyRecorder, format_latency_summary
 
 
 def _positive_int(text: str) -> int:
@@ -94,6 +102,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Full-text search languages (EDBT 2006 reproduction).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+        help="print the package version and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -162,6 +176,86 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "(default: 256; only with --live)",
     )
     _add_sharding_arguments(serve_cmd)
+
+    serve_http_cmd = subparsers.add_parser(
+        "serve-http",
+        help="serve queries over HTTP/JSON with micro-batching and deadlines",
+    )
+    serve_http_cmd.add_argument(
+        "index_file",
+        help="collection file written by 'repro index', or a live data "
+        "directory written by 'repro ingest --data-dir'",
+    )
+    serve_http_cmd.add_argument("--host", default="127.0.0.1")
+    serve_http_cmd.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 picks a free port; the bound port is printed)",
+    )
+    serve_http_cmd.add_argument(
+        "--scoring", default="tfidf", choices=["none", "tfidf", "probabilistic"]
+    )
+    serve_http_cmd.add_argument(
+        "--top-k", type=_positive_int, default=10,
+        help="default top_k when a request does not send one (default: 10)",
+    )
+    serve_http_cmd.add_argument(
+        "--access-mode", default="fast", choices=["paper", "fast"],
+        help="cursor access mode (default: fast, the production path)",
+    )
+    serve_http_cmd.add_argument(
+        "--cache-size", type=int, default=128,
+        help="LRU result-cache capacity; 0 disables caching (default: 128)",
+    )
+    serve_http_cmd.add_argument(
+        "--live", action="store_true",
+        help="build the index on the live (mutable) segment subsystem",
+    )
+    serve_http_cmd.add_argument("--flush-threshold", type=int, default=None)
+    serve_http_cmd.add_argument(
+        "--max-batch", type=_positive_int, default=32,
+        help="largest micro-batch coalesced into one search_many call "
+        "(default: 32; 1 disables batching)",
+    )
+    serve_http_cmd.add_argument(
+        "--linger-ms", type=float, default=2.0,
+        help="how long the dispatcher waits for stragglers after the first "
+        "request of a batch (default: 2.0 ms; 0 disables lingering)",
+    )
+    serve_http_cmd.add_argument(
+        "--max-inflight", type=_positive_int, default=64,
+        help="admission limit: requests queued or executing before the "
+        "server answers 429 (default: 64)",
+    )
+    serve_http_cmd.add_argument(
+        "--timeout-ms", type=float, default=30_000.0,
+        help="default per-request deadline when a request does not send "
+        "timeout_ms (default: 30000)",
+    )
+    serve_http_cmd.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds SIGTERM waits for in-flight requests (default: 10)",
+    )
+    serve_http_cmd.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="append one JSON object per request to PATH ('-' for stderr)",
+    )
+    _add_sharding_arguments(serve_http_cmd)
+
+    doctor_cmd = subparsers.add_parser(
+        "doctor",
+        help="validate the environment (and optionally an index) for serving",
+    )
+    doctor_cmd.add_argument(
+        "index_path", nargs="?", default=None,
+        help="a saved collection file or a live data directory to validate",
+    )
+    doctor_cmd.add_argument(
+        "--host", default=None, help="with --port: check the bind address"
+    )
+    doctor_cmd.add_argument(
+        "--port", type=int, default=None,
+        help="check that this TCP port can be bound",
+    )
 
     ingest_cmd = subparsers.add_parser(
         "ingest",
@@ -269,6 +363,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_segment_stats(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "serve-http":
+            return _command_serve_http(args)
+        if args.command == "doctor":
+            return _command_doctor(args)
         if args.command == "ingest":
             return _command_ingest(args)
         if args.command == "experiment":
@@ -512,7 +610,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
         ]
     stream = sys.stdin if args.docs == "-" else open(args.docs, "r", encoding="utf-8")
     ingested = 0
-    query_latencies_ms: list[float] = []
+    recorder = LatencyRecorder()
     started = time.perf_counter()
     try:
         for line in stream:
@@ -525,21 +623,18 @@ def _command_ingest(args: argparse.Namespace) -> int:
                 for query in queries:
                     q_started = time.perf_counter()
                     engine.search(query, top_k=5)
-                    query_latencies_ms.append(
-                        (time.perf_counter() - q_started) * 1000.0
-                    )
+                    recorder.record((time.perf_counter() - q_started) * 1000.0)
         elapsed = time.perf_counter() - started
     finally:
         if stream is not sys.stdin:
             stream.close()
     rate = ingested / elapsed if elapsed > 0 else 0.0
     print(f"ingested {ingested} documents in {elapsed:.2f}s ({rate:,.0f} docs/s)")
-    if query_latencies_ms:
-        ordered = sorted(query_latencies_ms)
+    if recorder.count:
         print(
-            f"served {len(ordered)} queries during ingest: "
-            f"p50={_percentile(ordered, 0.50):.2f} ms "
-            f"p95={_percentile(ordered, 0.95):.2f} ms"
+            f"served {recorder.count} queries during ingest: "
+            f"p50={recorder.percentile_ms(0.50):.2f} ms "
+            f"p95={recorder.percentile_ms(0.95):.2f} ms"
         )
     rows = engine.segment_stats()
     print(f"segments after ingest: {len(rows)}")
@@ -553,13 +648,6 @@ def _command_ingest(args: argparse.Namespace) -> int:
     _print_segment_rows(rows, with_shard=args.shards > 1)
     engine.close()
     return 0
-
-
-def _percentile(sorted_values: list[float], fraction: float) -> float:
-    if not sorted_values:
-        return 0.0
-    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
-    return sorted_values[rank]
 
 
 def _serve_live_command(engine: FullTextEngine, command: str) -> bool:
@@ -623,12 +711,10 @@ def _command_serve(args: argparse.Namespace) -> int:
                 "live commands: ':add TEXT', ':update ID TEXT', ':delete ID', "
                 "':flush', ':compact', ':segments'"
             )
-    # Percentiles come from a bounded window of recent requests so a
-    # long-running server does not grow (or re-sort) an unbounded list;
-    # the mean covers every request served.
-    latencies_ms: "deque[float]" = deque(maxlen=10_000)
-    total_latency_ms = 0.0
-    served = 0
+    # The recorder keeps percentiles over a bounded window of recent
+    # requests (the mean and count cover everything served); it is the same
+    # accounting the HTTP server reports, so both frontends agree.
+    recorder = LatencyRecorder()
     # The final summary must appear exactly once however the loop ends --
     # ':quit', stream EOF, Ctrl-C, or an unexpected error -- so it lives in
     # the finally block behind a once-guard.
@@ -640,7 +726,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             return
         summary_printed = True
         print()
-        _print_serve_stats(engine, served, total_latency_ms, latencies_ms)
+        _print_serve_stats(engine, recorder)
 
     try:
         for line in sys.stdin:
@@ -650,7 +736,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             if query in (":quit", ":q", ":exit"):
                 break
             if query in (":stats", ":cache"):
-                _print_serve_stats(engine, served, total_latency_ms, latencies_ms)
+                _print_serve_stats(engine, recorder)
                 continue
             if query.startswith(":") and engine.is_live:
                 try:
@@ -667,13 +753,11 @@ def _command_serve(args: argparse.Namespace) -> int:
             except ReproError as exc:
                 print(f"error: {exc}")
                 continue
-            served += 1
             # Wall clock around the call, not results.elapsed_seconds: a
             # cache hit carries the *original* evaluation time, while the
             # request it served took microseconds.
             latency = (time.perf_counter() - started) * 1000.0
-            latencies_ms.append(latency)
-            total_latency_ms += latency
+            recorder.record(latency)
             cache_note = ""
             if results.metadata.get("cache") == "hit":
                 cache_note = f" [cached, {latency:.2f} ms]"
@@ -691,18 +775,11 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_serve_stats(
-    engine: FullTextEngine,
-    served: int,
-    total_latency_ms: float,
-    recent_latencies_ms,
-) -> None:
-    ordered = sorted(recent_latencies_ms)
-    mean = total_latency_ms / served if served else 0.0
+def _print_serve_stats(engine: FullTextEngine, recorder: LatencyRecorder) -> None:
+    snapshot = recorder.snapshot()
     print(
-        f"served {served} queries over {engine.num_shards} shard(s): "
-        f"mean={mean:.2f} ms p50={_percentile(ordered, 0.50):.2f} ms "
-        f"p95={_percentile(ordered, 0.95):.2f} ms"
+        f"served {snapshot['count']} queries over {engine.num_shards} "
+        f"shard(s): {format_latency_summary(snapshot)}"
     )
     cache = engine.cache_stats()
     print(
@@ -711,6 +788,68 @@ def _print_serve_stats(
         f"hit_rate={cache['hit_rate'] * 100:.1f}% "
         f"evictions={cache['evictions']} invalidations={cache['invalidations']}"
     )
+
+
+def _command_serve_http(args: argparse.Namespace) -> int:
+    from repro.server import ServerConfig, serve
+
+    cache_size = args.cache_size if args.cache_size > 0 else None
+    path = Path(args.index_file)
+    if path.is_dir():
+        # A live data directory (as written by `repro ingest --data-dir`):
+        # reopen it in place instead of loading a collection file.
+        if args.shards > 1 or args.workers != "thread":
+            print(
+                "error: serving a live data directory supports neither "
+                "--shards > 1 nor --workers process",
+                file=sys.stderr,
+            )
+            return 1
+        from repro.segments import LiveIndex
+
+        live_options = {}
+        if args.flush_threshold is not None:
+            live_options["flush_threshold"] = args.flush_threshold
+        engine = FullTextEngine(
+            LiveIndex.open(path, **live_options),
+            scoring=None if args.scoring == "none" else args.scoring,
+            access_mode=args.access_mode,
+        )
+    else:
+        engine = _load_engine(args, cache_size=cache_size)
+    log_stream = None
+    if args.access_log == "-":
+        log_stream = sys.stderr
+    elif args.access_log:
+        log_stream = open(args.access_log, "a", encoding="utf-8")
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch,
+        max_linger_ms=max(args.linger_ms, 0.0),
+        max_inflight=args.max_inflight,
+        default_timeout_ms=args.timeout_ms,
+        default_top_k=args.top_k,
+        drain_grace_seconds=args.drain_grace,
+        access_log=log_stream,
+    )
+    try:
+        return serve(engine, config)
+    finally:
+        engine.close()
+        if log_stream is not None and log_stream is not sys.stderr:
+            log_stream.close()
+
+
+def _command_doctor(args: argparse.Namespace) -> int:
+    from repro.server.doctor import render_report, run_doctor
+
+    host = args.host
+    if host is None and args.port is not None:
+        host = "127.0.0.1"
+    results = run_doctor(args.index_path, host=host, port=args.port)
+    print(render_report(results))
+    return 1 if any(result.failed for result in results) else 0
 
 
 def _command_experiment(args: argparse.Namespace) -> int:

@@ -44,9 +44,12 @@ must share it.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import shutil
+import signal
 import tempfile
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
@@ -72,6 +75,69 @@ from repro.scoring.base import ScoringModel, available_models, get_model
 
 #: Worker-pool flavours of the scatter stage.
 WORKER_MODES = ("thread", "process")
+
+
+# ---------------------------------------------------------------------------
+# Spool-directory lifetime.  Explicit ``close()`` removes an executor's spool
+# directly, but a long-running server that dies to SIGTERM -- or any process
+# that simply exits without closing its engine -- must not leak epoch'd
+# spool directories under the system temp dir.  Every owned spool is tracked
+# in a module-level registry swept by an ``atexit`` hook, plus (when no one
+# else claimed SIGTERM and we are on the main thread) a chained SIGTERM
+# handler that sweeps and then re-raises the default termination.
+# ---------------------------------------------------------------------------
+_SPOOL_REGISTRY: "set[str]" = set()
+_SPOOL_LOCK = threading.Lock()
+_SPOOL_CLEANUP_INSTALLED = False
+
+
+def cleanup_registered_spools() -> None:
+    """Remove every registered spool directory (idempotent, never raises)."""
+    with _SPOOL_LOCK:
+        paths = list(_SPOOL_REGISTRY)
+        _SPOOL_REGISTRY.clear()
+    for path in paths:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+def _sweep_and_reraise_sigterm(signum, frame) -> None:  # pragma: no cover
+    cleanup_registered_spools()
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.raise_signal(signal.SIGTERM)  # exit with the conventional 143
+
+
+def _install_spool_cleanup() -> None:
+    """Install the atexit sweep (once) and, where safe, the SIGTERM chain.
+
+    The SIGTERM handler is only installed from the main thread and only when
+    the signal is still at its default disposition: a host application (for
+    example ``repro serve-http``'s drain handler) that manages SIGTERM
+    itself is expected to close its engines, which removes the spools
+    explicitly.
+    """
+    global _SPOOL_CLEANUP_INSTALLED
+    if _SPOOL_CLEANUP_INSTALLED:
+        return
+    _SPOOL_CLEANUP_INSTALLED = True
+    atexit.register(cleanup_registered_spools)
+    if threading.current_thread() is not threading.main_thread():
+        return
+    try:
+        if signal.getsignal(signal.SIGTERM) is signal.SIG_DFL:
+            signal.signal(signal.SIGTERM, _sweep_and_reraise_sigterm)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+
+def _register_spool(path: Path) -> None:
+    with _SPOOL_LOCK:
+        _SPOOL_REGISTRY.add(str(path))
+    _install_spool_cleanup()
+
+
+def _unregister_spool(path: Path) -> None:
+    with _SPOOL_LOCK:
+        _SPOOL_REGISTRY.discard(str(path))
 
 
 class ScatterGatherExecutor:
@@ -284,6 +350,25 @@ class ScatterGatherExecutor:
             return QueryCache.empty_stats()
         return self.cache.stats()
 
+    def spool_stats(self) -> dict | None:
+        """Size and location of the process-mode spill files (else ``None``)."""
+        if self.workers != "process" or not self._shard_paths:
+            return None
+        total = 0
+        present = 0
+        for path in self._shard_paths:
+            try:
+                total += Path(path).stat().st_size
+                present += 1
+            except OSError:  # a respill epoch just replaced this file
+                pass
+        return {
+            "directory": str(self._spool_root),
+            "epoch": self._spool_epoch,
+            "files": present,
+            "bytes": total,
+        }
+
     def close(self) -> None:
         """Shut the worker pool down and deregister listeners (idempotent).
 
@@ -296,6 +381,7 @@ class ScatterGatherExecutor:
             self._pool = None
         self._teardown_process_pool()
         if self._spool_owned and self._spool_root is not None:
+            _unregister_spool(self._spool_root)
             shutil.rmtree(self._spool_root, ignore_errors=True)
             self._spool_root = None
             self._spool_owned = False
@@ -400,6 +486,9 @@ class ScatterGatherExecutor:
                 tempfile.mkdtemp(prefix="repro-shard-spool-")
             )
             self._spool_owned = True
+            # A SIGTERM or plain interpreter exit must not leak the spool:
+            # register it for the atexit/SIGTERM sweep until close() runs.
+            _register_spool(self._spool_root)
         previous = self._spool_root / f"epoch-{self._spool_epoch:04d}"
         self._spool_epoch += 1
         epoch_dir = self._spool_root / f"epoch-{self._spool_epoch:04d}"

@@ -264,6 +264,38 @@ class FullTextEngine:
             return self._cluster.cache_stats()
         return QueryCache.empty_stats()
 
+    def stats(self) -> dict:
+        """Consolidated engine-side statistics for serving surfaces.
+
+        One dictionary with everything the CLI spreads over ``shard-stats``,
+        ``segment-stats`` and the serve REPL's ``:stats``: per-shard sizes,
+        cache hit rates, live segment/WAL state and (in process-scatter
+        mode) the packed spool files.  ``repro serve-http`` returns this
+        verbatim under the ``"engine"`` key of ``/stats``.
+        """
+        stats = {
+            "collection": self.collection.name,
+            "nodes": self.index.node_count(),
+            "shards": self.num_shards,
+            "live": self.is_live,
+            "access_mode": self.access_mode,
+            "workers": (
+                self._cluster.workers if self._cluster is not None else "thread"
+            ),
+            "cache": self.cache_stats(),
+            "shard_stats": self.shard_stats(),
+            "memory": self.index.memory_footprint(),
+        }
+        if self.is_live:
+            stats["segments"] = self.segment_stats()
+            if hasattr(self.index, "wal_stats"):
+                stats["wal"] = self.index.wal_stats()
+        if self._cluster is not None:
+            spool = self._cluster.spool_stats()
+            if spool is not None:
+                stats["spool"] = spool
+        return stats
+
     def close(self) -> None:
         """Release the worker pool and close live-index resources.
 

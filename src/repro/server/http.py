@@ -1,0 +1,196 @@
+"""A minimal HTTP/1.1 layer over :mod:`asyncio` streams.
+
+The query service speaks plain HTTP/1.1 with JSON bodies and needs nothing
+beyond the standard library, so this module implements exactly the subset
+the service uses -- and rejects the rest loudly:
+
+* request line + headers + an optional ``Content-Length`` body
+  (``Transfer-Encoding: chunked`` is answered with ``501``);
+* persistent connections with the HTTP/1.1 keep-alive default
+  (``Connection: close`` honoured both ways, HTTP/1.0 closes unless the
+  client asks for keep-alive);
+* bounded reads everywhere: header blocks above
+  :data:`MAX_HEADER_BYTES` and bodies above :data:`MAX_BODY_BYTES` raise
+  :class:`ProtocolError` with the status the connection loop should send
+  before closing.
+
+Parsing failures never raise bare exceptions into the connection loop --
+they become :class:`ProtocolError` carrying an HTTP status code, so the
+server can answer with a structured JSON error instead of a hung socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, urlsplit
+
+#: Upper bound on the request line + header block, in bytes.
+MAX_HEADER_BYTES = 32 * 1024
+#: Upper bound on a request body, in bytes.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Reason phrases for every status the service emits.
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed or unsupported request; carries the HTTP status to send."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    params: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+    keep_alive: bool = True
+
+    def json_body(self) -> dict:
+        """The body decoded as a JSON object (``{}`` when empty).
+
+        Raises :class:`ProtocolError` (400) on malformed JSON or a body
+        that is not an object -- the only body shape the API accepts.
+        """
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        return payload
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """A single query-string parameter (the first value when repeated)."""
+        return self.params.get(name, default)
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Read and parse one request; ``None`` on a clean end-of-stream.
+
+    A clean EOF (the client closed an idle keep-alive connection) is the
+    *only* quiet exit; everything else -- truncated requests, oversized
+    headers, bad request lines, unsupported transfer encodings -- raises
+    :class:`ProtocolError` with the status to report.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise ProtocolError(400, "connection closed mid-request")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(431, f"header block exceeds {MAX_HEADER_BYTES} bytes")
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(431, f"header block exceeds {MAX_HEADER_BYTES} bytes")
+
+    lines = head.decode("latin-1").split("\r\n")
+    request_line = lines[0]
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(400, f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(400, f"unsupported HTTP version {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError(501, "chunked transfer encoding is not supported")
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError(400, "malformed Content-Length header")
+        if length < 0:
+            raise ProtocolError(400, "malformed Content-Length header")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "connection closed mid-body")
+
+    split = urlsplit(target)
+    params = {
+        name: values[0]
+        for name, values in parse_qs(split.query, keep_blank_values=True).items()
+    }
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.1":
+        keep_alive = connection != "close"
+    else:
+        keep_alive = connection == "keep-alive"
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=split.path or "/",
+        params=params,
+        headers=headers,
+        body=body,
+        version=version,
+        keep_alive=keep_alive,
+    )
+
+
+def render_response(
+    status: int, payload: dict, *, keep_alive: bool = True
+) -> bytes:
+    """Serialize a JSON response with the framing headers the parser needs.
+
+    ``Content-Length`` is always present (the connection stays usable for
+    the next request) and floats round-trip exactly: ``json.dumps`` renders
+    Python floats with ``repr``, the shortest string that parses back to
+    the same IEEE double -- which is what lets the equivalence tests compare
+    served scores bit-for-bit against direct engine calls.
+    """
+    body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+    reason = STATUS_REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json; charset=utf-8\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def error_payload(code: str, message: str) -> dict:
+    """The uniform JSON error body: ``{"error": {"code": ..., "message": ...}}``."""
+    return {"error": {"code": code, "message": message}}

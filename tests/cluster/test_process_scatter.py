@@ -184,3 +184,92 @@ def test_unregistered_scoring_model_is_rejected():
 def test_unknown_workers_mode_is_rejected():
     with pytest.raises(ClusterError, match="unknown workers mode"):
         ScatterGatherExecutor(ShardedIndex(_collection(), 2), workers="fiber")
+
+
+# ---------------------------------------------------------------------------
+# Spool leak protection: every spilled spool directory is registered for
+# cleanup at interpreter exit and on SIGTERM, not just in close().
+# ---------------------------------------------------------------------------
+
+
+def test_spool_is_registered_while_open_and_unregistered_on_close():
+    from repro.cluster import scatter
+
+    executor = ScatterGatherExecutor(
+        ShardedIndex(_collection(), 2), cache_size=None, workers="process"
+    )
+    try:
+        executor.execute(parse_query("'software'").node)
+        spool = executor._spool_root
+        assert str(spool) in scatter._SPOOL_REGISTRY
+    finally:
+        executor.close()
+    assert str(spool) not in scatter._SPOOL_REGISTRY
+
+
+def test_cleanup_registered_spools_sweeps_leaked_directories():
+    from repro.cluster import scatter
+
+    executor = ScatterGatherExecutor(
+        ShardedIndex(_collection(), 2), cache_size=None, workers="process"
+    )
+    try:
+        executor.execute(parse_query("'software'").node)
+        spool = executor._spool_root
+        assert spool.exists()
+        # Simulate an exit path that never reached close(): the atexit hook
+        # calls exactly this function.
+        scatter.cleanup_registered_spools()
+        assert not spool.exists()
+        assert str(spool) not in scatter._SPOOL_REGISTRY
+        scatter.cleanup_registered_spools()  # idempotent
+    finally:
+        executor.close()  # still safe after the sweep
+
+
+def test_sigterm_removes_spool_directory(tmp_path):
+    """A SIGTERM'd process must not leak its packed spool files."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    script = """
+import sys, time
+from repro.cluster import ScatterGatherExecutor, ShardedIndex
+from repro.core.query import parse_query
+from repro.corpus import Collection
+
+collection = Collection.from_texts([
+    "usability testing of efficient software",
+    "software measures task completion",
+], name="sigterm-spool")
+executor = ScatterGatherExecutor(
+    ShardedIndex(collection, 2), cache_size=None, workers="process"
+)
+executor.execute(parse_query("'software'").node)
+print(executor._spool_root, flush=True)
+while True:
+    time.sleep(0.1)
+"""
+    repo_src = str(Path(__file__).resolve().parents[2] / "src")
+    env = dict(os.environ, PYTHONPATH=repo_src, PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        spool = Path(proc.stdout.readline().strip())
+        assert spool.exists()
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    assert proc.returncode == -signal.SIGTERM  # conventional termination
+    assert not spool.exists()

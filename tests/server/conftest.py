@@ -1,0 +1,15 @@
+"""Fixtures for the HTTP server tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.synthetic import generate_inex_like_collection
+
+
+@pytest.fixture(scope="session")
+def server_collection():
+    """A deterministic corpus large enough for non-trivial rankings."""
+    return generate_inex_like_collection(
+        num_nodes=240, tokens_per_node=60, pos_per_entry=2
+    )

@@ -1,0 +1,90 @@
+"""Shared helpers for the server tests: engine factory + socket harness."""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+from repro.core.engine import FullTextEngine
+from repro.server import QueryServer, ServerConfig
+
+
+def make_engine(collection, **kwargs):
+    defaults = dict(scoring="tfidf", access_mode="fast")
+    defaults.update(kwargs)
+    return FullTextEngine.from_collection(collection, **defaults)
+
+
+class RunningServer:
+    """A :class:`QueryServer` on a real socket, driven from test threads.
+
+    The event loop runs in a daemon thread; tests talk plain
+    ``http.client`` over localhost, exactly like an external client.
+    """
+
+    def __init__(self, engine, config: ServerConfig | None = None) -> None:
+        config = config or ServerConfig()
+        config.port = 0  # always pick a free port in tests
+        self.server = QueryServer(engine, config)
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.server.start()
+            self.loop = asyncio.get_running_loop()
+            self._started.set()
+            await self.server.serve_until_signalled()
+
+        asyncio.run(main())
+
+    # ----------------------------------------------------------- lifecycle
+    def __enter__(self) -> "RunningServer":
+        self._thread.start()
+        assert self._started.wait(10), "server failed to start"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        if self._thread.is_alive() and self.loop is not None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.shutdown(), self.loop
+            )
+            future.result(timeout=30)
+        self._thread.join(timeout=30)
+        assert not self._thread.is_alive(), "server thread failed to exit"
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    # -------------------------------------------------------------- clients
+    def connect(self, timeout: float = 10.0) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+
+    def request(
+        self,
+        method: str,
+        target: str,
+        body: dict | None = None,
+        connection: http.client.HTTPConnection | None = None,
+    ) -> tuple[int, dict]:
+        """One request; returns ``(status, parsed JSON body)``."""
+        conn = connection or self.connect()
+        payload = json.dumps(body) if body is not None else None
+        conn.request(
+            method,
+            target,
+            body=payload,
+            headers={"Content-Type": "application/json"} if payload else {},
+        )
+        response = conn.getresponse()
+        data = json.loads(response.read())
+        if connection is None:
+            conn.close()
+        return response.status, data

@@ -1,0 +1,205 @@
+"""Unit tests for the micro-batching dispatcher.
+
+Everything here drives :class:`BatchingDispatcher` directly on an asyncio
+loop -- no sockets -- so the coalescing, widest-k narrowing, failure
+isolation and deadline semantics are pinned down independently of the HTTP
+layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.exceptions import UnsupportedQueryError
+from repro.server.batching import (
+    BatchingDispatcher,
+    DeadlineExceeded,
+    DispatcherClosed,
+)
+
+from harness import make_engine
+
+QUERIES = [
+    "'usability'",
+    "'usability' AND 'software'",
+    "'testing' OR 'efficient'",
+    "dist('usability', 'software', 8)",
+    "'interface' AND ('evaluation' OR 'usability')",
+    "'software'",
+]
+
+
+@pytest.fixture(scope="module")
+def engine(server_collection):
+    engine = make_engine(server_collection)
+    yield engine
+    engine.close()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def results_key(results):
+    """The equivalence triple: ids, exact scores, order."""
+    return [(r.node_id, r.score) for r in results]
+
+
+def test_concurrent_submits_coalesce_into_one_batch(engine):
+    async def main():
+        dispatcher = BatchingDispatcher(engine, max_batch_size=32, max_linger_ms=200.0)
+        dispatcher.start()
+        try:
+            queries = [engine.parse(text) for text in QUERIES]
+            answers = await asyncio.gather(
+                *(dispatcher.submit(query, top_k=5) for query in queries)
+            )
+        finally:
+            await dispatcher.stop()
+        return answers, dispatcher.stats()
+
+    answers, stats = run(main())
+    # All six submits land within the linger window: exactly one engine call.
+    assert stats["batches"] == 1
+    assert stats["batched_requests"] == len(QUERIES)
+    assert stats["max_batch_size_seen"] == len(QUERIES)
+    for text, answer in zip(QUERIES, answers):
+        direct = engine.search(text, top_k=5)
+        assert len(results_key(answer)) > 0  # planted tokens: never empty
+        assert results_key(answer) == results_key(direct)
+
+
+def test_mixed_top_k_narrows_each_answer_exactly(engine):
+    """The batch runs at the widest k; every caller gets its own exact cut."""
+    ks = [1, 3, 7, None, 2]
+
+    async def main():
+        dispatcher = BatchingDispatcher(engine, max_batch_size=32, max_linger_ms=200.0)
+        dispatcher.start()
+        try:
+            query = engine.parse("'usability' OR 'software'")
+            return await asyncio.gather(
+                *(dispatcher.submit(query, top_k=k) for k in ks)
+            )
+        finally:
+            await dispatcher.stop()
+
+    answers = run(main())
+    for k, answer in zip(ks, answers):
+        direct = engine.search("'usability' OR 'software'", top_k=k)
+        assert results_key(answer) == results_key(direct)
+        assert answer.total_matches == direct.total_matches
+
+
+def test_max_batch_size_splits_batches(engine):
+    async def main():
+        dispatcher = BatchingDispatcher(engine, max_batch_size=2, max_linger_ms=200.0)
+        dispatcher.start()
+        try:
+            queries = [engine.parse(text) for text in QUERIES]
+            await asyncio.gather(
+                *(dispatcher.submit(query, top_k=3) for query in queries)
+            )
+        finally:
+            await dispatcher.stop()
+        return dispatcher.stats()
+
+    stats = run(main())
+    assert stats["max_batch_size_seen"] <= 2
+    assert stats["batches"] >= 3
+
+
+def test_bad_query_does_not_fail_batch_neighbours(engine):
+    """A query outside the forced engine's subset fails alone; its batch
+    neighbours are retried individually and still answer correctly."""
+    good_text = "'usability' AND 'software'"
+    bad_text = "NOT 'usability'"  # PPRED cannot evaluate free-standing negation
+
+    async def main():
+        dispatcher = BatchingDispatcher(engine, max_batch_size=32, max_linger_ms=200.0)
+        dispatcher.start()
+        try:
+            good = engine.parse(good_text)
+            bad = engine.parse(bad_text)
+            return await asyncio.gather(
+                dispatcher.submit(good, top_k=5, engine_choice="ppred"),
+                dispatcher.submit(bad, top_k=5, engine_choice="ppred"),
+                return_exceptions=True,
+            ), dispatcher.stats()
+        finally:
+            await dispatcher.stop()
+
+    (good_answer, bad_answer), stats = run(main())
+    assert results_key(good_answer) == results_key(
+        engine.search(good_text, engine="ppred", top_k=5)
+    )
+    assert isinstance(bad_answer, UnsupportedQueryError)
+    assert stats["individual_retries"] >= 2
+
+
+def test_mixed_engine_choices_run_individually_and_correctly(engine):
+    async def main():
+        dispatcher = BatchingDispatcher(engine, max_batch_size=32, max_linger_ms=200.0)
+        dispatcher.start()
+        try:
+            return await asyncio.gather(
+                dispatcher.submit(engine.parse("'usability'"), top_k=4, engine_choice="bool"),
+                dispatcher.submit(engine.parse("'software'"), top_k=4, engine_choice="ppred"),
+            )
+        finally:
+            await dispatcher.stop()
+
+    bool_answer, ppred_answer = run(main())
+    assert results_key(bool_answer) == results_key(
+        engine.search("'usability'", engine="bool", top_k=4)
+    )
+    assert results_key(ppred_answer) == results_key(
+        engine.search("'software'", engine="ppred", top_k=4)
+    )
+
+
+def test_expired_deadline_raises_deadline_exceeded(engine):
+    async def main():
+        dispatcher = BatchingDispatcher(engine, max_batch_size=32, max_linger_ms=50.0)
+        dispatcher.start()
+        try:
+            query = engine.parse("'usability'")
+            # A deadline already in the past: either the submit wait or the
+            # in-queue expiry check must raise DeadlineExceeded.
+            with pytest.raises(DeadlineExceeded):
+                await dispatcher.submit(
+                    query, top_k=5, deadline=time.monotonic() - 1.0
+                )
+        finally:
+            await dispatcher.stop()
+
+    run(main())
+
+
+def test_stop_drains_queued_requests_then_rejects_new_ones(engine):
+    async def main():
+        dispatcher = BatchingDispatcher(engine, max_batch_size=32, max_linger_ms=500.0)
+        dispatcher.start()
+        query = engine.parse("'usability'")
+        pending = asyncio.get_running_loop().create_task(
+            dispatcher.submit(query, top_k=3)
+        )
+        await asyncio.sleep(0)  # let the submit enqueue before draining
+        await dispatcher.stop()
+        answer = await pending  # queued before stop: still answered
+        with pytest.raises(DispatcherClosed):
+            await dispatcher.submit(query, top_k=3)
+        return answer
+
+    answer = run(main())
+    assert results_key(answer) == results_key(engine.search("'usability'", top_k=3))
+
+
+def test_constructor_validates_parameters(engine):
+    with pytest.raises(ValueError):
+        BatchingDispatcher(engine, max_batch_size=0)
+    with pytest.raises(ValueError):
+        BatchingDispatcher(engine, max_linger_ms=-1.0)

@@ -1,0 +1,152 @@
+"""Unit tests for the bounded HTTP/1.1 parser and response writer."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    ProtocolError,
+    error_payload,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes):
+    """Feed raw bytes to the parser the way the server's stream would."""
+
+    async def run():
+        reader = asyncio.StreamReader(limit=2 * MAX_HEADER_BYTES)
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(run())
+
+
+def test_get_request_with_query_string():
+    request = parse(b"GET /search?q=%27alpha%27&top_k=3 HTTP/1.1\r\nHost: x\r\n\r\n")
+    assert request.method == "GET"
+    assert request.path == "/search"
+    assert request.param("q") == "'alpha'"
+    assert request.param("top_k") == "3"
+    assert request.keep_alive  # HTTP/1.1 default
+
+
+def test_post_request_with_json_body():
+    body = json.dumps({"q": "'beta'", "top_k": 5}).encode()
+    raw = (
+        b"POST /search HTTP/1.1\r\nContent-Length: "
+        + str(len(body)).encode()
+        + b"\r\n\r\n"
+        + body
+    )
+    request = parse(raw)
+    assert request.method == "POST"
+    assert request.json_body() == {"q": "'beta'", "top_k": 5}
+
+
+def test_clean_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_connection_close_header_disables_keep_alive():
+    request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+    assert not request.keep_alive
+
+
+def test_http_10_defaults_to_close_unless_keep_alive():
+    assert not parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive
+    assert parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive
+
+
+def test_malformed_request_line_raises_400():
+    with pytest.raises(ProtocolError) as excinfo:
+        parse(b"GARBAGE\r\n\r\n")
+    assert excinfo.value.status == 400
+
+
+def test_unsupported_version_raises_400():
+    with pytest.raises(ProtocolError) as excinfo:
+        parse(b"GET / HTTP/2.0\r\n\r\n")
+    assert excinfo.value.status == 400
+
+
+def test_truncated_request_raises_400():
+    with pytest.raises(ProtocolError) as excinfo:
+        parse(b"GET / HTTP/1.1\r\nHost:")
+    assert excinfo.value.status == 400
+
+
+def test_truncated_body_raises_400():
+    with pytest.raises(ProtocolError) as excinfo:
+        parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+    assert excinfo.value.status == 400
+
+
+def test_chunked_transfer_encoding_raises_501():
+    with pytest.raises(ProtocolError) as excinfo:
+        parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+    assert excinfo.value.status == 501
+
+
+def test_oversized_header_block_raises_431():
+    filler = b"X-Filler: " + b"a" * MAX_HEADER_BYTES + b"\r\n"
+    with pytest.raises(ProtocolError) as excinfo:
+        parse(b"GET / HTTP/1.1\r\n" + filler + b"\r\n")
+    assert excinfo.value.status == 431
+
+
+def test_oversized_body_raises_413():
+    raw = (
+        b"POST / HTTP/1.1\r\nContent-Length: "
+        + str(MAX_BODY_BYTES + 1).encode()
+        + b"\r\n\r\n"
+    )
+    with pytest.raises(ProtocolError) as excinfo:
+        parse(raw)
+    assert excinfo.value.status == 413
+
+
+def test_malformed_content_length_raises_400():
+    with pytest.raises(ProtocolError) as excinfo:
+        parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+    assert excinfo.value.status == 400
+
+
+def test_non_object_json_body_rejected():
+    body = b"[1, 2]"
+    raw = (
+        b"POST / HTTP/1.1\r\nContent-Length: "
+        + str(len(body)).encode()
+        + b"\r\n\r\n"
+        + body
+    )
+    request = parse(raw)
+    with pytest.raises(ProtocolError) as excinfo:
+        request.json_body()
+    assert excinfo.value.status == 400
+
+
+def test_render_response_round_trips_floats_exactly():
+    score = 0.1 + 0.2  # not exactly representable; repr round-trips
+    raw = render_response(200, {"score": score})
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert f"Content-Length: {len(body)}".encode() in head
+    assert json.loads(body)["score"] == score
+
+
+def test_render_response_sets_connection_header():
+    assert b"Connection: keep-alive" in render_response(200, {}, keep_alive=True)
+    assert b"Connection: close" in render_response(200, {}, keep_alive=False)
+
+
+def test_error_payload_shape():
+    assert error_payload("nope", "why") == {
+        "error": {"code": "nope", "message": "why"}
+    }

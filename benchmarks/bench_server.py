@@ -52,7 +52,7 @@ import urllib.parse
 from repro.corpus.synthetic import DEFAULT_QUERY_TOKENS, generate_inex_like_collection
 from repro.core.engine import FullTextEngine
 from repro.server import QueryServer, ServerConfig
-from repro.server.metrics import percentile
+from repro.telemetry.latency import percentile
 
 
 def build_workload() -> list[str]:

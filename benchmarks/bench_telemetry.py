@@ -1,0 +1,140 @@
+"""Benchmark guardrail: telemetry must be ~free on the query hot path.
+
+The telemetry design promises two things about cost:
+
+* **Disabled is a pointer test.**  Tracing is ``trace: Span | None`` with
+  ``if trace is not None`` guards, and every registry increment hides
+  behind ``if REGISTRY.enabled`` -- so with the kill switch off, a query
+  runs the same arithmetic it ran before telemetry existed.
+* **Enabled is once-per-query.**  Nothing records per cursor operation;
+  cursor ops keep accumulating in :class:`~repro.index.cursor.CursorStats`
+  (plain Python ints, as the paper harness always did) and fold into the
+  registry once per query.
+
+This benchmark replays the fig3-style BOOL workload (the paper's
+complexity-hierarchy corpus and planted query tokens) in two states --
+registry disabled + no trace, and the default serving state (registry
+enabled, no trace) -- interleaved, min-of-N per state, and **fails loudly**
+when the default state costs more than the tolerated overhead (2% by
+default) over the disabled floor.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py
+
+or at smoke scale (used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.workload import bool_query
+from repro.core.engine import FullTextEngine
+from repro.corpus.synthetic import DEFAULT_QUERY_TOKENS, generate_inex_like_collection
+from repro.telemetry.registry import REGISTRY
+
+
+def build_workload() -> list:
+    """Broad BOOL conjunctions over the planted fig3 workload tokens."""
+    planted = list(DEFAULT_QUERY_TOKENS[:4])
+    dense = ["w00000", "w00001"]
+    shapes = [
+        bool_query(planted[:2]),
+        bool_query(planted[1:3]),
+        bool_query(planted[:3]),
+        bool_query(planted[2:4]),
+        bool_query(dense),
+    ]
+    return shapes
+
+
+def run_state(engine, queries, passes: int) -> float:
+    """One timed measurement: the whole workload, ``passes`` times over."""
+    started = time.perf_counter()
+    for _ in range(passes):
+        for query in queries:
+            engine.search(query, top_k=10)
+    return time.perf_counter() - started
+
+
+def measure(engine, queries, passes: int, repeats: int) -> tuple[float, float]:
+    """Interleaved min-of-N for (disabled, enabled); interleaving cancels
+    drift (thermal, page cache) that back-to-back blocks would absorb
+    into whichever state ran second."""
+    disabled = float("inf")
+    enabled = float("inf")
+    # One untimed warm-up pass per state: plan cache, scoring prep, buffers.
+    REGISTRY.set_enabled(False)
+    run_state(engine, queries, 1)
+    REGISTRY.set_enabled(True)
+    run_state(engine, queries, 1)
+    try:
+        for _ in range(repeats):
+            REGISTRY.set_enabled(False)
+            disabled = min(disabled, run_state(engine, queries, passes))
+            REGISTRY.set_enabled(True)
+            enabled = min(enabled, run_state(engine, queries, passes))
+    finally:
+        REGISTRY.set_enabled(True)
+    return disabled, enabled
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=6000)
+    parser.add_argument("--tokens-per-node", type=int, default=60)
+    parser.add_argument("--passes", type=int, default=20,
+                        help="workload passes per timed measurement")
+    parser.add_argument("--repeats", type=int, default=7,
+                        help="timed measurements per state (min wins)")
+    parser.add_argument("--max-overhead", type=float, default=2.0,
+                        help="tolerated enabled-vs-disabled overhead, percent")
+    parser.add_argument("--access-mode", default="fast",
+                        choices=["paper", "fast"])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke scale (1500 nodes, 10 passes)")
+    args = parser.parse_args()
+    if args.quick:
+        args.nodes, args.passes = 1500, 10
+
+    collection = generate_inex_like_collection(
+        num_nodes=args.nodes, tokens_per_node=args.tokens_per_node
+    )
+    engine = FullTextEngine.from_collection(
+        collection, scoring="tfidf", access_mode=args.access_mode
+    )
+    queries = build_workload()
+    try:
+        disabled, enabled = measure(engine, queries, args.passes, args.repeats)
+    finally:
+        engine.close()
+
+    overhead = (enabled - disabled) / disabled * 100.0
+    per_query_us = disabled / (args.passes * len(queries)) * 1e6
+    print(
+        f"telemetry overhead benchmark: {args.nodes} nodes, "
+        f"{len(queries)} BOOL queries x {args.passes} passes, "
+        f"min of {args.repeats}"
+    )
+    print(f"  disabled (kill switch, no trace): {disabled * 1000.0:8.2f} ms "
+          f"({per_query_us:.0f} us/query)")
+    print(f"  enabled  (default serving state): {enabled * 1000.0:8.2f} ms")
+    print(f"  overhead: {overhead:+.2f}% (budget {args.max_overhead:.1f}%)")
+    if overhead > args.max_overhead:
+        print(
+            f"FAIL: telemetry costs {overhead:.2f}% with metrics enabled, "
+            f"over the {args.max_overhead:.1f}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: telemetry stays within its hot-path budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

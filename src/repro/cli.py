@@ -6,7 +6,10 @@ The CLI exposes the typical lifecycle of the library without writing Python:
 * ``repro search``      -- run a BOOL / DIST / COMP query against a saved index
   (``--access-mode fast`` switches to seek-based skipping);
 * ``repro explain``     -- show a query's language class, engine, measures and
-  calculus form without evaluating it;
+  calculus form; with ``--index`` it also *runs* the query and prints an
+  EXPLAIN ANALYZE operator tree with per-cursor operation counts;
+* ``repro metrics``     -- Prometheus text metrics: scrape a running
+  ``serve-http`` instance's ``/metrics``, or dump this process's registry;
 * ``repro info``        -- corpus statistics and complexity parameters of an index;
 * ``repro index-stats`` -- posting-storage statistics and the memory footprint
   of the columnar arrays;
@@ -53,7 +56,8 @@ from repro.exceptions import ReproError
 from repro.index.inverted_index import InvertedIndex
 from repro.index.packed import packed_index_bytes
 from repro.index.storage import load_collection, load_index, save_collection
-from repro.server.metrics import LatencyRecorder, format_latency_summary
+from repro.telemetry import LatencyRecorder, format_latency_summary
+from repro.telemetry.latency import _fmt_ms
 
 
 def _positive_int(text: str) -> int:
@@ -239,6 +243,15 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--access-log", default=None, metavar="PATH",
         help="append one JSON object per request to PATH ('-' for stderr)",
     )
+    serve_http_cmd.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="MS",
+        help="dump a JSONL trace of every search slower than MS milliseconds",
+    )
+    serve_http_cmd.add_argument(
+        "--slow-query-log", default=None, metavar="PATH",
+        help="slow-query dump destination ('-' for stderr; default: the "
+        "access log stream, else stderr)",
+    )
     _add_sharding_arguments(serve_http_cmd)
 
     doctor_cmd = subparsers.add_parser(
@@ -294,10 +307,41 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     _add_sharding_arguments(ingest_cmd)
 
-    explain_cmd = subparsers.add_parser("explain", help="classify a query without running it")
+    explain_cmd = subparsers.add_parser(
+        "explain",
+        help="classify a query; with --index, run it and print EXPLAIN ANALYZE",
+    )
     explain_cmd.add_argument("query", help="the query text")
     explain_cmd.add_argument(
         "--language", default="auto", choices=["auto", "bool", "dist", "comp"]
+    )
+    explain_cmd.add_argument(
+        "--index", default=None, metavar="FILE",
+        help="run the query against this saved index and print the EXPLAIN "
+        "ANALYZE operator tree (per-cursor operation counts, top-k pruning, "
+        "wall time)",
+    )
+    explain_cmd.add_argument(
+        "--engine", default="auto", choices=["auto", "bool", "ppred", "npred", "comp"]
+    )
+    explain_cmd.add_argument(
+        "--scoring", default="tfidf", choices=["none", "tfidf", "probabilistic"]
+    )
+    explain_cmd.add_argument("--top-k", type=_positive_int, default=None)
+    explain_cmd.add_argument(
+        "--access-mode", default="paper", choices=["paper", "fast"],
+    )
+    _add_sharding_arguments(explain_cmd)
+
+    metrics_cmd = subparsers.add_parser(
+        "metrics",
+        help="Prometheus metrics: scrape a serve-http instance or dump the "
+        "in-process registry",
+    )
+    metrics_cmd.add_argument(
+        "target", nargs="?", default=None,
+        help="host:port or URL of a running 'repro serve-http' (its /metrics "
+        "is fetched); omitted: render this process's own registry",
     )
 
     info_cmd = subparsers.add_parser("info", help="statistics of a saved index")
@@ -353,6 +397,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_search(args)
         if args.command == "explain":
             return _command_explain(args)
+        if args.command == "metrics":
+            return _command_metrics(args)
         if args.command == "info":
             return _command_info(args)
         if args.command == "index-stats":
@@ -448,6 +494,47 @@ def _command_explain(args: argparse.Namespace) -> int:
         f"ops_Q={measures['ops_Q']}"
     )
     print(f"calculus       : {query.to_calculus().to_text()}")
+    if getattr(args, "index", None) is None:
+        return 0
+    from repro.telemetry.explain import render_explain
+
+    args.index_file = args.index
+    engine = _load_engine(args)
+    try:
+        description = engine.explain(
+            args.query,
+            language=args.language,
+            analyze=True,
+            engine=args.engine,
+            top_k=args.top_k,
+        )
+        print()
+        print(render_explain(description["analyze"]))
+    finally:
+        engine.close()
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    if args.target:
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        target = args.target
+        if not target.startswith(("http://", "https://")):
+            target = f"http://{target}"
+        if not target.rstrip("/").endswith("/metrics"):
+            target = target.rstrip("/") + "/metrics"
+        try:
+            with urlopen(target, timeout=10.0) as response:
+                sys.stdout.write(response.read().decode("utf-8"))
+        except (URLError, OSError, ValueError) as exc:
+            print(f"error: cannot scrape {target}: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    from repro.telemetry import render_metrics
+
+    sys.stdout.write(render_metrics())
     return 0
 
 
@@ -633,8 +720,8 @@ def _command_ingest(args: argparse.Namespace) -> int:
     if recorder.count:
         print(
             f"served {recorder.count} queries during ingest: "
-            f"p50={recorder.percentile_ms(0.50):.2f} ms "
-            f"p95={recorder.percentile_ms(0.95):.2f} ms"
+            f"p50={_fmt_ms(recorder.percentile_ms(0.50))} "
+            f"p95={_fmt_ms(recorder.percentile_ms(0.95))}"
         )
     rows = engine.segment_stats()
     print(f"segments after ingest: {len(rows)}")
@@ -822,6 +909,11 @@ def _command_serve_http(args: argparse.Namespace) -> int:
         log_stream = sys.stderr
     elif args.access_log:
         log_stream = open(args.access_log, "a", encoding="utf-8")
+    slow_stream = None
+    if args.slow_query_log == "-":
+        slow_stream = sys.stderr
+    elif args.slow_query_log:
+        slow_stream = open(args.slow_query_log, "a", encoding="utf-8")
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -832,13 +924,16 @@ def _command_serve_http(args: argparse.Namespace) -> int:
         default_top_k=args.top_k,
         drain_grace_seconds=args.drain_grace,
         access_log=log_stream,
+        slow_query_ms=args.slow_query_ms,
+        slow_query_log=slow_stream,
     )
     try:
         return serve(engine, config)
     finally:
         engine.close()
-        if log_stream is not None and log_stream is not sys.stderr:
-            log_stream.close()
+        for stream in (log_stream, slow_stream):
+            if stream is not None and stream is not sys.stderr:
+                stream.close()
 
 
 def _command_doctor(args: argparse.Namespace) -> int:

@@ -25,6 +25,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
 from repro.exceptions import ClusterError
+from repro.telemetry import instruments
 
 #: Default number of cached query results.
 DEFAULT_CACHE_SIZE = 128
@@ -70,9 +71,13 @@ class QueryCache:
             value = self._entries.get(key)
             if value is None or (accept is not None and not accept(value)):
                 self.misses += 1
+                if instruments.REGISTRY.enabled:
+                    instruments.CACHE_LOOKUPS_TOTAL.labels("miss").inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            if instruments.REGISTRY.enabled:
+                instruments.CACHE_LOOKUPS_TOTAL.labels("hit").inc()
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -85,6 +90,8 @@ class QueryCache:
             if len(self._entries) >= self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                if instruments.REGISTRY.enabled:
+                    instruments.CACHE_EVICTIONS_TOTAL.inc()
             self._entries[key] = value
 
     def invalidate(self) -> None:
@@ -92,6 +99,8 @@ class QueryCache:
         with self._lock:
             self._entries.clear()
             self.invalidations += 1
+            if instruments.REGISTRY.enabled:
+                instruments.CACHE_INVALIDATIONS_TOTAL.inc()
 
     def __len__(self) -> int:
         with self._lock:

@@ -173,8 +173,13 @@ def run_shard_batch(
     query_texts: Sequence[str],
     engine: str,
     top_k: int | None,
+    explain: bool = False,
 ) -> list[EvaluationResult]:
-    """Evaluate a batch of canonical query texts on one shard (in a worker)."""
+    """Evaluate a batch of canonical query texts on one shard (in a worker).
+
+    With ``explain`` every result carries its per-operator explain payload
+    (a plain dict, so it pickles back to the parent unchanged).
+    """
     # Imported here, not at module top: repro.core imports the cluster
     # package, so a top-level import would be circular in the parent.
     from repro.core.query import parse_query
@@ -183,4 +188,6 @@ def run_shard_batch(
     queries = [
         parse_query(text, "auto", executor.registry).node for text in query_texts
     ]
-    return executor.execute_many(queries, engine=engine, top_k=top_k)
+    return executor.execute_many(
+        queries, engine=engine, top_k=top_k, explain=explain
+    )

@@ -72,6 +72,7 @@ from repro.index.packed_index import save_packed_index
 from repro.languages import ast
 from repro.model.predicates import PredicateRegistry, default_registry
 from repro.scoring.base import ScoringModel, available_models, get_model
+from repro.telemetry import instruments
 
 #: Worker-pool flavours of the scatter stage.
 WORKER_MODES = ("thread", "process")
@@ -241,6 +242,8 @@ class ScatterGatherExecutor:
         query: ast.QueryNode,
         engine: str = AUTO,
         top_k: int | None = None,
+        explain: bool = False,
+        trace=None,
     ) -> MergedEvaluationResult:
         """Evaluate ``query`` on every shard and merge the answers.
 
@@ -248,30 +251,80 @@ class ScatterGatherExecutor:
         clock; ``top_k`` is pushed down to every shard executor (each ships
         back only its exact best-``k`` prefix) and bounds the k-way merge
         (``node_ids`` and the match count stay complete).
+
+        ``explain=True`` bypasses the result cache entirely -- a cache hit
+        carries no fresh per-cursor counts -- and returns a merged result
+        whose ``explain`` payload wraps one subtree per shard.  ``trace``
+        receives one span per shard task.  Results stay bit-identical.
         """
         check_top_k(top_k)
-        key = self._cache_key(query, engine)
-        cached = self._cache_get(key, top_k)
-        if cached is not None:
-            return cached
+        if not explain:
+            key = self._cache_key(query, engine)
+            cached = self._cache_get(key, top_k)
+            if cached is not None:
+                return cached
         self._refresh_scoring_if_stale()
         started = time.perf_counter()
         if self.workers == "process":
             per_shard = [
                 shard_batch[0]
-                for shard_batch in self._process_scatter([query], engine, top_k)
+                for shard_batch in self._process_scatter(
+                    [query], engine, top_k, explain=explain, trace=trace
+                )
             ]
         else:
             per_shard = self._scatter(
-                lambda executor: executor.execute(query, engine=engine, top_k=top_k)
+                lambda executor: executor.execute(
+                    query, engine=engine, top_k=top_k, explain=explain
+                ),
+                trace=trace,
             )
         merged = merge_shard_results(
             per_shard, time.perf_counter() - started, top_k
         )
+        if explain:
+            merged.explain = self._merged_explain(query, merged, per_shard)
+            return merged  # never cached: hand the fresh object out directly
         if self.cache is None:
             return merged
         self._cache_put(key, merged)
         return self._detached(merged, from_cache=False)
+
+    def _merged_explain(
+        self,
+        query: ast.QueryNode,
+        merged: MergedEvaluationResult,
+        per_shard: "list[EvaluationResult]",
+    ) -> dict:
+        """The cluster-level EXPLAIN ANALYZE payload wrapping shard subtrees."""
+        from repro.telemetry.explain import build_scatter_explain
+
+        shard_payloads = [result.explain or {} for result in per_shard]
+        top_k_info = None
+        infos = [
+            payload.get("top_k")
+            for payload in shard_payloads
+            if payload.get("top_k") is not None
+        ]
+        if infos:
+            top_k_info = {
+                "k": infos[0].get("k"),
+                "scored": sum(info.get("scored", 0) for info in infos),
+                "pruned": sum(info.get("pruned", 0) for info in infos),
+                "gave_up": any(info.get("gave_up") for info in infos),
+            }
+        return build_scatter_explain(
+            query_text=query.to_text(),
+            language_class=merged.language_class.value,
+            engine=merged.engine,
+            access_mode=self.access_mode,
+            elapsed_seconds=merged.elapsed_seconds,
+            rows_produced=len(merged.node_ids),
+            shard_payloads=shard_payloads,
+            workers=self.workers,
+            cache="bypass" if self.cache is not None else "off",
+            top_k=top_k_info,
+        )
 
     def execute_many(
         self,
@@ -403,13 +456,32 @@ class ScatterGatherExecutor:
         self.close()
 
     # ------------------------------------------------------------- internals
-    def _scatter(self, task) -> list:
-        """Run ``task(shard_executor)`` on every shard; results in shard order."""
+    def _scatter(self, task, trace=None) -> list:
+        """Run ``task(shard_executor)`` on every shard; results in shard order.
+
+        With a ``trace`` each shard task runs inside its own
+        ``scatter.shard`` span (opened in the worker thread, so the span
+        wall clock is the task itself, not the gather wait).
+        """
         executors = self._shard_executors
+        if instruments.REGISTRY.enabled:
+            instruments.SCATTER_TASKS_TOTAL.labels(self.workers).inc(
+                len(executors)
+            )
+
+        def run(shard_id: int, executor: Executor):
+            if trace is None:
+                return task(executor)
+            with trace.span("scatter.shard", shard=shard_id, workers="thread"):
+                return task(executor)
+
         if len(executors) == 1 or self.max_workers == 1:
-            return [task(executor) for executor in executors]
+            return [run(i, executor) for i, executor in enumerate(executors)]
         pool = self._ensure_pool()
-        futures = [pool.submit(task, executor) for executor in executors]
+        futures = [
+            pool.submit(run, i, executor)
+            for i, executor in enumerate(executors)
+        ]
         return [future.result() for future in futures]
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -430,20 +502,42 @@ class ScatterGatherExecutor:
         batch: Sequence[ast.QueryNode],
         engine: str,
         top_k: int | None,
+        explain: bool = False,
+        trace=None,
     ) -> "list[list[EvaluationResult]]":
         """Fan a batch out to the worker processes; one result list per shard.
 
         Queries travel as canonical text (``to_text()`` is also the cache
         key, so it is the established canonical form); results come back as
-        picklable per-shard :class:`EvaluationResult` lists in shard order.
+        picklable per-shard :class:`EvaluationResult` lists in shard order
+        (with ``explain`` the per-query explain payloads pickle back too).
+        With a ``trace``, per-shard spans wrap the submit-to-result window
+        observed from the parent -- worker-side wall time plus queueing,
+        the best a process boundary can offer.
         """
         pool = self._ensure_process_pool()
         texts = [query.to_text() for query in batch]
+        if instruments.REGISTRY.enabled:
+            instruments.SCATTER_TASKS_TOTAL.labels(self.workers).inc(
+                self.num_shards
+            )
+        spans = None
+        if trace is not None:
+            spans = [
+                trace.span("scatter.shard", shard=shard_id, workers="process")
+                for shard_id in range(self.num_shards)
+            ]
         futures = [
-            pool.submit(run_shard_batch, shard_id, texts, engine, top_k)
+            pool.submit(run_shard_batch, shard_id, texts, engine, top_k, explain)
             for shard_id in range(self.num_shards)
         ]
-        return [future.result() for future in futures]
+        results = []
+        for shard_id, future in enumerate(futures):
+            result = future.result()
+            if spans is not None:
+                spans[shard_id].end()
+            results.append(result)
+        return results
 
     def _ensure_process_pool(self) -> ProcessPoolExecutor:
         if self._process_stale:
@@ -491,6 +585,10 @@ class ScatterGatherExecutor:
             _register_spool(self._spool_root)
         previous = self._spool_root / f"epoch-{self._spool_epoch:04d}"
         self._spool_epoch += 1
+        if self._spool_epoch > 1:
+            # Epoch 1 is the initial spill; anything later is a respill
+            # forced by an index mutation.
+            instruments.SPOOL_RESPILLS_TOTAL.inc()
         epoch_dir = self._spool_root / f"epoch-{self._spool_epoch:04d}"
         epoch_dir.mkdir(parents=True, exist_ok=True)
         paths = []

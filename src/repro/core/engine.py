@@ -389,6 +389,8 @@ class FullTextEngine:
         language: str = "auto",
         engine: str = AUTO,
         top_k: int | None = None,
+        explain: bool = False,
+        trace=None,
     ) -> SearchResults:
         """Run a search and return ranked results.
 
@@ -410,16 +412,29 @@ class FullTextEngine:
             cannot reach the top ``k`` are never fully scored -- and the
             returned prefix is exactly the first ``top_k`` entries of the
             full ranking.
+        explain:
+            Attach an EXPLAIN ANALYZE payload (per-cursor operation counts,
+            top-k collector statistics, cache provenance) to the result's
+            ``metadata["explain"]``.  Purely observational: results are
+            bit-identical to ``explain=False``.  On the cluster path the
+            query cache is bypassed so every shard reports fresh counts.
+        trace:
+            Optional :class:`~repro.telemetry.trace.Span` receiving nested
+            execution spans (``None``, the default, costs nothing).
         """
         check_top_k(top_k)
         parsed = self._as_query(query, language)
         if self._cluster is not None:
             outcome: EvaluationResult = self._cluster.execute(
-                parsed.node, engine=engine, top_k=top_k
+                parsed.node, engine=engine, top_k=top_k,
+                explain=explain, trace=trace,
             )
         else:
             self._refresh_scoring()
-            outcome = self._executor.execute(parsed.node, engine=engine, top_k=top_k)
+            outcome = self._executor.execute(
+                parsed.node, engine=engine, top_k=top_k,
+                explain=explain, trace=trace,
+            )
         return self._build_results(parsed, outcome, top_k)
 
     def search_many(
@@ -469,18 +484,38 @@ class FullTextEngine:
         self._refresh_scoring()
         return self._executor.execute(parsed.node, engine=engine)
 
-    def explain(self, query: "str | Query | ast.QueryNode", language: str = "auto") -> dict:
-        """Describe how a query would be run (class, engine, measures, calculus)."""
+    def explain(
+        self,
+        query: "str | Query | ast.QueryNode",
+        language: str = "auto",
+        analyze: bool = False,
+        engine: str = AUTO,
+        top_k: int | None = None,
+    ) -> dict:
+        """Describe how a query would be run (class, engine, measures, calculus).
+
+        With ``analyze=True`` the query is actually executed
+        (``search(..., explain=True)``) and the static description gains an
+        ``"analyze"`` key holding the EXPLAIN ANALYZE payload: the operator
+        tree with per-cursor op counts, top-k collector statistics and --
+        on the cluster path -- per-shard subtrees.
+        """
         parsed = self._as_query(query, language)
         from repro.engine.executor import NATIVE_ENGINE
 
-        return {
+        description = {
             "text": parsed.text,
             "language_class": parsed.language_class.value,
             "engine": NATIVE_ENGINE[parsed.language_class],
             "measures": parsed.measures(),
             "calculus": parsed.to_calculus().to_text(),
         }
+        if analyze:
+            results = self.search(
+                parsed, engine=engine, top_k=top_k, explain=True
+            )
+            description["analyze"] = results.metadata.get("explain")
+        return description
 
     # ------------------------------------------------------------- internals
     def _resolve_scoring(
@@ -544,8 +579,14 @@ class FullTextEngine:
             metadata = {"shards": outcome.shard_count}
             if self._cluster is not None and self._cluster.cache is None:
                 metadata["cache"] = "off"
+            elif outcome.explain is not None:
+                # Explained executions bypass the cache so every shard
+                # reports fresh per-cursor counts.
+                metadata["cache"] = "bypass"
             else:
                 metadata["cache"] = "hit" if outcome.from_cache else "miss"
+        if outcome.explain is not None:
+            metadata["explain"] = outcome.explain
         return SearchResults(
             query_text=parsed.text,
             results=results,

@@ -26,6 +26,7 @@ from repro.engine.naive_engine import NaiveCompEngine
 from repro.engine.npred_engine import NPredEngine
 from repro.engine.ppred_engine import PPredEngine
 from repro.engine.topk import TopKCollector, check_top_k
+from repro.telemetry import instruments
 
 #: Engine name accepted by :meth:`Executor.execute` for automatic selection.
 AUTO = "auto"
@@ -67,6 +68,10 @@ class EvaluationResult:
     scores: dict[int, float] = field(default_factory=dict)
     cursor_stats: CursorStats | None = None
     ranked_limit: int | None = None
+    #: EXPLAIN ANALYZE payload (see :mod:`repro.telemetry.explain`), only
+    #: populated by instrumented executions; a plain dict so it pickles
+    #: through the process-scatter workers unchanged.
+    explain: dict | None = None
     _ranked: list[tuple[int, float]] | None = None
 
     def __len__(self) -> int:
@@ -107,6 +112,8 @@ class Executor:
         query: ast.QueryNode,
         engine: str = AUTO,
         top_k: int | None = None,
+        explain: bool = False,
+        trace=None,
     ) -> EvaluationResult:
         """Evaluate a parsed (closed) surface query.
 
@@ -121,14 +128,22 @@ class Executor:
         can still reach the current top-``k`` floor are actually scored.
         ``node_ids`` (and with it the match count) stays complete; the
         returned ranking is the exact best-``k`` prefix of the full one.
+
+        ``explain=True`` attaches an EXPLAIN ANALYZE payload (per-cursor
+        operation counts, top-k collector statistics) to the result's
+        ``explain`` field; ``trace`` is an optional
+        :class:`~repro.telemetry.trace.Span` receiving an execution span.
+        Both observe the run without changing any returned byte.
         """
-        return self._execute(query, engine, top_k=top_k)
+        return self._execute(query, engine, top_k=top_k, explain=explain, trace=trace)
 
     def execute_many(
         self,
         queries: Sequence[ast.QueryNode],
         engine: str = AUTO,
         top_k: int | None = None,
+        explain: bool = False,
+        trace=None,
     ) -> list[EvaluationResult]:
         """Evaluate a batch of queries, amortising per-query setup.
 
@@ -136,7 +151,8 @@ class Executor:
         result's ``cursor_stats`` reports only its own query's delta) and
         extracted plans are cached by query text, so a batch that repeats
         query shapes skips re-planning.  ``top_k`` applies the pushdown of
-        :meth:`execute` to every query in the batch.
+        :meth:`execute` to every query in the batch; ``explain``/``trace``
+        instrument each query exactly as in :meth:`execute`.
         """
         check_top_k(top_k)
         factory = CursorFactory(mode=self.access_mode)
@@ -144,7 +160,10 @@ class Executor:
         results = []
         snapshot = factory.checkpoint()
         for query in queries:
-            result = self._execute(query, engine, factory, plan_cache, top_k)
+            result = self._execute(
+                query, engine, factory, plan_cache, top_k,
+                explain=explain, trace=trace,
+            )
             total = factory.checkpoint()
             if result.cursor_stats is not None:
                 result.cursor_stats = total.delta_since(snapshot)
@@ -173,12 +192,24 @@ class Executor:
         factory: CursorFactory | None = None,
         plan_cache: dict | None = None,
         top_k: int | None = None,
+        explain: bool = False,
+        trace=None,
     ) -> EvaluationResult:
         check_top_k(top_k)
         language_class = classify_query(query, self.registry)
         engine_name = self._resolve_engine(language_class, engine)
         index = self._current_index()
         collector = self._make_collector(query, top_k)
+        if explain and factory is None:
+            # Explain needs per-cursor visibility: inject a factory so the
+            # engine registers its cursors here instead of in a private one.
+            # Results are unaffected -- engines use a given factory verbatim.
+            factory = CursorFactory(mode=self.access_mode)
+        span = (
+            trace.span("executor.execute", engine=engine_name)
+            if trace is not None
+            else None
+        )
         started = time.perf_counter()
         try:
             node_ids, stats = self._run(
@@ -198,12 +229,22 @@ class Executor:
                 index, query, engine_name, factory, plan_cache, collector
             )
         elapsed = time.perf_counter() - started
+        if span is not None:
+            span.annotate(rows=len(node_ids))
+            span.end()
         if collector is not None:
             scores = collector.scores()
             ranked = collector.ranked()
         else:
             scores = self._score(query, node_ids, engine_name)
             ranked = None
+        explain_payload = None
+        if explain:
+            explain_payload = self._build_explain(
+                query, language_class, engine_name, elapsed,
+                node_ids, factory, collector, top_k,
+            )
+        self._observe(engine_name, elapsed, stats, factory, collector)
         return EvaluationResult(
             node_ids=node_ids,
             language_class=language_class,
@@ -212,8 +253,80 @@ class Executor:
             scores=scores,
             cursor_stats=stats,
             ranked_limit=top_k if collector is not None else None,
+            explain=explain_payload,
             _ranked=ranked,
         )
+
+    def _build_explain(
+        self,
+        query: ast.QueryNode,
+        language_class: LanguageClass,
+        engine_name: str,
+        elapsed: float,
+        node_ids: list[int],
+        factory: CursorFactory | None,
+        collector: TopKCollector | None,
+        top_k: int | None,
+    ) -> dict:
+        """Assemble the EXPLAIN ANALYZE payload for one finished execution.
+
+        Runs *before* any ``factory.checkpoint()``: the factory's open
+        cursors are exactly the ones this query opened (batch drivers
+        checkpoint between queries), so the per-operator rows sum to this
+        query's ``CursorStats`` delta -- the contract the explain tests pin.
+        """
+        from repro.telemetry.explain import build_explain, cursor_breakdown
+
+        operators = cursor_breakdown(factory) if factory is not None else []
+        top_k_info = None
+        if collector is not None:
+            top_k_info = {
+                "k": collector.k,
+                "scored": collector.scored,
+                "pruned": collector.pruned,
+                "gave_up": collector.gave_up,
+            }
+        note = None
+        if engine_name == "comp":
+            note = (
+                "comp engine evaluates via node scans, not inverted-list "
+                "cursors; no per-cursor counts are available"
+            )
+        return build_explain(
+            query_text=query.to_text(),
+            language_class=language_class.value,
+            engine=engine_name,
+            access_mode=self.access_mode,
+            elapsed_seconds=elapsed,
+            rows_produced=len(node_ids),
+            operators=operators,
+            top_k=top_k_info,
+            note=note,
+        )
+
+    def _observe(
+        self,
+        engine_name: str,
+        elapsed: float,
+        stats: CursorStats | None,
+        factory: CursorFactory | None,
+        collector: TopKCollector | None,
+    ) -> None:
+        """Fold one query's counters into the metrics registry.
+
+        With a shared batch factory the engine-reported ``stats`` are
+        cumulative over the whole batch so far; the cursors this query
+        opened are still in ``_open_cursors`` (the batch driver checkpoints
+        *after* ``_execute`` returns), so their sum is the per-query delta.
+        """
+        if not instruments.REGISTRY.enabled:
+            return
+        per_query = stats
+        if stats is not None and factory is not None:
+            per_query = CursorStats()
+            for cursor in factory._open_cursors:
+                per_query.merge(cursor.stats)
+        instruments.observe_query(engine_name, elapsed, per_query, collector)
 
     def _make_collector(
         self, query: ast.QueryNode, top_k: int | None

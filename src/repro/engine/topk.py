@@ -119,6 +119,11 @@ class TopKCollector:
         elif entry > heap[0]:
             heapq.heapreplace(heap, entry)
 
+    @property
+    def gave_up(self) -> bool:
+        """Whether the bound check disabled itself as fruitless (see above)."""
+        return self.scoring is not None and not self._bounds_enabled
+
     # --------------------------------------------------------------- results
     def ranked(self) -> list[tuple[int, float]]:
         """The retained pairs, best first -- the pruned ranking prefix."""

@@ -29,6 +29,7 @@ immutable (or append-only with seqno-gated visibility).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Iterator
 
 from repro.corpus.collection import Collection
@@ -45,6 +46,7 @@ from repro.index.inverted_index import ANY_TOKEN
 from repro.index.postings import EmptyPostingList, PostingList
 from repro.segments.memtable import MemTable
 from repro.segments.sealed import SealedSegment, SegmentData
+from repro.telemetry import instruments
 
 #: Location-map marker for "currently in the memtable".
 MEMTABLE_LOCATION = -1
@@ -450,6 +452,8 @@ class SegmentManager:
                 self._locations[node_id] = segment.generation
             self._memtable.clear()
             self.flush_count += 1
+            if instruments.REGISTRY.enabled:
+                instruments.MEMTABLE_SEALS_TOTAL.inc()
             if self._on_seal is not None:
                 self._on_seal(segment)
             return segment
@@ -536,6 +540,7 @@ class SegmentManager:
         which guarantees the sources stay in ``self._segments`` -- only
         compaction ever removes segments.
         """
+        merge_started = time.perf_counter()
         with self.lock:
             capture_seq = self._seq
             survivors: dict[int, ContextNode] = {}
@@ -574,6 +579,12 @@ class SegmentManager:
                 if self._locations.get(node_id) in source_generations:
                     self._locations[node_id] = merged.generation
             self.compaction_count += 1
+            if instruments.REGISTRY.enabled:
+                instruments.COMPACTIONS_TOTAL.inc()
+                instruments.COMPACTION_SECONDS.observe(
+                    time.perf_counter() - merge_started
+                )
+                instruments.COMPACTION_SEGMENTS_MERGED_TOTAL.inc(len(sources))
             if self._on_compact is not None:
                 self._on_compact(merged, sources)
             return merged

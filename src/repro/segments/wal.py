@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.exceptions import StorageError
+from repro.telemetry import instruments
 
 #: Default number of appends between fsync batches.
 DEFAULT_SYNC_EVERY = 32
@@ -60,6 +61,8 @@ class WriteAheadLog:
             raise StorageError(f"cannot append to WAL {self.path}: {exc}") from exc
         self.appended += 1
         self._pending += 1
+        if instruments.REGISTRY.enabled:
+            instruments.WAL_APPENDS_TOTAL.inc()
         if self._pending >= self.sync_every:
             self.sync()
 
@@ -74,6 +77,8 @@ class WriteAheadLog:
             raise StorageError(f"cannot fsync WAL {self.path}: {exc}") from exc
         if self._pending:
             self.synced_batches += 1
+            if instruments.REGISTRY.enabled:
+                instruments.WAL_FSYNCS_TOTAL.inc()
         self._pending = 0
 
     def reset(self) -> None:

@@ -21,9 +21,11 @@
   requests may be queued or executing; the next one is refused immediately
   with ``429`` (and ``503`` once draining), so the queue cannot grow
   without bound and no socket is ever left hanging.
-* **Observability.**  Per-endpoint latency recorders
-  (:mod:`repro.server.metrics`) and optional JSONL access logs, one object
-  per line.
+* **Observability.**  Per-endpoint latency recorders and Prometheus
+  exposition at ``/metrics`` (:mod:`repro.telemetry`), request ids stamped
+  into responses/errors/access logs, per-request span traces on explain
+  and slow-query paths, and optional JSONL access logs, one object per
+  line.
 * **Graceful drain.**  On SIGTERM/SIGINT the listener closes, in-flight
   requests finish (bounded by :attr:`ServerConfig.drain_grace_seconds`),
   idle keep-alive connections are torn down, and :func:`serve` returns 0.
@@ -53,11 +55,23 @@ from repro.server.http import (
     error_payload,
     read_request,
     render_response,
+    render_text_response,
 )
-from repro.server.metrics import LatencyRecorder
+from repro.telemetry import SlowQueryLog, Trace, instruments, new_trace_id
+from repro.telemetry.latency import LatencyRecorder, _fmt_ms
+from repro.telemetry.registry import render_metrics
 
 #: Endpoints with their own latency recorder in ``/stats``.
-TRACKED_PATHS = ("/search", "/health", "/stats")
+TRACKED_PATHS = ("/search", "/health", "/stats", "/metrics")
+
+#: Content type of the Prometheus text exposition served at ``/metrics``.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _TextBody(str):
+    """Marker: a response body already rendered as text, not JSON."""
+
+    content_type = PROMETHEUS_CONTENT_TYPE
 
 
 @dataclass
@@ -84,6 +98,12 @@ class ServerConfig:
     idle_timeout_seconds: float = 120.0
     #: Writable text stream receiving one JSON object per request (or None).
     access_log: "object | None" = field(default=None, repr=False)
+    #: Searches slower than this (milliseconds) dump their full trace to the
+    #: slow-query log; ``None`` disables the log entirely.
+    slow_query_ms: "float | None" = None
+    #: Writable text stream for slow-query JSONL dumps (defaults to the
+    #: access log stream, else stderr, when ``slow_query_ms`` is set).
+    slow_query_log: "object | None" = field(default=None, repr=False)
 
 
 class QueryServer:
@@ -118,6 +138,16 @@ class QueryServer:
         self._status_counts: dict[int, int] = {}
         self._latency = {path: LatencyRecorder() for path in TRACKED_PATHS}
         self._other_latency = LatencyRecorder()
+        self._slowlog: SlowQueryLog | None = None
+        if self.config.slow_query_ms is not None:
+            import sys
+
+            stream = (
+                self.config.slow_query_log
+                or self.config.access_log
+                or sys.stderr
+            )
+            self._slowlog = SlowQueryLog(stream, self.config.slow_query_ms)
         self._packed_bytes: int | None = None  # memoised /stats estimate
         self.port: int | None = None  # bound port, known after start()
         self._stop_requested: asyncio.Event | None = None
@@ -216,25 +246,36 @@ class QueryServer:
                 except asyncio.TimeoutError:
                     break  # idle keep-alive connection: close quietly
                 except ProtocolError as exc:
+                    request_id = new_trace_id()
                     await self._respond(
                         writer,
                         exc.status,
-                        error_payload("protocol_error", exc.message),
+                        error_payload("protocol_error", exc.message, request_id),
                         keep_alive=False,
+                        request_id=request_id,
                     )
                     break
                 if request is None:
                     break  # clean EOF
+                request_id = (
+                    request.headers.get("x-request-id") or new_trace_id()
+                )
                 started = time.monotonic()
                 self._enter()
                 try:
-                    status, payload = await self._dispatch(request)
+                    status, payload = await self._dispatch(request, request_id)
                 finally:
                     self._leave()
                 latency_ms = (time.monotonic() - started) * 1000.0
                 keep_alive = request.keep_alive and not self._draining
-                await self._respond(writer, status, payload, keep_alive=keep_alive)
-                self._observe(request, status, latency_ms, remote)
+                await self._respond(
+                    writer,
+                    status,
+                    payload,
+                    keep_alive=keep_alive,
+                    request_id=request_id,
+                )
+                self._observe(request, status, latency_ms, remote, request_id)
                 if not keep_alive:
                     break
         except (asyncio.CancelledError, ConnectionResetError):
@@ -255,75 +296,125 @@ class QueryServer:
         payload: dict,
         *,
         keep_alive: bool,
+        request_id: str | None = None,
     ) -> None:
-        writer.write(render_response(status, payload, keep_alive=keep_alive))
+        headers = {"X-Request-Id": request_id} if request_id else None
+        if isinstance(payload, _TextBody):
+            raw = render_text_response(
+                status,
+                str(payload),
+                keep_alive=keep_alive,
+                content_type=payload.content_type,
+                extra_headers=headers,
+            )
+        else:
+            raw = render_response(
+                status, payload, keep_alive=keep_alive, extra_headers=headers
+            )
+        writer.write(raw)
         try:
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass  # the client is gone; the connection loop will close up
 
     # --------------------------------------------------------------- routing
-    async def _dispatch(self, request: Request) -> tuple[int, dict]:
+    async def _dispatch(
+        self, request: Request, request_id: str | None = None
+    ) -> tuple[int, dict]:
         try:
             if request.path == "/health":
                 if request.method != "GET":
-                    return 405, error_payload("method_not_allowed", "use GET")
+                    return 405, error_payload(
+                        "method_not_allowed", "use GET", request_id
+                    )
                 return 200, self._health_payload()
             if request.path == "/stats":
                 if request.method != "GET":
-                    return 405, error_payload("method_not_allowed", "use GET")
+                    return 405, error_payload(
+                        "method_not_allowed", "use GET", request_id
+                    )
                 return 200, await self._stats_payload()
+            if request.path == "/metrics":
+                if request.method != "GET":
+                    return 405, error_payload(
+                        "method_not_allowed", "use GET", request_id
+                    )
+                return 200, _TextBody(render_metrics())
             if request.path == "/search":
                 if request.method not in ("GET", "POST"):
                     return 405, error_payload(
-                        "method_not_allowed", "use GET or POST"
+                        "method_not_allowed", "use GET or POST", request_id
                     )
-                return await self._handle_search(request)
-            return 404, error_payload("not_found", f"no route {request.path!r}")
+                return await self._handle_search(request, request_id)
+            return 404, error_payload(
+                "not_found", f"no route {request.path!r}", request_id
+            )
         except ProtocolError as exc:
-            return exc.status, error_payload("bad_request", exc.message)
+            return exc.status, error_payload("bad_request", exc.message, request_id)
         except Exception as exc:  # never leave a request unanswered
             return 500, error_payload(
-                "internal_error", f"{type(exc).__name__}: {exc}"
+                "internal_error", f"{type(exc).__name__}: {exc}", request_id
             )
 
     # ---------------------------------------------------------------- search
-    async def _handle_search(self, request: Request) -> tuple[int, dict]:
+    async def _handle_search(
+        self, request: Request, request_id: str | None = None
+    ) -> tuple[int, dict]:
         if self._draining:
-            return 503, error_payload("draining", "server is shutting down")
+            return 503, error_payload(
+                "draining", "server is shutting down", request_id
+            )
         if self._inflight >= self.config.max_inflight:
             return 429, error_payload(
                 "overloaded",
                 f"{self._inflight} requests in flight "
                 f"(limit {self.config.max_inflight}); retry later",
+                request_id,
             )
         try:
-            text, top_k, language, engine_choice, timeout_ms = (
+            text, top_k, language, engine_choice, timeout_ms, explain = (
                 self._search_arguments(request)
             )
         except ProtocolError as exc:
-            return exc.status, error_payload("bad_request", exc.message)
+            return exc.status, error_payload("bad_request", exc.message, request_id)
         try:
             parsed = self.engine.parse(text, language)
         except ReproError as exc:
-            return 400, error_payload("query_error", str(exc))
+            return 400, error_payload("query_error", str(exc), request_id)
         deadline = (
             time.monotonic() + timeout_ms / 1000.0 if timeout_ms else None
         )
+        # A trace costs one object per span, so it is only built when
+        # something will read it: an explain response or the slow-query log.
+        trace = (
+            Trace(request_id or new_trace_id())
+            if (explain or self._slowlog is not None)
+            else None
+        )
+        started = time.monotonic()
         self._inflight += 1
         try:
             results = await self.dispatcher.submit(
-                parsed, top_k, engine_choice=engine_choice, deadline=deadline
+                parsed,
+                top_k,
+                engine_choice=engine_choice,
+                deadline=deadline,
+                explain=explain,
+                trace=trace,
             )
         except DeadlineExceeded:
+            self._slowlog_check(started, text, trace, 504, request_id)
             return 504, error_payload(
                 "deadline_exceeded",
                 f"query {text!r} missed its {timeout_ms:.0f} ms deadline",
+                request_id,
             )
         except DispatcherClosed:
-            return 503, error_payload("draining", "server is shutting down")
+            return 503, error_payload(
+                "draining", "server is shutting down", request_id
+            )
         except ReproError as exc:
-            return 400, error_payload("query_error", str(exc))
+            return 400, error_payload("query_error", str(exc), request_id)
         finally:
             self._inflight -= 1
         payload = {
@@ -333,6 +424,7 @@ class QueryServer:
             "top_k": top_k,
             "total_matches": results.total_matches,
             "elapsed_ms": results.elapsed_seconds * 1000.0,
+            "request_id": request_id,
             "results": [
                 {
                     "node_id": result.node_id,
@@ -343,11 +435,35 @@ class QueryServer:
             ],
         }
         payload.update(results.metadata)
+        if trace is not None and explain:
+            trace.end()
+            payload["trace"] = trace.to_dict()
+        self._slowlog_check(started, text, trace, 200, request_id)
         return 200, payload
+
+    def _slowlog_check(
+        self,
+        started: float,
+        text: str,
+        trace: "Trace | None",
+        status: int,
+        request_id: str | None,
+    ) -> None:
+        if self._slowlog is None:
+            return
+        if trace is not None:
+            trace.end()
+        self._slowlog.maybe_record(
+            (time.monotonic() - started) * 1000.0,
+            query=text,
+            trace=trace,
+            status=status,
+            trace_id=request_id,
+        )
 
     def _search_arguments(
         self, request: Request
-    ) -> tuple[str, int | None, str, str, float]:
+    ) -> tuple[str, int | None, str, str, float, bool]:
         """Merge query-string and JSON-body parameters (body wins on POST)."""
         params: dict = dict(request.params)
         if request.method == "POST":
@@ -376,7 +492,8 @@ class QueryServer:
         )
         if timeout_ms is not None and timeout_ms <= 0:
             raise ProtocolError(400, f"timeout_ms must be > 0, got {timeout_ms}")
-        return text, top_k, language, engine_choice, timeout_ms or 0.0
+        explain = self._bool_param(params, "explain", False)
+        return text, top_k, language, engine_choice, timeout_ms or 0.0, explain
 
     @staticmethod
     def _int_param(params: dict, name: str, default: int | None) -> int | None:
@@ -389,6 +506,19 @@ class QueryServer:
             return int(value)
         except (TypeError, ValueError):
             raise ProtocolError(400, f"{name} must be an integer, got {value!r}")
+
+    @staticmethod
+    def _bool_param(params: dict, name: str, default: bool) -> bool:
+        value = params.get(name, default)
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("true", "1", "yes", "on"):
+                return True
+            if lowered in ("false", "0", "no", "off", ""):
+                return False
+        raise ProtocolError(400, f"{name} must be a boolean, got {value!r}")
 
     @staticmethod
     def _float_param(
@@ -487,17 +617,29 @@ class QueryServer:
             self._idle.set()
 
     def _observe(
-        self, request: Request, status: int, latency_ms: float, remote: str
+        self,
+        request: Request,
+        status: int,
+        latency_ms: float,
+        remote: str,
+        request_id: str | None = None,
     ) -> None:
         self._requests_total += 1
         self._status_counts[status] = self._status_counts.get(status, 0) + 1
         recorder = self._latency.get(request.path, self._other_latency)
         recorder.record(latency_ms)
+        if instruments.REGISTRY.enabled:
+            path_label = instruments.http_path_label(request.path)
+            instruments.HTTP_REQUESTS_TOTAL.labels(path_label, str(status)).inc()
+            instruments.HTTP_REQUEST_SECONDS.labels(path_label).observe(
+                latency_ms / 1000.0
+            )
         log = self.config.access_log
         if log is not None:
             line = json.dumps(
                 {
                     "ts": time.time(),
+                    "request_id": request_id,
                     "remote": remote,
                     "method": request.method,
                     "path": request.path,
@@ -526,8 +668,8 @@ async def _serve_async(engine: FullTextEngine, config: ServerConfig) -> None:
     snapshot = server._latency["/search"].snapshot()
     print(
         f"drained; served {server._requests_total} request(s) "
-        f"({snapshot['count']} searches, p50={snapshot['p50_ms']:.2f} ms "
-        f"p95={snapshot['p95_ms']:.2f} ms)",
+        f"({snapshot['count']} searches, p50={_fmt_ms(snapshot['p50_ms'])} "
+        f"p95={_fmt_ms(snapshot['p95_ms'])})",
         flush=True,
     )
 

@@ -68,6 +68,11 @@ class SearchItem:
     #: Absolute ``time.monotonic()`` deadline, or ``None`` for no deadline.
     deadline: float | None
     future: "asyncio.Future[SearchResults]" = field(repr=False, default=None)
+    #: EXPLAIN ANALYZE requests run individually (``search_many`` carries no
+    #: per-item explain flag) so their per-operator counts are theirs alone.
+    explain: bool = False
+    #: Request trace; receives dispatcher and engine spans when set.
+    trace: object | None = field(repr=False, default=None)
 
     def expired(self) -> bool:
         return self.deadline is not None and time.monotonic() >= self.deadline
@@ -148,6 +153,8 @@ class BatchingDispatcher:
         *,
         engine_choice: str = "auto",
         deadline: float | None = None,
+        explain: bool = False,
+        trace: object | None = None,
     ) -> SearchResults:
         """Enqueue one parsed query and await its results.
 
@@ -166,6 +173,8 @@ class BatchingDispatcher:
             engine_choice=engine_choice,
             deadline=deadline,
             future=loop.create_future(),
+            explain=explain,
+            trace=trace,
         )
         await self._queue.put(item)
         if deadline is None:
@@ -250,6 +259,14 @@ class BatchingDispatcher:
         live = [item for item in batch if not self._drop_if_expired(item)]
         if not live:
             return
+        explained = [item for item in live if item.explain]
+        live = [item for item in live if not item.explain]
+        if explained:
+            # EXPLAIN ANALYZE must attribute per-operator counts to exactly
+            # one query, so these never share a search_many call.
+            await self._execute_individually(explained, retries=False)
+        if not live:
+            return
         self._batches += 1
         self._batched_requests += len(live)
         self._max_batch = max(self._max_batch, len(live))
@@ -260,6 +277,11 @@ class BatchingDispatcher:
             await self._execute_individually(live)
             return
         loop = asyncio.get_running_loop()
+        spans = [
+            item.trace.span("dispatch.batch", batch_size=len(live))
+            for item in live
+            if item.trace is not None
+        ]
         try:
             answers = await loop.run_in_executor(
                 self._engine_pool,
@@ -270,28 +292,41 @@ class BatchingDispatcher:
                 ),
             )
         except ReproError:
+            for span in spans:
+                span.end()
             # One bad query must not fail its neighbours: fall back to
             # per-item evaluation so each request gets its own answer/error.
             await self._execute_individually(live)
             return
         except Exception as exc:  # engine bug: fail the batch loudly
+            for span in spans:
+                span.end()
             for item in live:
                 self._reject(item, exc)
             return
+        for span in spans:
+            span.end()
         for item, answer in zip(live, answers):
             self._resolve(item, self._narrow(answer, item.top_k, batch_k))
 
-    async def _execute_individually(self, items: list[SearchItem]) -> None:
+    async def _execute_individually(
+        self, items: list[SearchItem], retries: bool = True
+    ) -> None:
         loop = asyncio.get_running_loop()
         for item in items:
             if self._drop_if_expired(item):
                 continue
-            self._individual_retries += 1
+            if retries:
+                self._individual_retries += 1
             try:
                 answer = await loop.run_in_executor(
                     self._engine_pool,
                     lambda item=item: self.engine.search(
-                        item.query, engine=item.engine_choice, top_k=item.top_k
+                        item.query,
+                        engine=item.engine_choice,
+                        top_k=item.top_k,
+                        explain=item.explain,
+                        trace=item.trace,
                     ),
                 )
             except Exception as exc:

@@ -169,7 +169,11 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
 
 
 def render_response(
-    status: int, payload: dict, *, keep_alive: bool = True
+    status: int,
+    payload: dict,
+    *,
+    keep_alive: bool = True,
+    extra_headers: "dict[str, str] | None" = None,
 ) -> bytes:
     """Serialize a JSON response with the framing headers the parser needs.
 
@@ -178,19 +182,66 @@ def render_response(
     Python floats with ``repr``, the shortest string that parses back to
     the same IEEE double -- which is what lets the equivalence tests compare
     served scores bit-for-bit against direct engine calls.
+
+    ``extra_headers`` appends custom headers (e.g. ``X-Request-Id``); names
+    and values must be latin-1-safe and newline-free.
     """
     body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+    return _render_head(
+        status,
+        "application/json; charset=utf-8",
+        len(body),
+        keep_alive=keep_alive,
+        extra_headers=extra_headers,
+    ) + body
+
+
+def render_text_response(
+    status: int,
+    text: str,
+    *,
+    keep_alive: bool = True,
+    content_type: str = "text/plain; charset=utf-8",
+    extra_headers: "dict[str, str] | None" = None,
+) -> bytes:
+    """Serialize a plain-text response (the ``/metrics`` exposition)."""
+    body = text.encode("utf-8")
+    return _render_head(
+        status,
+        content_type,
+        len(body),
+        keep_alive=keep_alive,
+        extra_headers=extra_headers,
+    ) + body
+
+
+def _render_head(
+    status: int,
+    content_type: str,
+    content_length: int,
+    *,
+    keep_alive: bool,
+    extra_headers: "dict[str, str] | None",
+) -> bytes:
     reason = STATUS_REASONS.get(status, "Unknown")
-    head = (
-        f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json; charset=utf-8\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-        f"\r\n"
-    )
-    return head.encode("latin-1") + body
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {content_length}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if extra_headers:
+        lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
 
-def error_payload(code: str, message: str) -> dict:
-    """The uniform JSON error body: ``{"error": {"code": ..., "message": ...}}``."""
-    return {"error": {"code": code, "message": message}}
+def error_payload(code: str, message: str, request_id: str | None = None) -> dict:
+    """The uniform JSON error body: ``{"error": {"code": ..., "message": ...}}``.
+
+    With ``request_id`` the error carries the id the server stamped on the
+    request, so a client can quote it against the access log.
+    """
+    payload = {"error": {"code": code, "message": message}}
+    if request_id is not None:
+        payload["error"]["request_id"] = request_id
+    return payload

@@ -1,0 +1,154 @@
+"""The metric catalogue: every family the serving stack records.
+
+All instruments live here, in one place, so importing :mod:`repro.telemetry`
+is enough to make every family appear in ``GET /metrics`` (at zero) before
+the first event, and so the README's metrics catalogue has a single source
+of truth to mirror.
+
+Hot-path discipline: nothing in this module is called per cursor operation.
+Cursor-op counters are accumulated by the existing
+:class:`~repro.index.cursor.CursorStats` machinery at Python-int speed and
+folded into ``repro_cursor_ops_total`` **once per query**
+(:func:`observe_query`); the per-op hot loops stay untouched.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.registry import REGISTRY
+
+# ------------------------------------------------------------------ queries
+QUERIES_TOTAL = REGISTRY.counter(
+    "repro_queries_total",
+    "Queries evaluated, by the engine that ran them.",
+    ("engine",),
+)
+QUERY_SECONDS = REGISTRY.histogram(
+    "repro_query_seconds",
+    "Wall-clock seconds per query evaluation (executor level).",
+)
+CURSOR_OPS_TOTAL = REGISTRY.counter(
+    "repro_cursor_ops_total",
+    "Inverted-list cursor operations, by operation kind.",
+    ("op",),
+)
+TOPK_SCORED_TOTAL = REGISTRY.counter(
+    "repro_topk_scored_total",
+    "Candidates fully scored by the top-k collector.",
+)
+TOPK_PRUNED_TOTAL = REGISTRY.counter(
+    "repro_topk_pruned_total",
+    "Candidates skipped by the top-k score upper-bound test.",
+)
+TOPK_GIVEUPS_TOTAL = REGISTRY.counter(
+    "repro_topk_giveups_total",
+    "Queries where the top-k bound check disabled itself as fruitless.",
+)
+
+# -------------------------------------------------------------------- cache
+CACHE_LOOKUPS_TOTAL = REGISTRY.counter(
+    "repro_cache_lookups_total",
+    "Query-cache lookups, by outcome.",
+    ("result",),
+)
+CACHE_EVICTIONS_TOTAL = REGISTRY.counter(
+    "repro_cache_evictions_total",
+    "Query-cache entries evicted by LRU pressure.",
+)
+CACHE_INVALIDATIONS_TOTAL = REGISTRY.counter(
+    "repro_cache_invalidations_total",
+    "Wholesale query-cache invalidations after index mutations.",
+)
+
+# ------------------------------------------------------------ write planes
+WAL_APPENDS_TOTAL = REGISTRY.counter(
+    "repro_wal_appends_total",
+    "Records appended to any write-ahead log.",
+)
+WAL_FSYNCS_TOTAL = REGISTRY.counter(
+    "repro_wal_fsyncs_total",
+    "fsync batches forced on any write-ahead log.",
+)
+MEMTABLE_SEALS_TOTAL = REGISTRY.counter(
+    "repro_memtable_seals_total",
+    "Memtables sealed into immutable segments.",
+)
+COMPACTIONS_TOTAL = REGISTRY.counter(
+    "repro_compactions_total",
+    "Segment compaction merges completed.",
+)
+COMPACTION_SECONDS = REGISTRY.histogram(
+    "repro_compaction_seconds",
+    "Wall-clock seconds per compaction merge.",
+)
+COMPACTION_SEGMENTS_MERGED_TOTAL = REGISTRY.counter(
+    "repro_compaction_segments_merged_total",
+    "Source segments consumed by compaction merges.",
+)
+
+# ------------------------------------------------------------------ scatter
+SCATTER_TASKS_TOTAL = REGISTRY.counter(
+    "repro_scatter_tasks_total",
+    "Per-shard scatter tasks dispatched, by worker flavour.",
+    ("workers",),
+)
+SPOOL_RESPILLS_TOTAL = REGISTRY.counter(
+    "repro_spool_respills_total",
+    "Process-scatter spool (re)spills of the shard set to packed files.",
+)
+
+# --------------------------------------------------------------------- http
+HTTP_REQUESTS_TOTAL = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by route and status code.",
+    ("path", "status"),
+)
+HTTP_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "Wall-clock seconds per HTTP request, by route.",
+    ("path",),
+)
+SLOW_QUERIES_TOTAL = REGISTRY.counter(
+    "repro_slow_queries_total",
+    "Searches that exceeded the slow-query threshold.",
+)
+
+#: Routes allowed as ``path`` label values; anything else collapses to
+#: "other" so unknown paths cannot explode label cardinality.
+_KNOWN_PATHS = frozenset(("/search", "/health", "/stats", "/metrics"))
+
+
+def http_path_label(path: str) -> str:
+    """Collapse arbitrary request paths onto a bounded label set."""
+    return path if path in _KNOWN_PATHS else "other"
+
+
+def observe_query(engine_name, elapsed_seconds, cursor_stats, collector):
+    """Fold one query's counters into the registry (called once per query)."""
+    if not REGISTRY.enabled:
+        return
+    QUERIES_TOTAL.labels(engine_name).inc()
+    QUERY_SECONDS.observe(elapsed_seconds)
+    if cursor_stats is not None:
+        if cursor_stats.next_entry_calls:
+            CURSOR_OPS_TOTAL.labels("next_entry").inc(
+                cursor_stats.next_entry_calls
+            )
+        if cursor_stats.get_positions_calls:
+            CURSOR_OPS_TOTAL.labels("get_positions").inc(
+                cursor_stats.get_positions_calls
+            )
+        if cursor_stats.positions_returned:
+            CURSOR_OPS_TOTAL.labels("positions_returned").inc(
+                cursor_stats.positions_returned
+            )
+        if cursor_stats.seek_calls:
+            CURSOR_OPS_TOTAL.labels("seek").inc(cursor_stats.seek_calls)
+        if cursor_stats.seek_probes:
+            CURSOR_OPS_TOTAL.labels("seek_probe").inc(cursor_stats.seek_probes)
+    if collector is not None:
+        if collector.scored:
+            TOPK_SCORED_TOTAL.inc(collector.scored)
+        if collector.pruned:
+            TOPK_PRUNED_TOTAL.inc(collector.pruned)
+        if collector.gave_up:
+            TOPK_GIVEUPS_TOTAL.inc()

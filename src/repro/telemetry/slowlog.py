@@ -1,0 +1,73 @@
+"""Threshold-triggered slow-query log: one JSONL trace dump per offender.
+
+When a search exceeds the configured threshold, the server writes one JSON
+object per line -- the joinable essentials (``ts``, ``trace_id``, query
+text, status, latency) plus the **full span tree** of the request, so "why
+was this query slow?" is answered from the log alone: which shard lagged,
+whether the time went to queue wait, evaluation or cache bypass.
+
+Format (one object per line)::
+
+    {"ts": <unix seconds>, "trace_id": "...", "query": "...",
+     "latency_ms": 12.3, "threshold_ms": 5.0, "status": 200,
+     "trace": {"name": "request", "duration_ms": ..., "children": [...]}}
+
+Writing is serialised by a lock (several connections can finish slow
+requests concurrently) and never raises into the serving path: a broken log
+stream drops the dump, not the response.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.telemetry.instruments import SLOW_QUERIES_TOTAL
+from repro.telemetry.trace import Span
+
+
+class SlowQueryLog:
+    """Write JSONL trace dumps for requests slower than ``threshold_ms``."""
+
+    def __init__(self, stream, threshold_ms: float) -> None:
+        if threshold_ms <= 0:
+            raise ValueError(f"threshold_ms must be > 0, got {threshold_ms}")
+        self.stream = stream
+        self.threshold_ms = threshold_ms
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    def maybe_record(
+        self,
+        latency_ms: float,
+        *,
+        query: str,
+        trace: "Span | None" = None,
+        status: int | None = None,
+        trace_id: str | None = None,
+    ) -> bool:
+        """Dump the request if it breached the threshold; True if written."""
+        if latency_ms < self.threshold_ms:
+            return False
+        SLOW_QUERIES_TOTAL.inc()
+        entry: dict = {
+            "ts": time.time(),
+            "trace_id": trace_id
+            or (getattr(trace, "trace_id", None) if trace is not None else None),
+            "query": query,
+            "latency_ms": round(latency_ms, 3),
+            "threshold_ms": self.threshold_ms,
+        }
+        if status is not None:
+            entry["status"] = status
+        if trace is not None:
+            entry["trace"] = trace.to_dict()
+        line = json.dumps(entry, ensure_ascii=False)
+        try:
+            with self._lock:
+                print(line, file=self.stream, flush=True)
+                self.recorded += 1
+        except (OSError, ValueError):  # a closed/broken log never fails a request
+            return False
+        return True

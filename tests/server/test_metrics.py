@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import threading
 
-from repro.server.metrics import LatencyRecorder, format_latency_summary, percentile
+import pytest
+
+from repro.telemetry.latency import (
+    LatencyRecorder,
+    format_latency_summary,
+    percentile,
+)
 
 
 def test_percentile_is_nearest_rank():
@@ -15,8 +21,23 @@ def test_percentile_is_nearest_rank():
     assert percentile(values, 0.0) == 1.0
 
 
-def test_percentile_empty_is_zero():
-    assert percentile([], 0.5) == 0.0
+def test_percentile_empty_is_none():
+    # Regression: an empty window used to report 0.0, which read as "we
+    # answered in zero milliseconds"; before the first request there is no
+    # latency to report, so the percentile is None (JSON null in /stats).
+    assert percentile([], 0.5) is None
+    assert percentile((), 0.99) is None
+
+
+def test_recorder_percentiles_are_none_before_first_request():
+    recorder = LatencyRecorder()
+    assert recorder.percentile_ms(0.5) is None
+    snapshot = recorder.snapshot()
+    assert snapshot["count"] == 0
+    assert snapshot["mean_ms"] == 0.0
+    assert snapshot["p50_ms"] is None
+    assert snapshot["p95_ms"] is None
+    assert snapshot["p99_ms"] is None
 
 
 def test_recorder_snapshot_counts_and_percentiles():
@@ -60,3 +81,19 @@ def test_format_latency_summary_matches_repl_style():
     recorder.record(2.0)
     line = format_latency_summary(recorder.snapshot())
     assert line == "mean=2.00 ms p50=2.00 ms p95=2.00 ms"
+
+
+def test_format_latency_summary_renders_na_before_first_request():
+    line = format_latency_summary(LatencyRecorder().snapshot())
+    assert line == "mean=0.00 ms p50=n/a p95=n/a"
+
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
+def test_deprecated_server_metrics_shim_reexports_telemetry():
+    # repro.server.metrics must keep working for old imports, backed by the
+    # exact same objects as repro.telemetry.latency.
+    from repro.server import metrics as shim
+
+    assert shim.percentile is percentile
+    assert shim.LatencyRecorder is LatencyRecorder
+    assert shim.format_latency_summary is format_latency_summary

@@ -1,0 +1,15 @@
+"""Fixtures for the telemetry tests: one deterministic mid-size corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.synthetic import generate_inex_like_collection
+
+
+@pytest.fixture(scope="session")
+def collection():
+    """Deterministic corpus big enough for non-trivial rankings and pruning."""
+    return generate_inex_like_collection(
+        num_nodes=300, tokens_per_node=60, pos_per_entry=3
+    )

@@ -1,0 +1,71 @@
+"""Slow-query log: threshold gating, JSONL shape, broken-stream tolerance."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry.instruments import SLOW_QUERIES_TOTAL
+from repro.telemetry.slowlog import SlowQueryLog
+from repro.telemetry.trace import Trace
+
+
+def test_threshold_must_be_positive():
+    with pytest.raises(ValueError):
+        SlowQueryLog(io.StringIO(), 0.0)
+
+
+def test_fast_queries_are_not_recorded():
+    stream = io.StringIO()
+    log = SlowQueryLog(stream, threshold_ms=10.0)
+    assert log.maybe_record(9.99, query="'a'") is False
+    assert stream.getvalue() == ""
+    assert log.recorded == 0
+
+
+def test_slow_query_writes_one_json_line_with_trace():
+    stream = io.StringIO()
+    log = SlowQueryLog(stream, threshold_ms=5.0)
+    before = SLOW_QUERIES_TOTAL.value()
+    trace = Trace("feedface00000001")
+    with trace.span("engine.search"):
+        pass
+    trace.end()
+    assert log.maybe_record(12.5, query="'a' AND 'b'", trace=trace, status=200)
+    assert SLOW_QUERIES_TOTAL.value() == before + 1
+    assert log.recorded == 1
+
+    (line,) = stream.getvalue().strip().split("\n")
+    entry = json.loads(line)
+    assert entry["trace_id"] == "feedface00000001"
+    assert entry["query"] == "'a' AND 'b'"
+    assert entry["latency_ms"] == 12.5
+    assert entry["threshold_ms"] == 5.0
+    assert entry["status"] == 200
+    assert entry["trace"]["name"] == "request"
+    assert entry["trace"]["children"][0]["name"] == "engine.search"
+
+
+def test_explicit_trace_id_wins_without_trace_object():
+    stream = io.StringIO()
+    log = SlowQueryLog(stream, threshold_ms=1.0)
+    assert log.maybe_record(2.0, query="'a'", trace_id="cafe000000000002")
+    entry = json.loads(stream.getvalue())
+    assert entry["trace_id"] == "cafe000000000002"
+    assert "trace" not in entry
+
+
+def test_threshold_is_inclusive():
+    stream = io.StringIO()
+    log = SlowQueryLog(stream, threshold_ms=5.0)
+    assert log.maybe_record(5.0, query="'a'") is True
+
+
+def test_broken_stream_never_raises():
+    stream = io.StringIO()
+    stream.close()
+    log = SlowQueryLog(stream, threshold_ms=1.0)
+    assert log.maybe_record(100.0, query="'a'") is False
+    assert log.recorded == 0

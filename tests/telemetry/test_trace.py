@@ -1,0 +1,98 @@
+"""Span-tree semantics: nesting, timing, export, thread-safety."""
+
+from __future__ import annotations
+
+import re
+import threading
+
+from repro.telemetry.trace import Span, Trace, new_trace_id
+
+
+def test_new_trace_id_is_16_hex_digits():
+    ids = {new_trace_id() for _ in range(64)}
+    assert len(ids) == 64  # collisions at 64 draws would be astronomical
+    for trace_id in ids:
+        assert re.fullmatch(r"[0-9a-f]{16}", trace_id)
+
+
+def test_span_nesting_builds_a_tree():
+    root = Span("root")
+    child = root.span("child", shard=1)
+    grandchild = child.span("grandchild")
+    grandchild.end()
+    child.end()
+    root.end()
+    assert [span.name for span in root.children] == ["child"]
+    assert [span.name for span in child.children] == ["grandchild"]
+    assert child.meta == {"shard": 1}
+
+
+def test_end_is_idempotent_and_duration_monotonic():
+    span = Span("work")
+    open_duration = span.duration_ms
+    assert open_duration >= 0.0
+    span.end()
+    first_end = span.ended
+    span.end()
+    assert span.ended == first_end  # the first end wins
+    assert span.duration_ms >= 0.0
+
+
+def test_context_manager_closes_the_span():
+    root = Span("root")
+    with root.span("inner") as inner:
+        assert inner.ended is None
+    assert inner.ended is not None
+
+
+def test_annotate_merges_metadata():
+    span = Span("op", a=1)
+    span.annotate(b=2)
+    span.annotate(a=3)
+    assert span.meta == {"a": 3, "b": 2}
+    bare = Span("bare")
+    assert bare.meta is None  # no dict allocated until needed
+    bare.annotate(x=1)
+    assert bare.meta == {"x": 1}
+
+
+def test_to_dict_shape():
+    root = Trace("abc123", query="'a'")
+    child = root.span("dispatch.batch", batch_size=3)
+    child.end()
+    root.end()
+    exported = root.to_dict()
+    assert exported["trace_id"] == "abc123"
+    assert exported["name"] == "request"
+    assert isinstance(exported["ts"], float)
+    assert exported["meta"] == {"query": "'a'"}
+    (batch,) = exported["children"]
+    assert batch == {
+        "name": "dispatch.batch",
+        "duration_ms": batch["duration_ms"],
+        "meta": {"batch_size": 3},
+    }
+    assert batch["duration_ms"] >= 0.0
+
+
+def test_trace_generates_id_when_not_given():
+    assert re.fullmatch(r"[0-9a-f]{16}", Trace().trace_id)
+
+
+def test_concurrent_child_attachment_loses_nothing():
+    root = Span("root")
+    per_thread = 500
+
+    def attach(worker: int) -> None:
+        for index in range(per_thread):
+            root.span(f"w{worker}.{index}").end()
+
+    workers = [
+        threading.Thread(target=attach, args=(worker,)) for worker in range(8)
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    assert len(root.children) == 8 * per_thread
+    assert len({span.name for span in root.children}) == 8 * per_thread

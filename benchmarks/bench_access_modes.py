@@ -19,24 +19,14 @@ or at smoke scale (used by CI)::
 from __future__ import annotations
 
 import argparse
-import time
+
+from support import best_of
 
 from repro.bench.workload import bool_query, workload_queries
 from repro.corpus.synthetic import DEFAULT_QUERY_TOKENS, generate_inex_like_collection
 from repro.engine.bool_engine import BoolEngine
 from repro.engine.ppred_engine import PPredEngine
 from repro.index import InvertedIndex
-
-
-def _time(evaluate, query, repeats: int) -> tuple[float, int]:
-    best = float("inf")
-    matches = 0
-    for _ in range(repeats):
-        started = time.perf_counter()
-        result = evaluate(query)
-        best = min(best, time.perf_counter() - started)
-        matches = len(result)
-    return best, matches
 
 
 def run(
@@ -72,7 +62,8 @@ def run(
                 engine = BoolEngine(index, access_mode=mode)
             else:
                 engine = PPredEngine(index, access_mode=mode)
-            seconds, matches = _time(engine.evaluate, query, repeats)
+            seconds, result = best_of(lambda: engine.evaluate(query), repeats)
+            matches = len(result)
             _, stats = engine.evaluate_with_stats(query)
             row[f"{mode}_seconds"] = seconds
             row[f"{mode}_ops"] = stats.as_extended_dict()

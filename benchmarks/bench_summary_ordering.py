@@ -15,25 +15,19 @@ Run with ``pytest benchmarks/bench_summary_ordering.py --benchmark-only``.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.bench.workload import workload_queries
 
-from support import QUERY_TOKENS, SERIES, make_engine
+from support import QUERY_TOKENS, SERIES, best_of, make_engine
 
 NUM_TOKENS = 3
 NUM_PREDICATES = 2
 
 
 def _best_time(engine, query, repeats: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        started = time.perf_counter()
-        engine.evaluate(query)
-        best = min(best, time.perf_counter() - started)
-    return best
+    seconds, _ = best_of(lambda: engine.evaluate(query), repeats)
+    return seconds
 
 
 @pytest.mark.parametrize(

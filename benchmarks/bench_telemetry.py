@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
+
+from support import best_of
 
 from repro.bench.workload import bool_query
 from repro.core.engine import FullTextEngine
@@ -54,12 +55,19 @@ def build_workload() -> list:
 
 
 def run_state(engine, queries, passes: int) -> float:
-    """One timed measurement: the whole workload, ``passes`` times over."""
-    started = time.perf_counter()
-    for _ in range(passes):
-        for query in queries:
-            engine.search(query, top_k=10)
-    return time.perf_counter() - started
+    """One timed measurement: the whole workload, ``passes`` times over.
+
+    A single pass through the shared timing core: the min-of-N happens in
+    :func:`measure`, interleaved across the two registry states.
+    """
+
+    def workload() -> None:
+        for _ in range(passes):
+            for query in queries:
+                engine.search(query, top_k=10)
+
+    seconds, _ = best_of(workload, repeats=1, warmup=0)
+    return seconds
 
 
 def measure(engine, queries, passes: int, repeats: int) -> tuple[float, float]:

@@ -25,7 +25,8 @@ or at smoke scale (used by CI)::
 from __future__ import annotations
 
 import argparse
-import time
+
+from support import best_of
 
 from repro.bench.workload import bool_query, predicate_query, WorkloadSpec
 from repro.cluster import ScatterGatherExecutor, ShardedIndex
@@ -64,18 +65,6 @@ def build_queries() -> list[tuple[str, object]]:
     ]
 
 
-def _measure(runner, repeats: int) -> tuple[float, object]:
-    """Best-of-``repeats`` wall clock (stable under scheduler noise)."""
-    best = float("inf")
-    value = None
-    for _ in range(repeats):
-        started = time.perf_counter()
-        value = runner()
-        elapsed = time.perf_counter() - started
-        best = min(best, elapsed)
-    return best, value
-
-
 def run(
     nodes: int,
     tokens_per_node: int,
@@ -108,13 +97,13 @@ def run(
             for label, query in queries:
                 # Warm-up: posting decode caches, node norms, interning.
                 executor.execute(query, top_k=top_k)
-                full_seconds, full = _measure(
+                full_seconds, full = best_of(
                     lambda: executor.execute(query), repeats
                 )
-                truncate_seconds, _ = _measure(
+                truncate_seconds, _ = best_of(
                     lambda: full.ranked()[:top_k], repeats
                 )
-                pushdown_seconds, pruned = _measure(
+                pushdown_seconds, pruned = best_of(
                     lambda: executor.execute(query, top_k=top_k), repeats
                 )
                 expected = full.ranked()[:top_k]

@@ -1,7 +1,10 @@
-"""Shared helpers for the benchmark suite (dataset construction, engines)."""
+"""Shared helpers for the benchmark suite (dataset construction, engines, timing)."""
 
 from __future__ import annotations
 
+from typing import Callable
+
+from repro.bench.perf import Timing, time_call
 from repro.corpus.synthetic import DEFAULT_QUERY_TOKENS, generate_inex_like_collection
 from repro.engine.bool_engine import BoolEngine
 from repro.engine.naive_engine import NaiveCompEngine
@@ -39,6 +42,29 @@ def build_index(
         query_tokens=QUERY_TOKENS,
     )
     return InvertedIndex(collection)
+
+
+def best_of(
+    func: Callable[[], object], repeats: int = 3, warmup: int = 0
+) -> tuple[float, object]:
+    """Min-of-N seconds plus the callable's last return value.
+
+    Thin wrapper over :func:`repro.bench.perf.time_call` -- the one timing
+    core every benchmark routes through (min of N repeats after warmup on
+    the monotonic ``time.perf_counter``) -- for scripts that also need the
+    evaluated result (match counts, verification).  ``repeats=1, warmup=0``
+    is the single cold pass, for cases where repetition would change what
+    is measured (cache warming, first-touch page faults).
+    """
+    result: object = None
+
+    def call() -> object:
+        nonlocal result
+        result = func()
+        return result
+
+    timing = time_call(call, repeats=repeats, warmup=warmup)
+    return timing.min, result
 
 
 def make_engine(name: str, index: InvertedIndex):

@@ -1,0 +1,214 @@
+"""Workload capture: sampled query traffic in a replayable JSONL format.
+
+``repro serve-http --capture FILE`` attaches a :class:`WorkloadCapture` to
+the server; every handled ``/search`` request (parse-valid ones -- the
+replayable population) is recorded with probability ``sample`` as one JSON
+object per line::
+
+    {"v": 1, "ts": 1754650000.0, "request_id": "a1b2...", "q": "'software'",
+     "top_k": 10, "language": "auto", "engine": "auto", "method": "GET",
+     "status": 200, "elapsed_ms": 1.84}
+
+``request_id`` is the same id stamped into the response, the access log and
+any slow-query trace dump, so a captured query links straight back to its
+full serving record.  ``repro replay FILE`` feeds the records back through
+an engine or a live HTTP endpoint (:mod:`repro.bench.replay`); only
+``status == 200`` records replay (a 504 has no reference answer).
+
+:func:`synthetic_zipf_workload` builds the same record shape from nothing:
+a zipfian-skewed stream over a query pool derived from the corpus's own
+most frequent tokens, for load tests without captured traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+#: Version stamp of the workload record format.
+CAPTURE_VERSION = 1
+
+
+class WorkloadCapture:
+    """Thread-safe sampled JSONL recorder for served search traffic."""
+
+    def __init__(self, path: "Path | str", sample: float = 1.0, seed: "int | None" = None) -> None:
+        if not 0.0 < sample <= 1.0:
+            raise ReproError(f"capture sample must be in (0, 1], got {sample}")
+        self.path = Path(path)
+        self.sample = sample
+        self.recorded = 0
+        self.skipped = 0
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(f"cannot open capture file {self.path}: {exc}")
+
+    def record(
+        self,
+        *,
+        query: str,
+        top_k: "int | None",
+        language: str = "auto",
+        engine: str = "auto",
+        method: str = "GET",
+        status: int = 200,
+        request_id: "str | None" = None,
+        elapsed_ms: "float | None" = None,
+    ) -> bool:
+        """Append one sampled record; returns whether it was written."""
+        with self._lock:
+            if self._handle.closed:
+                return False
+            if self.sample < 1.0 and self._rng.random() >= self.sample:
+                self.skipped += 1
+                return False
+            line = json.dumps(
+                {
+                    "v": CAPTURE_VERSION,
+                    "ts": time.time(),
+                    "request_id": request_id,
+                    "q": query,
+                    "top_k": top_k,
+                    "language": language,
+                    "engine": engine,
+                    "method": method,
+                    "status": status,
+                    "elapsed_ms": round(elapsed_ms, 3)
+                    if elapsed_ms is not None
+                    else None,
+                },
+                ensure_ascii=False,
+            )
+            # Flush per line: a capture cut short by SIGTERM stays replayable.
+            print(line, file=self._handle, flush=True)
+            self.recorded += 1
+            return True
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"WorkloadCapture(path={str(self.path)!r}, sample={self.sample}, "
+            f"recorded={self.recorded})"
+        )
+
+
+def load_workload(path: "Path | str", statuses: "tuple[int, ...]" = (200,)) -> list[dict]:
+    """Parse a captured workload file back into replayable records.
+
+    Keeps records whose ``status`` is in ``statuses`` (by default only 200s:
+    those have a reference answer to verify against).  Unparsable lines
+    raise -- a torn final line means the capture was cut mid-write, which
+    replay must not paper over silently -- except a trailing partial line,
+    which is dropped like a torn WAL tail.
+    """
+    path = Path(path)
+    try:
+        payload = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read workload {path}: {exc}")
+    records: list[dict] = []
+    lines = payload.split("\n")
+    complete, tail = lines[:-1], lines[-1]
+    for index, line in enumerate(complete):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"workload {path} line {index + 1} is corrupt: {exc}")
+        if not isinstance(record, dict) or "q" not in record:
+            raise ReproError(
+                f"workload {path} line {index + 1} is not a capture record"
+            )
+        if record.get("status", 200) in statuses:
+            records.append(record)
+    if tail.strip():
+        # A torn final line (no trailing newline): ignore, like WAL replay.
+        try:
+            record = json.loads(tail)
+        except json.JSONDecodeError:
+            record = None
+        if isinstance(record, dict) and record.get("status", 200) in statuses:
+            records.append(record)
+    if not records:
+        raise ReproError(f"workload {path} holds no replayable records")
+    return records
+
+
+def zipf_weights(count: int, skew: float) -> list[float]:
+    """Unnormalised zipfian weights: P(rank k) proportional to 1 / k**skew."""
+    if count < 1:
+        raise ReproError(f"zipf pool must hold at least one query, got {count}")
+    if skew < 0:
+        raise ReproError(f"zipf skew must be >= 0, got {skew}")
+    return [1.0 / ((rank + 1) ** skew) for rank in range(count)]
+
+
+def synthetic_zipf_workload(
+    pool: "list[str]",
+    count: int,
+    skew: float,
+    *,
+    top_k: "int | None" = 10,
+    seed: int = 0,
+) -> list[dict]:
+    """``count`` capture-shaped records drawn zipfian-skewed from ``pool``.
+
+    ``pool[0]`` is the hottest query; with ``skew=0`` the draw is uniform.
+    Deterministic for a given seed, so replay runs are reproducible.
+    """
+    weights = zipf_weights(len(pool), skew)
+    rng = random.Random(seed)
+    drawn = rng.choices(range(len(pool)), weights=weights, k=count)
+    return [
+        {
+            "v": CAPTURE_VERSION,
+            "ts": None,
+            "request_id": None,
+            "q": pool[index],
+            "top_k": top_k,
+            "language": "auto",
+            "engine": "auto",
+            "method": "GET",
+            "status": 200,
+            "elapsed_ms": None,
+        }
+        for index in drawn
+    ]
+
+
+def query_pool_from_collection(collection, size: int = 32) -> list[str]:
+    """A query pool over the corpus's most frequent indexed tokens.
+
+    Single-token BOOL queries plus pairwise conjunctions of the hottest
+    tokens, hottest first -- the shape a zipfian workload wants: the head
+    of the pool is both the most drawn and the cheapest to cache.
+    """
+    from collections import Counter
+
+    counts: Counter = Counter()
+    for node in collection:
+        counts.update(occ.token for occ in node.occurrences)
+    hottest = [token for token, _ in counts.most_common(max(size, 8))]
+    if not hottest:
+        raise ReproError("collection holds no indexable tokens")
+    pool = [f"'{token}'" for token in hottest[:size]]
+    for first, second in zip(hottest, hottest[1:]):
+        if len(pool) >= size:
+            break
+        pool.append(f"'{first}' AND '{second}'")
+    return pool[:size]

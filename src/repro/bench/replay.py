@@ -1,0 +1,278 @@
+"""Workload replay: drive captured or synthetic traffic, verified then timed.
+
+:func:`replay_workload` takes the records of :mod:`repro.bench.capture` and
+drives them against a *target* -- a cached engine in-process
+(:class:`EngineTarget`) or a live HTTP endpoint (:class:`HttpTarget`) --
+in three explicit phases:
+
+1. **Verify.**  Every distinct query is executed once on the target and
+   once on a direct, uncached reference ``engine.search``; node ids,
+   scores and order must be bit-identical or the replay aborts.  (HTTP
+   responses serialise floats with ``repr`` fidelity, so ``json.loads``
+   recovers the exact doubles -- equality here really is bit equality.)
+2. **Warm.**  ``warm_passes`` passes over the distinct queries populate
+   the target's result cache, exactly like a long-running server that has
+   seen its working set.  Phase boundaries are reported, never implicit.
+3. **Measure.**  The full record stream replays in order; per-request
+   wall-clock latencies aggregate to p50/p95/p99, and the target's cache
+   counters are sampled per chunk to report the cache hit *curve* as the
+   zipfian head gets hot.
+
+The report is JSON-shaped; ``repro replay`` prints it human-readably and
+optionally dumps the JSON next to the BENCH results.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from urllib.error import URLError
+from urllib.parse import quote
+from urllib.request import urlopen
+
+from repro.exceptions import ReproError
+from repro.telemetry.latency import percentile
+
+#: How many chunks the measure phase samples cache counters at.
+DEFAULT_CURVE_POINTS = 10
+
+
+def _record_key(record: dict) -> tuple:
+    return (
+        record.get("q"),
+        record.get("top_k"),
+        record.get("language", "auto"),
+        record.get("engine", "auto"),
+    )
+
+
+class EngineTarget:
+    """Replay against an in-process engine (typically one with a cache)."""
+
+    name = "engine"
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+    def search(self, record: dict) -> "list[tuple[int, float]]":
+        results = self.engine.search(
+            record["q"],
+            language=record.get("language", "auto"),
+            engine=record.get("engine", "auto"),
+            top_k=record.get("top_k"),
+        )
+        return [(result.node_id, result.score) for result in results]
+
+    def cache_counters(self) -> "tuple[int, int] | None":
+        stats = self.engine.cache_stats()
+        if not stats.get("capacity"):
+            return None
+        return int(stats["hits"]), int(stats["misses"])
+
+    def close(self) -> None:
+        pass  # the caller owns the engine
+
+
+class HttpTarget:
+    """Replay against a live ``repro serve-http`` endpoint."""
+
+    name = "http"
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _get(self, path: str) -> dict:
+        try:
+            with urlopen(self.base_url + path, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except URLError as exc:
+            raise ReproError(
+                f"cannot reach {self.base_url}{path}: {exc.reason}"
+            )
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"cannot reach {self.base_url}{path}: {exc}")
+
+    def search(self, record: dict) -> "list[tuple[int, float]]":
+        params = [f"q={quote(record['q'])}"]
+        if record.get("top_k") is not None:
+            params.append(f"top_k={int(record['top_k'])}")
+        for key in ("language", "engine"):
+            value = record.get(key, "auto")
+            if value and value != "auto":
+                params.append(f"{key}={quote(str(value))}")
+        payload = self._get("/search?" + "&".join(params))
+        return [
+            (entry["node_id"], entry["score"])
+            for entry in payload.get("results", ())
+        ]
+
+    def cache_counters(self) -> "tuple[int, int] | None":
+        cache = self._get("/stats").get("engine", {}).get("cache", {})
+        if not cache.get("capacity"):
+            return None
+        return int(cache["hits"]), int(cache["misses"])
+
+    def close(self) -> None:
+        pass  # plain request/response; nothing held open
+
+
+def _hit_rate(counters, baseline) -> "float | None":
+    if counters is None or baseline is None:
+        return None
+    hits = counters[0] - baseline[0]
+    lookups = hits + (counters[1] - baseline[1])
+    return (hits / lookups) if lookups > 0 else None
+
+
+def replay_workload(
+    records: "list[dict]",
+    target,
+    reference_engine=None,
+    *,
+    warm_passes: int = 1,
+    verify: bool = True,
+    curve_points: int = DEFAULT_CURVE_POINTS,
+    echo=None,
+) -> dict:
+    """Verify, warm, then measure; returns the JSON-shaped replay report."""
+    if not records:
+        raise ReproError("nothing to replay: the workload is empty")
+    say = echo or (lambda message: None)
+    distinct: "dict[tuple, dict]" = {}
+    for record in records:
+        distinct.setdefault(_record_key(record), record)
+    report: dict = {
+        "records": len(records),
+        "distinct_queries": len(distinct),
+        "target": target.name,
+        "warm_passes": warm_passes,
+    }
+
+    # ------------------------------------------------------- phase 1: verify
+    if verify:
+        if reference_engine is None:
+            raise ReproError("verification needs a reference engine")
+        say(f"verify: {len(distinct)} distinct query shape(s) ...")
+        mismatches = 0
+        for key, record in distinct.items():
+            served = target.search(record)
+            direct = reference_engine.search(
+                record["q"],
+                language=record.get("language", "auto"),
+                engine=record.get("engine", "auto"),
+                top_k=record.get("top_k"),
+            )
+            expected = [(result.node_id, result.score) for result in direct]
+            if served != expected:
+                mismatches += 1
+                say(
+                    f"  MISMATCH {record['q']!r}: served {served[:3]}... "
+                    f"!= direct {expected[:3]}..."
+                )
+        report["verified"] = mismatches == 0
+        report["verify_mismatches"] = mismatches
+        if mismatches:
+            raise ReproError(
+                f"replay verification failed: {mismatches} of {len(distinct)} "
+                f"distinct queries differ from direct engine.search"
+            )
+        say("verify: all served results bit-identical to direct engine.search")
+    else:
+        report["verified"] = None
+
+    # --------------------------------------------------------- phase 2: warm
+    warm_baseline = target.cache_counters()
+    for _ in range(warm_passes):
+        for record in distinct.values():
+            target.search(record)
+    warm_rate = _hit_rate(target.cache_counters(), warm_baseline)
+    report["warm_hit_rate"] = warm_rate
+    if warm_passes:
+        say(
+            f"warm: {warm_passes} pass(es) over {len(distinct)} distinct "
+            f"queries"
+            + (f", hit rate {warm_rate:.1%}" if warm_rate is not None else "")
+        )
+
+    # ------------------------------------------------------ phase 3: measure
+    say(f"measure: replaying {len(records)} request(s) in capture order ...")
+    chunk = max(1, len(records) // max(1, curve_points))
+    latencies: list[float] = []
+    curve: list[dict] = []
+    chunk_baseline = target.cache_counters()
+    measure_baseline = chunk_baseline
+    started = time.perf_counter()
+    for index, record in enumerate(records, start=1):
+        begun = time.perf_counter()
+        target.search(record)
+        latencies.append((time.perf_counter() - begun) * 1000.0)
+        if index % chunk == 0 or index == len(records):
+            counters = target.cache_counters()
+            curve.append(
+                {
+                    "requests": index,
+                    "hit_rate": _hit_rate(counters, chunk_baseline),
+                }
+            )
+            chunk_baseline = counters
+    elapsed = time.perf_counter() - started
+    ordered = sorted(latencies)
+    report["elapsed_seconds"] = elapsed
+    report["throughput_per_s"] = len(records) / elapsed if elapsed > 0 else None
+    report["latency_ms"] = {
+        "p50": percentile(ordered, 0.50),
+        "p95": percentile(ordered, 0.95),
+        "p99": percentile(ordered, 0.99),
+        "max": ordered[-1],
+    }
+    report["measure_hit_rate"] = _hit_rate(
+        target.cache_counters(), measure_baseline
+    )
+    report["cache_hit_curve"] = curve
+    return report
+
+
+def render_replay_report(report: dict) -> str:
+    """The replay report as human-readable text."""
+    latency = report["latency_ms"]
+    lines = [
+        f"replayed {report['records']} request(s) "
+        f"({report['distinct_queries']} distinct) against {report['target']}",
+        "verified: "
+        + (
+            "bit-identical to direct engine.search"
+            if report.get("verified")
+            else ("skipped" if report.get("verified") is None else "FAILED")
+        ),
+        f"throughput: {report['throughput_per_s']:,.1f} req/s "
+        f"over {report['elapsed_seconds']:.3f} s",
+        f"latency: p50 {latency['p50']:.3f} ms, p95 {latency['p95']:.3f} ms, "
+        f"p99 {latency['p99']:.3f} ms, max {latency['max']:.3f} ms",
+    ]
+    if report.get("warm_hit_rate") is not None:
+        lines.append(
+            f"warm phase hit rate: {report['warm_hit_rate']:.1%} "
+            f"({report['warm_passes']} pass(es))"
+        )
+    if report.get("measure_hit_rate") is not None:
+        lines.append(f"measure phase hit rate: {report['measure_hit_rate']:.1%}")
+    curve = [
+        point for point in report.get("cache_hit_curve", ())
+        if point["hit_rate"] is not None
+    ]
+    if curve:
+        steps = " -> ".join(
+            f"{point['hit_rate']:.0%}@{point['requests']}" for point in curve
+        )
+        lines.append(f"cache hit curve: {steps}")
+    return "\n".join(lines)
+
+
+def write_replay_report(report: dict, path: "Path | str") -> Path:
+    path = Path(path)
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

@@ -1,0 +1,239 @@
+"""The registered benchmark suites behind ``repro bench run``.
+
+Each suite measures one layer of the stack on the deterministic INEX-like
+synthetic corpus, through the shared min-of-N timing core of
+:mod:`repro.bench.perf`.  Suites whose comparisons have an equality
+contract (top-k prefix, sharded == single) verify it *before* timing and
+record ``verified`` on the case -- a benchmark that silently compares
+different answers is worthless.
+
+``--quick`` shrinks the corpus and repeat counts to CI smoke scale; the
+curve shapes survive, the absolute numbers shrink.
+"""
+
+from __future__ import annotations
+
+from repro.bench.perf import SuiteRun, register_suite
+from repro.bench.workload import workload_queries
+from repro.corpus.synthetic import DEFAULT_QUERY_TOKENS, generate_inex_like_collection
+from repro.core.engine import FullTextEngine
+
+#: Corpus shape per scale: (num_nodes, tokens_per_node, pos_per_entry).
+_FULL_SHAPE = (300, 150, 3)
+_QUICK_SHAPE = (120, 80, 2)
+
+
+def _corpus(run: SuiteRun):
+    nodes, tokens_per_node, pos_per_entry = (
+        _QUICK_SHAPE if run.quick else _FULL_SHAPE
+    )
+    collection = generate_inex_like_collection(
+        num_nodes=nodes,
+        tokens_per_node=tokens_per_node,
+        pos_per_entry=pos_per_entry,
+        document_frequency=0.6,
+    )
+    run.corpus = {
+        "nodes": nodes,
+        "tokens_per_node": tokens_per_node,
+        "pos_per_entry": pos_per_entry,
+        "collection": collection.name,
+    }
+    return collection
+
+
+def _queries():
+    return workload_queries(list(DEFAULT_QUERY_TOKENS), num_tokens=3, num_predicates=2)
+
+
+def _repeats(run: SuiteRun) -> int:
+    return 3 if run.quick else 5
+
+
+def _same_ranking(left, right) -> bool:
+    """Bit-identical result check: node ids, scores and order."""
+    return [(r.node_id, r.score) for r in left] == [
+        (r.node_id, r.score) for r in right
+    ]
+
+
+# ------------------------------------------------------------------ hierarchy
+@register_suite(
+    "hierarchy",
+    "the paper's engine hierarchy (BOOL / PPRED / NPRED / COMP) per query class",
+)
+def suite_hierarchy(run: SuiteRun) -> None:
+    collection = _corpus(run)
+    engine = FullTextEngine.from_collection(collection, access_mode="fast")
+    queries = _queries()
+    series = [
+        ("BOOL/bool", "bool", queries["BOOL"]),
+        ("PPRED-POS/ppred", "ppred", queries["POSITIVE"]),
+        ("NPRED-POS/npred", "npred", queries["POSITIVE"]),
+        ("NPRED-NEG/npred", "npred", queries["NEGATIVE"]),
+        ("COMP-POS/comp", "comp", queries["POSITIVE"]),
+    ]
+    repeats = _repeats(run)
+    for name, engine_choice, query in series:
+        matches = len(engine.search(query, engine=engine_choice))
+        run.case(
+            name,
+            lambda q=query, e=engine_choice: engine.search(q, engine=e),
+            repeats=repeats,
+            extra={"matches": matches},
+        )
+    engine.close()
+
+
+# --------------------------------------------------------------- access modes
+@register_suite(
+    "access_modes",
+    "paper-faithful vs fast cursor access modes, results verified equal",
+)
+def suite_access_modes(run: SuiteRun) -> None:
+    collection = _corpus(run)
+    paper = FullTextEngine.from_collection(collection, access_mode="paper")
+    fast = FullTextEngine.from_collection(collection, access_mode="fast")
+    queries = _queries()
+    repeats = _repeats(run)
+    for series, query in queries.items():
+        verified = _same_ranking(paper.search(query), fast.search(query))
+        for mode, engine in (("paper", paper), ("fast", fast)):
+            run.case(
+                f"{mode}/{series}",
+                lambda q=query, e=engine: e.search(q),
+                repeats=repeats,
+                verified=verified,
+            )
+    paper.close()
+    fast.close()
+
+
+# --------------------------------------------------------------------- top-k
+@register_suite(
+    "topk",
+    "top-k pushdown vs full ranking, prefix equality verified",
+)
+def suite_topk(run: SuiteRun) -> None:
+    collection = _corpus(run)
+    engine = FullTextEngine.from_collection(
+        collection, scoring="tfidf", access_mode="fast"
+    )
+    queries = _queries()
+    repeats = _repeats(run)
+    top_k = 10
+    for series, query in queries.items():
+        full = engine.search(query)
+        cut = engine.search(query, top_k=top_k)
+        verified = _same_ranking(cut, list(full)[: len(cut)])
+        run.case(
+            f"rank_all/{series}",
+            lambda q=query: engine.search(q),
+            repeats=repeats,
+            verified=verified,
+            extra={"matches": len(full)},
+        )
+        run.case(
+            f"top{top_k}/{series}",
+            lambda q=query: engine.search(q, top_k=top_k),
+            repeats=repeats,
+            verified=verified,
+        )
+    engine.close()
+
+
+# ------------------------------------------------------------------- sharding
+@register_suite(
+    "sharding",
+    "single index vs scatter-gather shards, cold and cache-warm batches",
+)
+def suite_sharding(run: SuiteRun) -> None:
+    collection = _corpus(run)
+    single = FullTextEngine.from_collection(
+        collection, scoring="tfidf", access_mode="fast"
+    )
+    nocache = FullTextEngine.from_collection(
+        collection, scoring="tfidf", access_mode="fast", shards=4, cache_size=0
+    )
+    cached = FullTextEngine.from_collection(
+        collection, scoring="tfidf", access_mode="fast", shards=4, cache_size=256
+    )
+    batch = list(_queries().values())
+    verified = all(
+        _same_ranking(single.search(query), nocache.search(query))
+        for query in batch
+    )
+    repeats = _repeats(run)
+    run.case(
+        "single/batch",
+        lambda: single.search_many(batch),
+        repeats=repeats,
+        items=len(batch),
+        verified=verified,
+    )
+    run.case(
+        "sharded_nocache/batch",
+        lambda: nocache.search_many(batch),
+        repeats=repeats,
+        items=len(batch),
+        verified=verified,
+    )
+    # The warmup pass fills the LRU cache, so the timed passes measure the
+    # cache-hit path the long-running server actually serves.
+    run.case(
+        "sharded_warm/batch",
+        lambda: cached.search_many(batch),
+        repeats=repeats,
+        warmup=2,
+        items=len(batch),
+        verified=verified,
+    )
+    single.close()
+    nocache.close()
+    cached.close()
+
+
+# ---------------------------------------------------------------- live ingest
+@register_suite(
+    "live_ingest",
+    "live-tier write throughput (WAL-less memtable path) and post-ingest query latency",
+)
+def suite_live_ingest(run: SuiteRun) -> None:
+    collection = _corpus(run)
+    docs = [
+        " ".join(occ.token for occ in node.occurrences) for node in collection
+    ]
+    batch = docs[: 60 if run.quick else 150]
+    queries = _queries()
+    repeats = _repeats(run)
+
+    def ingest() -> None:
+        engine = FullTextEngine.from_collection(
+            collection, access_mode="fast", live=True, flush_threshold=64
+        )
+        for text in batch:
+            engine.add_document(text)
+        engine.flush()
+        engine.close()
+
+    run.case(
+        "ingest/add_documents",
+        ingest,
+        repeats=repeats,
+        warmup=1,
+        items=len(batch),
+        extra={"flush_threshold": 64},
+    )
+    live = FullTextEngine.from_collection(
+        collection, access_mode="fast", live=True, flush_threshold=64
+    )
+    for text in batch:
+        live.add_document(text)
+    live.flush()
+    run.case(
+        "query/BOOL_after_ingest",
+        lambda: live.search(queries["BOOL"]),
+        repeats=repeats,
+        extra={"live_docs": len(collection)},
+    )
+    live.close()

@@ -30,7 +30,15 @@ The CLI exposes the typical lifecycle of the library without writing Python:
   index, optionally interleaving queries to measure serving under ingest;
 * ``repro segment-stats`` -- per-segment sizes and tombstone counts of a live
   index (a saved collection or a persisted live-index directory);
-* ``repro experiment``  -- regenerate the paper's figures as text tables.
+* ``repro experiment``  -- regenerate the paper's figures as text tables;
+* ``repro bench``       -- the performance observatory: ``bench run`` executes
+  registered suites through the shared min-of-N timing core and writes
+  machine-readable ``BENCH_<suite>.json`` results; ``bench compare`` diffs
+  two result sets and exits non-zero on regression (the CI perf gate);
+* ``repro replay``      -- drive a captured (``serve-http --capture``) or
+  synthetic zipfian workload against an engine or a live HTTP endpoint,
+  with explicit cache-warming phases, results verified bit-identical to
+  direct ``engine.search`` before timing.
 
 Invoke as ``python -m repro ...`` (or the ``repro`` console script when the
 package is installed with entry points enabled).
@@ -252,6 +260,16 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="slow-query dump destination ('-' for stderr; default: the "
         "access log stream, else stderr)",
     )
+    serve_http_cmd.add_argument(
+        "--capture", default=None, metavar="PATH",
+        help="record served /search traffic as a replayable JSONL workload "
+        "(see 'repro replay')",
+    )
+    serve_http_cmd.add_argument(
+        "--capture-sample", type=float, default=1.0, metavar="FRACTION",
+        help="fraction of /search requests recorded into --capture "
+        "(default: 1.0, everything)",
+    )
     _add_sharding_arguments(serve_http_cmd)
 
     doctor_cmd = subparsers.add_parser(
@@ -343,6 +361,130 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="host:port or URL of a running 'repro serve-http' (its /metrics "
         "is fetched); omitted: render this process's own registry",
     )
+    metrics_cmd.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="socket timeout for the scrape (default: 10)",
+    )
+
+    bench_cmd = subparsers.add_parser(
+        "bench",
+        help="the performance observatory: run benchmark suites, compare "
+        "BENCH_*.json results",
+    )
+    bench_sub = bench_cmd.add_subparsers(dest="bench_command", required=True)
+    bench_run_cmd = bench_sub.add_parser(
+        "run",
+        help="run registered suites; write one BENCH_<suite>.json each",
+    )
+    bench_run_cmd.add_argument(
+        "--suite", action="append", default=None, metavar="NAME",
+        help="suite to run (repeatable; default: all registered suites)",
+    )
+    bench_run_cmd.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke scale: smaller corpus, fewer repeats",
+    )
+    bench_run_cmd.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="where BENCH_<suite>.json files are written (default: .)",
+    )
+    bench_run_cmd.add_argument(
+        "--profile", type=int, nargs="?", const=15, default=0, metavar="TOP_N",
+        help="attach cProfile to every case and print the top-N cumulative "
+        "hotspots (default N: 15)",
+    )
+    bench_run_cmd.add_argument(
+        "--list", action="store_true", dest="list_suites",
+        help="list registered suites and exit",
+    )
+    bench_compare_cmd = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH results (files or directories); exit non-zero "
+        "on regression",
+    )
+    bench_compare_cmd.add_argument(
+        "baseline", help="baseline BENCH_*.json file or directory of them"
+    )
+    bench_compare_cmd.add_argument(
+        "current", help="current BENCH_*.json file or directory of them"
+    )
+    bench_compare_cmd.add_argument(
+        "--fail-over", type=float, default=10.0, metavar="PCT",
+        help="fail when any case's min_seconds regressed by more than PCT "
+        "percent (default: 10)",
+    )
+
+    replay_cmd = subparsers.add_parser(
+        "replay",
+        help="replay a captured or synthetic-zipf workload against an "
+        "engine or a live serve-http endpoint (verified, then timed)",
+    )
+    replay_cmd.add_argument(
+        "index_file",
+        help="collection file; builds the direct reference engine (and, "
+        "without --url, the cached replay target)",
+    )
+    replay_cmd.add_argument(
+        "workload", nargs="?", default=None,
+        help="JSONL workload from 'serve-http --capture' (omit with "
+        "--synthetic-zipf)",
+    )
+    replay_cmd.add_argument(
+        "--synthetic-zipf", type=float, default=None, metavar="SKEW",
+        help="generate a zipfian-skewed synthetic workload with this skew "
+        "instead of reading a capture file (0 = uniform)",
+    )
+    replay_cmd.add_argument(
+        "--count", type=int, default=200,
+        help="synthetic workload length (default: 200)",
+    )
+    replay_cmd.add_argument(
+        "--pool-size", type=int, default=32,
+        help="synthetic query pool size, hottest corpus tokens first "
+        "(default: 32)",
+    )
+    replay_cmd.add_argument(
+        "--top-k", type=_positive_int, default=10,
+        help="top_k of synthetic queries (default: 10)",
+    )
+    replay_cmd.add_argument(
+        "--seed", type=int, default=0,
+        help="random seed of the synthetic zipf draw (default: 0)",
+    )
+    replay_cmd.add_argument(
+        "--url", default=None, metavar="URL",
+        help="replay over HTTP against a running serve-http instead of an "
+        "in-process engine",
+    )
+    replay_cmd.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request HTTP timeout with --url (default: 30)",
+    )
+    replay_cmd.add_argument(
+        "--warm-passes", type=int, default=1,
+        help="cache-warming passes over the distinct queries before timing "
+        "(default: 1; 0 replays cold)",
+    )
+    replay_cmd.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the bit-identical results check against direct "
+        "engine.search (verification is on by default)",
+    )
+    replay_cmd.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write the replay report as JSON to PATH",
+    )
+    replay_cmd.add_argument(
+        "--scoring", default="tfidf", choices=["none", "tfidf", "probabilistic"]
+    )
+    replay_cmd.add_argument(
+        "--access-mode", default="fast", choices=["paper", "fast"]
+    )
+    replay_cmd.add_argument(
+        "--cache-size", type=int, default=128,
+        help="result-cache capacity of the in-process replay target "
+        "(default: 128; 0 replays uncached)",
+    )
 
     info_cmd = subparsers.add_parser("info", help="statistics of a saved index")
     info_cmd.add_argument("index_file")
@@ -417,6 +559,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_ingest(args)
         if args.command == "experiment":
             return _command_experiment(args)
+        if args.command == "bench":
+            return _command_bench(args)
+        if args.command == "replay":
+            return _command_replay(args)
         parser.error(f"unknown command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -526,15 +672,134 @@ def _command_metrics(args: argparse.Namespace) -> int:
         if not target.rstrip("/").endswith("/metrics"):
             target = target.rstrip("/") + "/metrics"
         try:
-            with urlopen(target, timeout=10.0) as response:
+            with urlopen(target, timeout=args.timeout) as response:
                 sys.stdout.write(response.read().decode("utf-8"))
-        except (URLError, OSError, ValueError) as exc:
+        except URLError as exc:
+            reason = exc.reason
+            if isinstance(reason, ConnectionRefusedError):
+                print(
+                    f"error: connection refused by {target} -- is "
+                    f"'repro serve-http' running there?",
+                    file=sys.stderr,
+                )
+            elif isinstance(reason, TimeoutError):
+                print(
+                    f"error: {target} did not answer within "
+                    f"{args.timeout:g} s (--timeout raises the limit)",
+                    file=sys.stderr,
+                )
+            else:
+                print(f"error: cannot scrape {target}: {reason}", file=sys.stderr)
+            return 1
+        except (OSError, ValueError) as exc:
             print(f"error: cannot scrape {target}: {exc}", file=sys.stderr)
             return 1
         return 0
     from repro.telemetry import render_metrics
 
     sys.stdout.write(render_metrics())
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.bench.perf import (
+        available_suites,
+        compare_results,
+        render_comparison,
+        run_suites,
+    )
+
+    if args.bench_command == "run":
+        if args.list_suites:
+            for name, description in available_suites():
+                print(f"{name:<14} {description}")
+            return 0
+        written = run_suites(
+            args.suite,
+            quick=args.quick,
+            out_dir=args.out_dir,
+            profile_top=args.profile,
+            echo=print,
+        )
+        print(f"wrote {len(written)} result file(s) to {args.out_dir}")
+        return 0
+    if args.bench_command == "compare":
+        deltas, notes, regressions = compare_results(
+            args.baseline, args.current, args.fail_over
+        )
+        print(render_comparison(deltas, notes, regressions, args.fail_over))
+        return 1 if regressions else 0
+    raise ReproError(f"unknown bench command {args.bench_command!r}")
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    from repro.bench.capture import (
+        load_workload,
+        query_pool_from_collection,
+        synthetic_zipf_workload,
+    )
+    from repro.bench.replay import (
+        EngineTarget,
+        HttpTarget,
+        render_replay_report,
+        replay_workload,
+        write_replay_report,
+    )
+
+    if (args.workload is None) == (args.synthetic_zipf is None):
+        raise ReproError(
+            "pass exactly one workload source: a capture file, or "
+            "--synthetic-zipf SKEW"
+        )
+    scoring = None if args.scoring == "none" else args.scoring
+    collection = load_collection(args.index_file)
+    if args.workload is not None:
+        records = load_workload(args.workload)
+        source = args.workload
+    else:
+        pool = query_pool_from_collection(collection, size=args.pool_size)
+        records = synthetic_zipf_workload(
+            pool,
+            args.count,
+            args.synthetic_zipf,
+            top_k=args.top_k,
+            seed=args.seed,
+        )
+        source = f"synthetic zipf (skew {args.synthetic_zipf:g})"
+    # The reference engine is the plain, uncached direct path -- the ground
+    # truth every served result must match bit-for-bit.
+    reference = FullTextEngine.from_collection(
+        collection, scoring=scoring, access_mode=args.access_mode
+    )
+    target_engine = None
+    try:
+        if args.url:
+            target = HttpTarget(args.url, timeout=args.timeout)
+        else:
+            target_engine = FullTextEngine.from_collection(
+                collection,
+                scoring=scoring,
+                access_mode=args.access_mode,
+                cache_size=args.cache_size if args.cache_size > 0 else None,
+            )
+            target = EngineTarget(target_engine)
+        print(f"replay: {len(records)} record(s) from {source}")
+        report = replay_workload(
+            records,
+            target,
+            reference_engine=None if args.no_verify else reference,
+            warm_passes=max(args.warm_passes, 0),
+            verify=not args.no_verify,
+            echo=print,
+        )
+    finally:
+        reference.close()
+        if target_engine is not None:
+            target_engine.close()
+    print(render_replay_report(report))
+    if args.json_out:
+        path = write_replay_report(report, args.json_out)
+        print(f"report written to {path}")
     return 0
 
 
@@ -904,16 +1169,27 @@ def _command_serve_http(args: argparse.Namespace) -> int:
         )
     else:
         engine = _load_engine(args, cache_size=cache_size)
+    from repro.telemetry import ReopenableLog, install_sighup_reopen
+
+    # File logs are SIGHUP-reopenable so logrotate works without dropped
+    # lines; '-' and the default stay plain stderr.
     log_stream = None
     if args.access_log == "-":
         log_stream = sys.stderr
     elif args.access_log:
-        log_stream = open(args.access_log, "a", encoding="utf-8")
+        log_stream = ReopenableLog(args.access_log)
     slow_stream = None
     if args.slow_query_log == "-":
         slow_stream = sys.stderr
     elif args.slow_query_log:
-        slow_stream = open(args.slow_query_log, "a", encoding="utf-8")
+        slow_stream = ReopenableLog(args.slow_query_log)
+    capture = None
+    if args.capture:
+        from repro.bench.capture import WorkloadCapture
+
+        capture = WorkloadCapture(args.capture, sample=args.capture_sample)
+    if log_stream is not None or slow_stream is not None:
+        install_sighup_reopen()
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -926,11 +1202,24 @@ def _command_serve_http(args: argparse.Namespace) -> int:
         access_log=log_stream,
         slow_query_ms=args.slow_query_ms,
         slow_query_log=slow_stream,
+        capture=capture,
     )
     try:
         return serve(engine, config)
     finally:
         engine.close()
+        if capture is not None:
+            capture.close()
+            print(
+                f"capture: {capture.recorded} record(s) written to "
+                f"{capture.path}"
+                + (
+                    f" ({capture.skipped} sampled out)"
+                    if capture.skipped
+                    else ""
+                ),
+                flush=True,
+            )
         for stream in (log_stream, slow_stream):
             if stream is not None and stream is not sys.stderr:
                 stream.close()

@@ -55,6 +55,9 @@ class QueryCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self._unregistered = False
+        if instruments.REGISTRY.enabled:
+            instruments.QUERY_CACHE_CAPACITY.inc(capacity)
 
     def get(
         self, key: Hashable, accept: "Callable[[Any], bool] | None" = None
@@ -92,15 +95,38 @@ class QueryCache:
                 self.evictions += 1
                 if instruments.REGISTRY.enabled:
                     instruments.CACHE_EVICTIONS_TOTAL.inc()
+                    if not self._unregistered:
+                        instruments.QUERY_CACHE_ENTRIES.dec()
             self._entries[key] = value
+            if instruments.REGISTRY.enabled and not self._unregistered:
+                instruments.QUERY_CACHE_ENTRIES.inc()
 
     def invalidate(self) -> None:
         """Drop every entry (called on incremental index updates)."""
         with self._lock:
+            dropped = len(self._entries)
             self._entries.clear()
             self.invalidations += 1
             if instruments.REGISTRY.enabled:
                 instruments.CACHE_INVALIDATIONS_TOTAL.inc()
+                if dropped and not self._unregistered:
+                    instruments.QUERY_CACHE_ENTRIES.dec(dropped)
+
+    def unregister(self) -> None:
+        """Withdraw this cache's contribution to the shared gauges.
+
+        Called when the owning executor closes: the gauge families count
+        *open* caches, so a retired cache must not keep inflating them.
+        Idempotent; the cache itself keeps working afterwards.
+        """
+        with self._lock:
+            if self._unregistered:
+                return
+            self._unregistered = True
+            if instruments.REGISTRY.enabled:
+                instruments.QUERY_CACHE_CAPACITY.dec(self.capacity)
+                if self._entries:
+                    instruments.QUERY_CACHE_ENTRIES.dec(len(self._entries))
 
     def __len__(self) -> int:
         with self._lock:

@@ -203,6 +203,8 @@ class ScatterGatherExecutor:
         self._spool_owned = False
         self._spool_epoch = 0
         self._shard_paths: tuple[str, ...] = ()
+        # Bytes this executor last reported into repro_spool_bytes.
+        self._spool_bytes_reported = 0
         self._process_stale = True
         self._process_listener_registered = False
         self.mp_context = mp_context
@@ -422,6 +424,13 @@ class ScatterGatherExecutor:
             "bytes": total,
         }
 
+    def _report_spool_bytes(self, current: int) -> None:
+        """Move this executor's repro_spool_bytes contribution to ``current``."""
+        delta = current - self._spool_bytes_reported
+        if delta and instruments.REGISTRY.enabled:
+            instruments.SPOOL_BYTES.inc(delta)
+        self._spool_bytes_reported = current
+
     def close(self) -> None:
         """Shut the worker pool down and deregister listeners (idempotent).
 
@@ -438,6 +447,9 @@ class ScatterGatherExecutor:
             shutil.rmtree(self._spool_root, ignore_errors=True)
             self._spool_root = None
             self._spool_owned = False
+        self._report_spool_bytes(0)
+        if self.cache is not None:
+            self.cache.unregister()
         if self._process_listener_registered:
             self.sharded_index.remove_invalidation_listener(
                 self._mark_process_stale
@@ -599,6 +611,9 @@ class ScatterGatherExecutor:
         self._shard_paths = tuple(paths)
         if previous.exists():
             shutil.rmtree(previous, ignore_errors=True)
+        self._report_spool_bytes(
+            sum(Path(path).stat().st_size for path in paths)
+        )
 
     def _teardown_process_pool(self) -> None:
         if self._process_pool is not None:

@@ -296,8 +296,42 @@ class SegmentManager:
         self._compacting = False
         self._auto_thread: threading.Thread | None = None
         self._auto_stop: threading.Event | None = None
+        # What this manager last reported into the shared gauges; deltas
+        # against these keep multi-instance (per-shard) sums exact.
+        self._memtable_reported = 0
+        self._tiers_reported: dict[int, int] = {}
+        self._backlog_reported = 0
         if collection is not None and len(collection):
             self._bootstrap(collection)
+
+    # --------------------------------------------------------------- gauges
+    def _report_memtable(self) -> None:
+        """Move this manager's repro_memtable_docs share to the current count."""
+        current = self._memtable.doc_count
+        delta = current - self._memtable_reported
+        if delta and instruments.REGISTRY.enabled:
+            instruments.MEMTABLE_DOCS.inc(delta)
+        self._memtable_reported = current
+
+    def _report_tiers(self) -> None:
+        """Recompute segments-per-tier and compaction backlog; apply deltas."""
+        tiers: dict[int, int] = {}
+        for segment in self._segments:
+            tier = self._tier_of(segment.live_count())
+            tiers[tier] = tiers.get(tier, 0) + 1
+        if instruments.REGISTRY.enabled:
+            for tier in self._tiers_reported.keys() | tiers.keys():
+                delta = tiers.get(tier, 0) - self._tiers_reported.get(tier, 0)
+                if delta:
+                    instruments.SEGMENTS.labels(str(tier)).inc(delta)
+        self._tiers_reported = tiers
+        backlog = sum(
+            1 for count in tiers.values() if count >= self.compaction_fanout
+        )
+        delta = backlog - self._backlog_reported
+        if delta and instruments.REGISTRY.enabled:
+            instruments.COMPACTION_BACKLOG.inc(delta)
+        self._backlog_reported = backlog
 
     # ------------------------------------------------------------ bootstrap
     def _bootstrap(self, collection: Collection) -> None:
@@ -321,6 +355,7 @@ class SegmentManager:
             if node.node_id > self._max_assigned_id:
                 self._max_assigned_id = node.node_id
         self.flush_count += 1
+        self._report_tiers()
 
     def restore(self, segments: list[SealedSegment], max_assigned_id: int) -> None:
         """Adopt segments loaded from disk into an empty manager.
@@ -352,6 +387,7 @@ class SegmentManager:
                     self._locations[node_id] = segment.generation
                     self.collection.add(segment.data.docs[node_id])
             self._max_assigned_id = highest
+            self._report_tiers()
 
     # ------------------------------------------------------------ sequencing
     @property
@@ -396,6 +432,7 @@ class SegmentManager:
             self.collection.add(node)
             if node.node_id > self._max_assigned_id:
                 self._max_assigned_id = node.node_id
+            self._report_memtable()
             self._maybe_flush()
 
     def update(self, node: ContextNode) -> None:
@@ -416,6 +453,7 @@ class SegmentManager:
                 self._memtable.add(node)
                 self._locations[node.node_id] = MEMTABLE_LOCATION
             self.collection.replace(node)
+            self._report_memtable()
             self._maybe_flush()
 
     def delete(self, node_id: int) -> bool:
@@ -431,6 +469,7 @@ class SegmentManager:
                 self._by_generation[location].tombstones.mark(node_id, self._seq)
             del self._locations[node_id]
             self.collection.remove(node_id)
+            self._report_memtable()
             return True
 
     # --------------------------------------------------------------- sealing
@@ -452,6 +491,8 @@ class SegmentManager:
                 self._locations[node_id] = segment.generation
             self._memtable.clear()
             self.flush_count += 1
+            self._report_memtable()
+            self._report_tiers()
             if instruments.REGISTRY.enabled:
                 instruments.MEMTABLE_SEALS_TOTAL.inc()
             if self._on_seal is not None:
@@ -579,6 +620,7 @@ class SegmentManager:
                 if self._locations.get(node_id) in source_generations:
                     self._locations[node_id] = merged.generation
             self.compaction_count += 1
+            self._report_tiers()
             if instruments.REGISTRY.enabled:
                 instruments.COMPACTIONS_TOTAL.inc()
                 instruments.COMPACTION_SECONDS.observe(

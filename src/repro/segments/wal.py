@@ -44,18 +44,35 @@ class WriteAheadLog:
         self.appended = 0
         self.synced_batches = 0
         self._pending = 0
+        #: Bytes this instance has reported into the repro_wal_bytes gauge;
+        #: deltas against it keep the gauge exact across many open WALs.
+        self._bytes_reported = 0
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "ab")
         except OSError as exc:
             raise StorageError(f"cannot open WAL {self.path}: {exc}") from exc
+        self._report_bytes(self._handle.tell())
+
+    # ------------------------------------------------------------- gauges
+    def _report_bytes(self, current: int) -> None:
+        """Move this WAL's repro_wal_bytes contribution to ``current``."""
+        delta = current - self._bytes_reported
+        if delta and instruments.REGISTRY.enabled:
+            instruments.WAL_BYTES.inc(delta)
+        self._bytes_reported = current
+
+    def _report_pending(self, delta: int) -> None:
+        if delta and instruments.REGISTRY.enabled:
+            instruments.WAL_PENDING_RECORDS.inc(delta)
 
     # ------------------------------------------------------------- writing
     def append(self, record: dict[str, Any]) -> None:
         """Serialise one operation record; fsync when the batch fills up."""
         line = json.dumps(record, separators=(",", ":")) + "\n"
+        encoded = line.encode("utf-8")
         try:
-            self._handle.write(line.encode("utf-8"))
+            self._handle.write(encoded)
             self._handle.flush()
         except (OSError, ValueError) as exc:
             raise StorageError(f"cannot append to WAL {self.path}: {exc}") from exc
@@ -63,6 +80,8 @@ class WriteAheadLog:
         self._pending += 1
         if instruments.REGISTRY.enabled:
             instruments.WAL_APPENDS_TOTAL.inc()
+        self._report_bytes(self._bytes_reported + len(encoded))
+        self._report_pending(1)
         if self._pending >= self.sync_every:
             self.sync()
 
@@ -79,6 +98,7 @@ class WriteAheadLog:
             self.synced_batches += 1
             if instruments.REGISTRY.enabled:
                 instruments.WAL_FSYNCS_TOTAL.inc()
+        self._report_pending(-self._pending)
         self._pending = 0
 
     def reset(self) -> None:
@@ -90,6 +110,8 @@ class WriteAheadLog:
             os.fsync(self._handle.fileno())
         except OSError as exc:
             raise StorageError(f"cannot reset WAL {self.path}: {exc}") from exc
+        self._report_bytes(0)
+        self._report_pending(-self._pending)
         self._pending = 0
 
     def close(self) -> None:
@@ -97,6 +119,9 @@ class WriteAheadLog:
         if not self._handle.closed:
             self.sync()
             self._handle.close()
+            # Withdraw this instance's gauge contribution: the family counts
+            # *open* WALs only.
+            self._report_bytes(0)
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -104,6 +104,9 @@ class ServerConfig:
     #: Writable text stream for slow-query JSONL dumps (defaults to the
     #: access log stream, else stderr, when ``slow_query_ms`` is set).
     slow_query_log: "object | None" = field(default=None, repr=False)
+    #: Optional :class:`~repro.bench.capture.WorkloadCapture` recording
+    #: sampled /search traffic into a replayable JSONL workload.
+    capture: "object | None" = field(default=None, repr=False)
 
 
 class QueryServer:
@@ -404,6 +407,8 @@ class QueryServer:
             )
         except DeadlineExceeded:
             self._slowlog_check(started, text, trace, 504, request_id)
+            self._capture_check(started, request, text, top_k, language,
+                                engine_choice, 504, request_id)
             return 504, error_payload(
                 "deadline_exceeded",
                 f"query {text!r} missed its {timeout_ms:.0f} ms deadline",
@@ -439,7 +444,34 @@ class QueryServer:
             trace.end()
             payload["trace"] = trace.to_dict()
         self._slowlog_check(started, text, trace, 200, request_id)
+        self._capture_check(started, request, text, top_k, language,
+                            engine_choice, 200, request_id)
         return 200, payload
+
+    def _capture_check(
+        self,
+        started: float,
+        request: Request,
+        text: str,
+        top_k: int | None,
+        language: str,
+        engine_choice: str,
+        status: int,
+        request_id: str | None,
+    ) -> None:
+        capture = self.config.capture
+        if capture is None:
+            return
+        capture.record(
+            query=text,
+            top_k=top_k,
+            language=language,
+            engine=engine_choice,
+            method=request.method,
+            status=status,
+            request_id=request_id,
+            elapsed_ms=(time.monotonic() - started) * 1000.0,
+        )
 
     def _slowlog_check(
         self,
@@ -578,6 +610,7 @@ class QueryServer:
                 "latency": latency,
                 "batching": self.dispatcher.stats(),
             },
+            "gauges": instruments.gauge_snapshot(),
             "engine": engine_stats,
         }
 
@@ -608,11 +641,15 @@ class QueryServer:
     # ------------------------------------------------------------ accounting
     def _enter(self) -> None:
         self._active += 1
+        if instruments.REGISTRY.enabled:
+            instruments.HTTP_INFLIGHT_REQUESTS.inc()
         if self._idle is not None:
             self._idle.clear()
 
     def _leave(self) -> None:
         self._active -= 1
+        if instruments.REGISTRY.enabled:
+            instruments.HTTP_INFLIGHT_REQUESTS.dec()
         if self._active == 0 and self._idle is not None:
             self._idle.set()
 

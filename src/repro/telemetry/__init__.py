@@ -34,6 +34,11 @@ from repro.telemetry.registry import (
     render_metrics,
     set_enabled,
 )
+from repro.telemetry.logs import (
+    ReopenableLog,
+    install_sighup_reopen,
+    reopen_all,
+)
 from repro.telemetry.trace import Span, Trace, new_trace_id
 from repro.telemetry.explain import render_explain
 from repro.telemetry.slowlog import SlowQueryLog
@@ -52,6 +57,9 @@ __all__ = [
     "get_registry",
     "render_metrics",
     "set_enabled",
+    "ReopenableLog",
+    "install_sighup_reopen",
+    "reopen_all",
     "Span",
     "Trace",
     "new_trace_id",

@@ -96,6 +96,94 @@ SPOOL_RESPILLS_TOTAL = REGISTRY.counter(
     "Process-scatter spool (re)spills of the shard set to packed files.",
 )
 
+# ------------------------------------------------------------------- gauges
+# Live-tier and server state.  Every gauge is updated with **deltas**
+# (``inc``/``dec`` by the exact amount that changed), never absolute
+# ``set()``: several instances of a component may coexist in one process
+# (one WAL and one segment manager per live shard, one query cache per
+# executor), and deltas make their contributions sum correctly.  Components
+# that recompute a derived quantity (segments per tier, compaction backlog,
+# spool bytes) keep a per-instance record of what they last reported and
+# apply ``new - reported`` so the family always equals the sum over open
+# instances.  Instance teardown (WAL close, executor close) withdraws its
+# contribution.
+WAL_BYTES = REGISTRY.gauge(
+    "repro_wal_bytes",
+    "Bytes currently held by open write-ahead logs.",
+)
+WAL_PENDING_RECORDS = REGISTRY.gauge(
+    "repro_wal_pending_records",
+    "WAL records appended since the last fsync batch, across open WALs.",
+)
+MEMTABLE_DOCS = REGISTRY.gauge(
+    "repro_memtable_docs",
+    "Live documents buffered in mutable memtables (not yet sealed).",
+)
+SEGMENTS = REGISTRY.gauge(
+    "repro_segments",
+    "Sealed segments currently live, by compaction tier.",
+    ("tier",),
+)
+COMPACTION_BACKLOG = REGISTRY.gauge(
+    "repro_compaction_backlog",
+    "Tiers currently holding enough segments to trigger a compaction merge.",
+)
+QUERY_CACHE_ENTRIES = REGISTRY.gauge(
+    "repro_query_cache_entries",
+    "Entries resident in query result caches.",
+)
+QUERY_CACHE_CAPACITY = REGISTRY.gauge(
+    "repro_query_cache_capacity",
+    "Total entry capacity of open query result caches.",
+)
+SPOOL_BYTES = REGISTRY.gauge(
+    "repro_spool_bytes",
+    "Bytes of packed shard files in process-scatter spool directories.",
+)
+HTTP_INFLIGHT_REQUESTS = REGISTRY.gauge(
+    "repro_http_inflight_requests",
+    "HTTP requests currently being handled by the server.",
+)
+
+#: The gauge families surfaced in the ``/stats`` payload, name -> Gauge.
+GAUGES = {
+    gauge.name: gauge
+    for gauge in (
+        WAL_BYTES,
+        WAL_PENDING_RECORDS,
+        MEMTABLE_DOCS,
+        SEGMENTS,
+        COMPACTION_BACKLOG,
+        QUERY_CACHE_ENTRIES,
+        QUERY_CACHE_CAPACITY,
+        SPOOL_BYTES,
+        HTTP_INFLIGHT_REQUESTS,
+    )
+}
+
+
+def gauge_snapshot() -> dict:
+    """Current value of every gauge family, JSON-shaped for ``/stats``.
+
+    Unlabelled families map to a number; labelled families map to a dict of
+    ``label=value`` keys (e.g. ``{"tier=0": 3.0}``).
+    """
+    snapshot: dict = {}
+    for name, gauge in GAUGES.items():
+        if not gauge.labelnames:
+            snapshot[name] = gauge.value()
+            continue
+        children: dict = {}
+        for key, child in gauge._sorted_children():
+            label = ",".join(
+                f"{label_name}={value}"
+                for label_name, value in zip(gauge.labelnames, key)
+            )
+            children[label] = child.value()
+        snapshot[name] = children
+    return snapshot
+
+
 # --------------------------------------------------------------------- http
 HTTP_REQUESTS_TOTAL = REGISTRY.counter(
     "repro_http_requests_total",

@@ -1,0 +1,96 @@
+"""Reopenable JSONL log files: logrotate-friendly access/slow-query sinks.
+
+The access log and the slow-query log both emit one JSON object per line
+with an explicit ``flush`` after every write, so a crash never loses an
+acknowledged line and a ``tail -f`` always sees current traffic.  That
+covers half of what logrotate needs; the other half is the *reopen*: after
+rotation the old inode keeps receiving writes unless the process reopens
+its path.  :class:`ReopenableLog` implements the standard contract --
+``kill -HUP`` makes every registered log close its handle and reopen the
+configured path, which by then points at the fresh post-rotation file.
+
+The class quacks like a text stream (``write``/``flush``) so it drops into
+every ``print(line, file=log, flush=True)`` call site unchanged.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from pathlib import Path
+
+#: Every live ReopenableLog, so one SIGHUP reopens all of them.
+_OPEN_LOGS: "list[ReopenableLog]" = []
+_OPEN_LOGS_LOCK = threading.Lock()
+
+
+class ReopenableLog:
+    """An append-mode text file that can be reopened in place (for SIGHUP).
+
+    Writes are serialised by a lock: the asyncio server emits from the event
+    loop while a SIGHUP may reopen from the main thread, and a line must
+    never straddle the old and new file.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(Path(path))
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        with _OPEN_LOGS_LOCK:
+            _OPEN_LOGS.append(self)
+
+    # ------------------------------------------------------- stream protocol
+    def write(self, text: str) -> int:
+        with self._lock:
+            return self._handle.write(text)
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+
+    # ------------------------------------------------------------- rotation
+    def reopen(self) -> None:
+        """Close and reopen the configured path (called on SIGHUP)."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+        with _OPEN_LOGS_LOCK:
+            if self in _OPEN_LOGS:
+                _OPEN_LOGS.remove(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ReopenableLog(path={self.path!r})"
+
+
+def reopen_all() -> int:
+    """Reopen every registered log; returns how many were reopened."""
+    with _OPEN_LOGS_LOCK:
+        logs = list(_OPEN_LOGS)
+    for log in logs:
+        log.reopen()
+    return len(logs)
+
+
+def install_sighup_reopen() -> bool:
+    """Route SIGHUP to :func:`reopen_all` (no-op where SIGHUP is missing).
+
+    Returns True when the handler was installed.  Must be called from the
+    main thread (a CPython ``signal`` requirement); the CLI does this once
+    before starting the server.
+    """
+    if not hasattr(signal, "SIGHUP"):  # pragma: no cover - Windows
+        return False
+    try:
+        signal.signal(signal.SIGHUP, lambda signum, frame: reopen_all())
+    except ValueError:  # pragma: no cover - not the main thread
+        return False
+    return True

@@ -1,0 +1,221 @@
+"""Workload capture, synthetic zipfian workloads, and in-process replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.capture import (
+    CAPTURE_VERSION,
+    WorkloadCapture,
+    load_workload,
+    query_pool_from_collection,
+    synthetic_zipf_workload,
+    zipf_weights,
+)
+from repro.bench.replay import EngineTarget, render_replay_report, replay_workload
+from repro.core.engine import FullTextEngine
+from repro.corpus.synthetic import generate_inex_like_collection
+from repro.exceptions import ReproError
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return generate_inex_like_collection(
+        num_nodes=120, tokens_per_node=50, pos_per_entry=2
+    )
+
+
+# -------------------------------------------------------------------- capture
+def test_capture_round_trip(tmp_path):
+    path = tmp_path / "workload.jsonl"
+    capture = WorkloadCapture(path)
+    assert capture.record(query="'alpha'", top_k=10, request_id="r1",
+                          elapsed_ms=1.234, status=200)
+    assert capture.record(query="'beta'", top_k=None, status=504)
+    capture.close()
+    records = load_workload(path)  # default: only status-200 records replay
+    assert len(records) == 1
+    (record,) = records
+    assert record["v"] == CAPTURE_VERSION
+    assert record["q"] == "'alpha'"
+    assert record["top_k"] == 10
+    assert record["request_id"] == "r1"
+    assert record["elapsed_ms"] == 1.234
+
+
+def test_capture_every_line_is_complete_json(tmp_path):
+    """Per-line flush: a capture killed mid-stream stays parseable."""
+    path = tmp_path / "flush.jsonl"
+    capture = WorkloadCapture(path)
+    for index in range(5):
+        capture.record(query=f"'q{index}'", top_k=5)
+    # Read WITHOUT closing: every line must already be durable and complete.
+    lines = path.read_text().splitlines()
+    assert len(lines) == 5
+    for line in lines:
+        json.loads(line)
+    capture.close()
+
+
+def test_capture_sampling_is_seeded_and_bounded(tmp_path):
+    capture = WorkloadCapture(tmp_path / "s.jsonl", sample=0.5, seed=7)
+    for index in range(200):
+        capture.record(query=f"'q{index}'", top_k=5)
+    capture.close()
+    assert capture.recorded + capture.skipped == 200
+    assert 50 < capture.recorded < 150  # ~half, seeded so never flaky
+    with pytest.raises(ReproError, match="sample"):
+        WorkloadCapture(tmp_path / "bad.jsonl", sample=0.0)
+
+
+def test_load_workload_drops_a_torn_tail_only(tmp_path):
+    path = tmp_path / "torn.jsonl"
+    good = json.dumps({"v": 1, "q": "'a'", "top_k": 5, "status": 200})
+    path.write_text(good + "\n" + '{"v": 1, "q": "\'b')  # cut mid-write
+    records = load_workload(path)
+    assert [record["q"] for record in records] == ["'a'"]
+
+
+def test_load_workload_raises_on_mid_file_corruption(tmp_path):
+    path = tmp_path / "corrupt.jsonl"
+    good = json.dumps({"v": 1, "q": "'a'", "top_k": 5})
+    path.write_text("not json\n" + good + "\n")
+    with pytest.raises(ReproError, match="corrupt"):
+        load_workload(path)
+
+
+def test_load_workload_rejects_empty_workloads(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ReproError, match="no replayable"):
+        load_workload(path)
+
+
+# ------------------------------------------------------------------ synthetic
+def test_zipf_weights_shape():
+    weights = zipf_weights(4, 1.0)
+    assert weights == [1.0, 0.5, 1 / 3, 0.25]
+    assert zipf_weights(3, 0.0) == [1.0, 1.0, 1.0]
+    with pytest.raises(ReproError):
+        zipf_weights(0, 1.0)
+    with pytest.raises(ReproError):
+        zipf_weights(4, -1.0)
+
+
+def test_synthetic_workload_is_deterministic_and_skewed():
+    pool = [f"'q{index}'" for index in range(16)]
+    one = synthetic_zipf_workload(pool, count=400, skew=1.2, seed=3)
+    two = synthetic_zipf_workload(pool, count=400, skew=1.2, seed=3)
+    assert one == two  # same seed, same stream
+    counts = {}
+    for record in one:
+        counts[record["q"]] = counts.get(record["q"], 0) + 1
+    assert counts["'q0'"] > counts.get("'q15'", 0)  # the head is hot
+    assert all(record["status"] == 200 for record in one)
+
+
+def test_query_pool_prefers_hot_tokens(collection):
+    pool = query_pool_from_collection(collection, size=12)
+    assert len(pool) == 12
+    assert all(query.startswith("'") for query in pool)
+    engine = FullTextEngine.from_collection(collection, access_mode="fast")
+    try:
+        # The head of the pool is the hottest token: it must match widely.
+        assert len(engine.search(pool[0])) > 0
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------- replay
+def test_replay_verifies_bit_identical_and_reports(collection):
+    pool = query_pool_from_collection(collection, size=8)
+    records = synthetic_zipf_workload(pool, count=120, skew=1.1, seed=1)
+    reference = FullTextEngine.from_collection(
+        collection, scoring="tfidf", access_mode="fast"
+    )
+    target_engine = FullTextEngine.from_collection(
+        collection, scoring="tfidf", access_mode="fast", cache_size=64
+    )
+    try:
+        report = replay_workload(
+            records, EngineTarget(target_engine), reference,
+            warm_passes=1,
+        )
+    finally:
+        reference.close()
+        target_engine.close()
+    assert report["verified"] is True
+    assert report["verify_mismatches"] == 0
+    assert report["records"] == 120
+    assert report["distinct_queries"] == len(set(pool) & {r["q"] for r in records})
+    latency = report["latency_ms"]
+    assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+    assert report["throughput_per_s"] > 0
+    assert report["cache_hit_curve"][-1]["requests"] == 120
+    rendered = render_replay_report(report)
+    assert "bit-identical" in rendered
+
+
+def test_replay_verification_catches_a_diverging_target(collection):
+    pool = query_pool_from_collection(collection, size=4)
+    records = synthetic_zipf_workload(pool, count=20, skew=1.0, seed=2)
+    reference = FullTextEngine.from_collection(
+        collection, scoring="tfidf", access_mode="fast"
+    )
+    lying = FullTextEngine.from_collection(
+        collection, scoring="tfidf", access_mode="fast"
+    )
+
+    class LyingTarget(EngineTarget):
+        def search(self, record):
+            results = super().search(record)
+            return [(node_id, score * 1.000001) for node_id, score in results]
+
+    try:
+        with pytest.raises(ReproError, match="verification failed"):
+            replay_workload(records, LyingTarget(lying), reference)
+    finally:
+        reference.close()
+        lying.close()
+
+
+def test_warm_phase_raises_the_measured_hit_rate(collection):
+    """The explicit warm phase is what makes the measure phase cache-hot."""
+    pool = query_pool_from_collection(collection, size=8)
+    records = synthetic_zipf_workload(pool, count=80, skew=0.8, seed=4)
+
+    def measure(warm_passes: int) -> dict:
+        target = FullTextEngine.from_collection(
+            collection, scoring="tfidf", access_mode="fast", cache_size=64
+        )
+        try:
+            # verify=False: verification itself would warm the target cache.
+            return replay_workload(
+                records, EngineTarget(target),
+                verify=False, warm_passes=warm_passes,
+            )
+        finally:
+            target.close()
+
+    cold = measure(warm_passes=0)
+    warm = measure(warm_passes=1)
+    assert warm["warm_hit_rate"] is not None
+    assert warm["measure_hit_rate"] == 1.0  # every shape pre-warmed
+    assert warm["measure_hit_rate"] > cold["measure_hit_rate"]
+    # The cold run's first chunk pays the misses the warm run never sees.
+    assert cold["cache_hit_curve"][0]["hit_rate"] < 1.0
+
+
+def test_replay_rejects_empty_and_unreferenced_runs(collection):
+    engine = FullTextEngine.from_collection(collection, access_mode="fast")
+    try:
+        with pytest.raises(ReproError, match="empty"):
+            replay_workload([], EngineTarget(engine))
+        with pytest.raises(ReproError, match="reference"):
+            replay_workload(
+                [{"q": "'a'", "top_k": 5}], EngineTarget(engine), None
+            )
+    finally:
+        engine.close()

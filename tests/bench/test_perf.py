@@ -1,0 +1,198 @@
+"""The performance observatory core: timing, schema, the comparison gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    SCHEMA_VERSION,
+    SuiteRun,
+    Timing,
+    available_suites,
+    compare_results,
+    env_fingerprint,
+    load_results,
+    profile_call,
+    register_suite,
+    render_comparison,
+    run_suites,
+    time_call,
+)
+from repro.exceptions import ReproError
+
+
+# --------------------------------------------------------------------- timing
+def test_time_call_runs_warmup_then_repeats():
+    calls = []
+    timing = time_call(lambda: calls.append(1), repeats=3, warmup=2)
+    assert len(calls) == 5
+    assert len(timing.samples) == 3
+    assert timing.min <= timing.mean <= timing.max
+
+
+def test_time_call_rejects_bad_arguments():
+    with pytest.raises(ReproError):
+        time_call(lambda: None, repeats=0)
+    with pytest.raises(ReproError):
+        time_call(lambda: None, warmup=-1)
+
+
+def test_timing_statistics():
+    timing = Timing((3.0, 1.0, 2.0))
+    assert timing.min == 1.0
+    assert timing.mean == 2.0
+    assert timing.max == 3.0
+
+
+def test_profile_call_reports_hotspots():
+    report = profile_call(lambda: sorted(range(500)), top=5)
+    assert "cumulative" in report
+
+
+# --------------------------------------------------------------------- schema
+def test_suite_run_serializes_the_documented_schema():
+    run = SuiteRun("unit", quick=True)
+    run.corpus = {"nodes": 10}
+    run.case("fast/one", lambda: None, repeats=2, warmup=0,
+             items=4, verified=True, extra={"matches": 7})
+    payload = run.to_dict()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["suite"] == "unit"
+    assert payload["quick"] is True
+    assert payload["corpus"] == {"nodes": 10}
+    assert set(payload["env"]) == {
+        "python", "implementation", "platform", "machine", "cpu_count",
+    }
+    (case,) = payload["cases"]
+    assert case["name"] == "fast/one"
+    assert case["repeats"] == 2 and case["warmup"] == 0
+    assert case["min_seconds"] <= case["mean_seconds"] <= case["max_seconds"]
+    assert case["throughput_per_s"] == pytest.approx(4 / case["min_seconds"])
+    assert case["verified"] is True
+    assert case["extra"] == {"matches": 7}
+    json.dumps(payload)  # JSON-serializable end to end
+
+
+def test_env_fingerprint_has_concrete_values():
+    env = env_fingerprint()
+    assert env["python"] and env["platform"]
+    assert env["cpu_count"] >= 1
+
+
+def test_builtin_suites_are_registered():
+    names = {name for name, _ in available_suites()}
+    assert {"hierarchy", "access_modes", "topk", "sharding",
+            "live_ingest"} <= names
+
+
+# ----------------------------------------------------------------- the runner
+@register_suite("unit_test_suite", "a tiny suite used by the unit tests")
+def _unit_suite(run: SuiteRun) -> None:
+    run.corpus = {"nodes": 1}
+    run.case("noop/a", lambda: None, repeats=2, warmup=0)
+    run.case("noop/b", lambda: sum(range(100)), repeats=2, warmup=0)
+
+
+def test_run_suites_writes_normalized_json(tmp_path):
+    (path,) = run_suites(["unit_test_suite"], quick=True, out_dir=tmp_path)
+    assert path.name == "BENCH_unit_test_suite.json"
+    payload = json.loads(path.read_text())
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert [case["name"] for case in payload["cases"]] == ["noop/a", "noop/b"]
+
+
+def test_run_suites_rejects_unknown_names(tmp_path):
+    with pytest.raises(ReproError, match="unknown suite"):
+        run_suites(["no_such_suite"], quick=True, out_dir=tmp_path)
+
+
+# ------------------------------------------------------------------- the gate
+def _write_result(path, suite, cases):
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "created_unix": 0.0,
+        "quick": True,
+        "env": {},
+        "corpus": {},
+        "cases": [
+            {
+                "name": name,
+                "repeats": 2,
+                "warmup": 0,
+                "min_seconds": seconds,
+                "mean_seconds": seconds,
+                "max_seconds": seconds,
+                "throughput_per_s": None,
+                "verified": None,
+                "extra": {},
+            }
+            for name, seconds in cases
+        ],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_compare_identical_results_passes(tmp_path):
+    base = _write_result(tmp_path / "BENCH_a.json", "a", [("x", 0.010)])
+    deltas, notes, regressions = compare_results(base, base, fail_over_pct=10.0)
+    assert [d.pct for d in deltas] == [0.0]
+    assert not notes and not regressions
+    assert "OK:" in render_comparison(deltas, notes, regressions, 10.0)
+
+
+def test_compare_detects_a_50_percent_slowdown(tmp_path):
+    base = _write_result(tmp_path / "base.json", "a", [("x", 0.010), ("y", 0.010)])
+    cur = _write_result(tmp_path / "cur.json", "a", [("x", 0.015), ("y", 0.010)])
+    deltas, notes, regressions = compare_results(base, cur, fail_over_pct=25.0)
+    assert len(regressions) == 1
+    assert regressions[0].name == "x"
+    assert regressions[0].pct == pytest.approx(50.0)
+    rendered = render_comparison(deltas, notes, regressions, 25.0)
+    assert "<< REGRESSION" in rendered and "FAIL:" in rendered
+
+
+def test_compare_tolerates_slowdowns_under_threshold(tmp_path):
+    base = _write_result(tmp_path / "base.json", "a", [("x", 0.010)])
+    cur = _write_result(tmp_path / "cur.json", "a", [("x", 0.011)])
+    _, _, regressions = compare_results(base, cur, fail_over_pct=25.0)
+    assert not regressions
+
+
+def test_unmatched_cases_are_notes_not_failures(tmp_path):
+    base = _write_result(tmp_path / "base.json", "a", [("gone", 0.010)])
+    cur = _write_result(tmp_path / "cur.json", "a", [("new", 0.010)])
+    deltas, notes, regressions = compare_results(base, cur, fail_over_pct=10.0)
+    assert not deltas and not regressions
+    assert any("missing from current" in note for note in notes)
+    assert any("no baseline" in note for note in notes)
+
+
+def test_compare_accepts_directories(tmp_path):
+    base_dir = tmp_path / "base"
+    cur_dir = tmp_path / "cur"
+    base_dir.mkdir()
+    cur_dir.mkdir()
+    _write_result(base_dir / "BENCH_a.json", "a", [("x", 0.010)])
+    _write_result(cur_dir / "BENCH_a.json", "a", [("x", 0.020)])
+    _, _, regressions = compare_results(base_dir, cur_dir, fail_over_pct=50.0)
+    assert len(regressions) == 1
+
+
+def test_load_results_rejects_schema_mismatch(tmp_path):
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text(json.dumps({"schema_version": 999, "suite": "a", "cases": []}))
+    with pytest.raises(ReproError, match="schema_version"):
+        load_results(bad)
+
+
+def test_load_results_rejects_missing_paths(tmp_path):
+    with pytest.raises(ReproError, match="does not exist"):
+        load_results(tmp_path / "nope.json")
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(ReproError, match="no BENCH"):
+        load_results(empty)

@@ -1,0 +1,76 @@
+"""Capture at the server, replay over HTTP, verify against direct search.
+
+The full observability round trip of ``--capture``: serve real HTTP
+traffic with a :class:`WorkloadCapture` attached, load the capture file
+back, and replay it through :class:`HttpTarget` against the same live
+server -- every replayed answer bit-identical to a direct, uncached
+``engine.search`` on a reference engine built from the same collection.
+"""
+
+from __future__ import annotations
+
+from harness import RunningServer, make_engine
+
+from repro.bench.capture import (
+    WorkloadCapture,
+    load_workload,
+    query_pool_from_collection,
+    synthetic_zipf_workload,
+)
+from repro.bench.replay import HttpTarget, replay_workload
+from repro.server import ServerConfig
+
+
+def test_http_capture_then_replay_is_bit_identical(server_collection, tmp_path):
+    capture_path = tmp_path / "captured.jsonl"
+    pool = query_pool_from_collection(server_collection, size=10)
+    workload = synthetic_zipf_workload(pool, count=120, skew=1.0, seed=11)
+
+    engine = make_engine(server_collection, cache_size=64)
+    capture = WorkloadCapture(capture_path)
+    config = ServerConfig(capture=capture)
+    with RunningServer(engine, config) as server:
+        target = HttpTarget(f"http://127.0.0.1:{server.port}")
+        for record in workload:  # live traffic the capture samples
+            target.search(record)
+
+        records = load_workload(capture_path)
+        assert len(records) >= 100
+        assert all(record["request_id"] for record in records)
+        assert all(record["elapsed_ms"] is not None for record in records)
+        assert [record["q"] for record in records] == [
+            record["q"] for record in workload
+        ]
+
+        reference = make_engine(server_collection)  # uncached, direct
+        try:
+            report = replay_workload(records, target, reference, warm_passes=1)
+        finally:
+            reference.close()
+    capture.close()
+    engine.close()
+
+    assert report["records"] == len(records) >= 100
+    assert report["verified"] is True
+    assert report["verify_mismatches"] == 0
+    assert report["target"] == "http"
+    assert report["latency_ms"]["p50"] > 0
+    assert report["measure_hit_rate"] == 1.0  # verify + warm filled the cache
+
+
+def test_capture_sees_only_search_traffic(server_collection, tmp_path):
+    capture_path = tmp_path / "only-search.jsonl"
+    engine = make_engine(server_collection, cache_size=16)
+    capture = WorkloadCapture(capture_path)
+    config = ServerConfig(capture=capture)
+    with RunningServer(engine, config) as server:
+        server.request("GET", "/health")
+        server.request("GET", "/stats")
+        status, _ = server.request("GET", "/search?q=%27software%27&top_k=5")
+        assert status == 200
+    capture.close()
+    engine.close()
+    records = load_workload(capture_path)
+    assert len(records) == 1
+    assert records[0]["q"] == "'software'"
+    assert records[0]["top_k"] == 5

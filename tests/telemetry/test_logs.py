@@ -1,0 +1,62 @@
+"""ReopenableLog: flush-per-line JSONL sinks that survive logrotate."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.telemetry.logs import ReopenableLog, install_sighup_reopen, reopen_all
+
+
+def test_quacks_like_a_text_stream(tmp_path):
+    log = ReopenableLog(tmp_path / "access.jsonl")
+    print(json.dumps({"event": "one"}), file=log, flush=True)
+    # Visible immediately, before close: the flush-per-line contract.
+    assert json.loads((tmp_path / "access.jsonl").read_text()) == {"event": "one"}
+    log.close()
+
+
+def test_reopen_follows_a_logrotate_rename(tmp_path):
+    path = tmp_path / "rotating.jsonl"
+    log = ReopenableLog(path)
+    print('{"line": 1}', file=log, flush=True)
+
+    os.rename(path, tmp_path / "rotating.jsonl.1")  # logrotate moves the file
+    print('{"line": 2}', file=log, flush=True)  # still goes to the old inode
+    assert reopen_all() >= 1
+    print('{"line": 3}', file=log, flush=True)  # lands in the fresh file
+    log.close()
+
+    rotated = (tmp_path / "rotating.jsonl.1").read_text().splitlines()
+    fresh = path.read_text().splitlines()
+    assert [json.loads(line)["line"] for line in rotated] == [1, 2]
+    assert [json.loads(line)["line"] for line in fresh] == [3]
+
+
+def test_close_deregisters_from_reopen_all(tmp_path):
+    log = ReopenableLog(tmp_path / "gone.jsonl")
+    log.close()
+    before = reopen_all()
+    other = ReopenableLog(tmp_path / "other.jsonl")
+    assert reopen_all() == before + 1
+    other.close()
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGHUP"), reason="needs SIGHUP")
+def test_sighup_triggers_the_reopen(tmp_path):
+    previous = signal.getsignal(signal.SIGHUP)
+    path = tmp_path / "hup.jsonl"
+    log = ReopenableLog(path)
+    try:
+        assert install_sighup_reopen()
+        print('{"line": 1}', file=log, flush=True)
+        os.rename(path, tmp_path / "hup.jsonl.1")
+        os.kill(os.getpid(), signal.SIGHUP)
+        print('{"line": 2}', file=log, flush=True)
+        assert json.loads(path.read_text())["line"] == 2
+    finally:
+        log.close()
+        signal.signal(signal.SIGHUP, previous)

@@ -149,10 +149,20 @@ class CaseResult:
 class SuiteRun:
     """Accumulates the cases of one suite execution (handed to suite fns)."""
 
-    def __init__(self, name: str, quick: bool, profile_top: int = 0) -> None:
+    def __init__(
+        self,
+        name: str,
+        quick: bool,
+        profile_top: int = 0,
+        optimizer: str = "static",
+    ) -> None:
         self.name = name
         self.quick = quick
         self.profile_top = profile_top
+        #: Planning-layer mode the CLI asked for; suites that exercise the
+        #: optimizer explicitly (the ``optimizer`` suite) pin their own
+        #: modes per case, everything else builds engines in this one.
+        self.optimizer = optimizer
         self.corpus: dict = {}
         self.cases: list[CaseResult] = []
         self.profiles: dict[str, str] = {}
@@ -190,6 +200,7 @@ class SuiteRun:
             "suite": self.name,
             "created_unix": time.time(),
             "quick": self.quick,
+            "optimizer": self.optimizer,
             "env": env_fingerprint(),
             "corpus": self.corpus,
             "cases": [case.to_dict() for case in self.cases],
@@ -246,6 +257,7 @@ def run_suites(
     quick: bool = False,
     out_dir: "Path | str" = ".",
     profile_top: int = 0,
+    optimizer: str = "static",
     echo: "Callable[[str], None] | None" = None,
 ) -> "list[Path]":
     """Run suites through the shared core; write one BENCH_<suite>.json each."""
@@ -264,7 +276,7 @@ def run_suites(
     for name in selected:
         _, fn = SUITE_REGISTRY[name]
         say(f"suite {name}: running{' (quick)' if quick else ''} ...")
-        run = SuiteRun(name, quick, profile_top=profile_top)
+        run = SuiteRun(name, quick, profile_top=profile_top, optimizer=optimizer)
         started = time.perf_counter()
         fn(run)
         elapsed = time.perf_counter() - started

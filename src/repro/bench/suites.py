@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.bench.perf import SuiteRun, register_suite
 from repro.bench.workload import workload_queries
+from repro.corpus.collection import Collection
 from repro.corpus.synthetic import DEFAULT_QUERY_TOKENS, generate_inex_like_collection
 from repro.core.engine import FullTextEngine
 
@@ -191,6 +192,111 @@ def suite_sharding(run: SuiteRun) -> None:
     single.close()
     nocache.close()
     cached.close()
+
+
+# ------------------------------------------------------------------ optimizer
+def _skewed_df_collection(num_docs: int) -> Collection:
+    """Adversarial corpus for the static merge heuristics: one rare token
+    (df ~= num_docs/100) conjoined with one very common token
+    (df ~= 0.95 * num_docs).  The paper-mode sequential merge walks the
+    whole common list; the cost model sees the gap in the statistics and
+    plans a zig-zag over fast cursors instead."""
+    texts = []
+    for position in range(num_docs):
+        words = []
+        if position % 100 == 0:
+            words.append("rare")
+        if position % 20 != 0:
+            words.append("common")
+        words.extend(f"filler{position % 7}w{offset}" for offset in range(12))
+        texts.append(" ".join(words))
+    return Collection.from_texts(texts, name="skewed-df")
+
+
+def _ratio_window_collection(num_docs: int) -> Collection:
+    """Negative-control corpus for the zig-zag threshold: df ratio ~= 4,
+    just below the measured break-even, where a zig-zag actually *loses* to
+    the sequential merge.  The calibrated cost model must decline it -- the
+    case pins that the optimizer knows when not to act (expected speedup
+    ~1.0, never a regression)."""
+    texts = []
+    for position in range(num_docs):
+        words = []
+        if position % 4 == 0:
+            words.append("narrow")
+        words.append("wide")
+        words.extend(f"pad{position % 5}w{offset}" for offset in range(10))
+        texts.append(" ".join(words))
+    return Collection.from_texts(texts, name="df-ratio-window")
+
+
+@register_suite(
+    "optimizer",
+    "cost-based planning ablation: optimizer on vs off on the standard "
+    "workload and on adversarial corpora, results verified bit-identical",
+)
+def suite_optimizer(run: SuiteRun) -> None:
+    repeats = _repeats(run)
+
+    # -- workload parity: the fig3-fig8 style queries must not regress when
+    #    the optimizer is on (acceptance: within a few percent of off).
+    collection = _corpus(run)
+    off = FullTextEngine.from_collection(
+        collection, scoring="tfidf", access_mode="fast", optimizer="off"
+    )
+    on = FullTextEngine.from_collection(
+        collection, scoring="tfidf", access_mode="fast", optimizer="on"
+    )
+    queries = _queries()
+    for series, query in queries.items():
+        verified = _same_ranking(off.search(query), on.search(query))
+        for mode, engine in (("off", off), ("on", on)):
+            run.case(
+                f"workload_{mode}/{series}",
+                lambda q=query, e=engine: e.search(q),
+                repeats=repeats,
+                verified=verified,
+            )
+    off.close()
+    on.close()
+
+    # -- adversarial: skewed document frequencies under the paper access
+    #    mode.  On skewed_df the static path runs the sequential paper merge
+    #    over the common list and the optimizer upgrades to a fast-cursor
+    #    zig-zag (the ablation win); df_ratio4 is the negative control where
+    #    the model must stick with the sequential merge (parity).
+    for label, builder, query in (
+        ("skewed_df", _skewed_df_collection, "'rare' AND 'common'"),
+        ("df_ratio4", _ratio_window_collection, "'narrow' AND 'wide'"),
+    ):
+        # The zig-zag win scales with the common list's length; below ~500
+        # docs fixed per-query overheads swamp it, so even quick mode keeps
+        # the adversarial corpora big enough for the ablation to show.
+        adversarial = builder(700 if run.quick else 1000)
+        adv_off = FullTextEngine.from_collection(
+            adversarial, scoring="tfidf", access_mode="paper", optimizer="off"
+        )
+        adv_on = FullTextEngine.from_collection(
+            adversarial, scoring="tfidf", access_mode="paper", optimizer="on"
+        )
+        verified = _same_ranking(adv_off.search(query), adv_on.search(query))
+        cases = {}
+        for mode, engine in (("off", adv_off), ("on", adv_on)):
+            cases[mode] = run.case(
+                f"{label}_{mode}/BOOL",
+                lambda e=engine: e.search(query),
+                repeats=repeats,
+                verified=verified,
+                extra={"docs": len(adversarial)},
+            )
+        speedup = (
+            cases["off"].timing.min / cases["on"].timing.min
+            if cases["on"].timing.min > 0
+            else None
+        )
+        cases["on"].extra["speedup_vs_off"] = speedup
+        adv_off.close()
+        adv_on.close()
 
 
 # ---------------------------------------------------------------- live ingest

@@ -84,6 +84,20 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_optimizer_argument(command: argparse.ArgumentParser) -> None:
+    """The planning-layer mode switch shared by the query-running commands."""
+    command.add_argument(
+        "--optimizer",
+        default="static",
+        choices=["on", "off", "static"],
+        help="query planning layer: 'on' plans with the statistics-driven "
+        "cost model (join order, merge strategy, access mode, top-k bound "
+        "strategy), 'static' (default) builds plan artifacts but keeps the "
+        "builtin heuristics, 'off' disables planning; results are "
+        "bit-identical in every mode",
+    )
+
+
 def _add_sharding_arguments(command: argparse.ArgumentParser) -> None:
     """The sharding knobs shared by ``search``, ``serve`` and ``shard-stats``."""
     command.add_argument(
@@ -155,6 +169,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="'paper' charges seeks as sequential scans (the paper's cost "
         "model); 'fast' uses galloping seeks (the production path)",
     )
+    _add_optimizer_argument(search_cmd)
     _add_sharding_arguments(search_cmd)
 
     serve_cmd = subparsers.add_parser(
@@ -187,6 +202,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="documents the live memtable holds before it is sealed "
         "(default: 256; only with --live)",
     )
+    _add_optimizer_argument(serve_cmd)
     _add_sharding_arguments(serve_cmd)
 
     serve_http_cmd = subparsers.add_parser(
@@ -270,6 +286,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="fraction of /search requests recorded into --capture "
         "(default: 1.0, everything)",
     )
+    _add_optimizer_argument(serve_http_cmd)
     _add_sharding_arguments(serve_http_cmd)
 
     doctor_cmd = subparsers.add_parser(
@@ -397,6 +414,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", dest="list_suites",
         help="list registered suites and exit",
     )
+    _add_optimizer_argument(bench_run_cmd)
     bench_compare_cmd = bench_sub.add_parser(
         "compare",
         help="diff two BENCH results (files or directories); exit non-zero "
@@ -485,6 +503,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="result-cache capacity of the in-process replay target "
         "(default: 128; 0 replays uncached)",
     )
+    _add_optimizer_argument(replay_cmd)
 
     info_cmd = subparsers.add_parser("info", help="statistics of a saved index")
     info_cmd.add_argument("index_file")
@@ -605,6 +624,7 @@ def _load_engine(args: argparse.Namespace, cache_size: int | None = None) -> Ful
         live=getattr(args, "live", False),
         flush_threshold=getattr(args, "flush_threshold", None),
         workers=getattr(args, "workers", "thread"),
+        optimizer=getattr(args, "optimizer", "static"),
     )
 
 
@@ -719,6 +739,7 @@ def _command_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
             out_dir=args.out_dir,
             profile_top=args.profile,
+            optimizer=args.optimizer,
             echo=print,
         )
         print(f"wrote {len(written)} result file(s) to {args.out_dir}")
@@ -781,6 +802,7 @@ def _command_replay(args: argparse.Namespace) -> int:
                 scoring=scoring,
                 access_mode=args.access_mode,
                 cache_size=args.cache_size if args.cache_size > 0 else None,
+                optimizer=args.optimizer,
             )
             target = EngineTarget(target_engine)
         print(f"replay: {len(records)} record(s) from {source}")
@@ -1166,6 +1188,7 @@ def _command_serve_http(args: argparse.Namespace) -> int:
             LiveIndex.open(path, **live_options),
             scoring=None if args.scoring == "none" else args.scoring,
             access_mode=args.access_mode,
+            optimizer=args.optimizer,
         )
     else:
         engine = _load_engine(args, cache_size=cache_size)

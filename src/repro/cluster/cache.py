@@ -1,8 +1,9 @@
 """An LRU result cache for the scatter-gather query service.
 
-Keys are built from everything that determines the answer: the *normalized*
-query plan (the parsed AST rendered back to canonical text, so surface
-variants of the same query share an entry), the forced engine, the cursor
+Keys are built from everything that determines the answer: the *canonical*
+plan IR text (:func:`repro.planner.ir.canonical_key` -- AND/OR chains
+flattened and operand order normalised, so commuted variants like
+``b AND a`` vs ``a AND b`` share one entry), the forced engine, the cursor
 access mode, the scoring backend, and the NPRED order strategy.
 
 The top-k cut is deliberately **not** part of the key: exact top-k rankings
@@ -38,7 +39,11 @@ def make_cache_key(
     scoring: str,
     npred_orders: str,
 ) -> tuple:
-    """The canonical cache key for one query execution (top-k excluded)."""
+    """The canonical cache key for one query execution (top-k excluded).
+
+    ``plan_text`` is the canonical plan-IR rendering of the query, not its
+    surface text -- callers pass ``canonical_key(query)``.
+    """
     return (plan_text, engine, access_mode, scoring, npred_orders)
 
 

@@ -115,6 +115,9 @@ def merge_shard_results(
         scores=scores,
         cursor_stats=merge_cursor_stats([r.cursor_stats for r in per_shard]),
         ranked_limit=top_k,
+        # Every shard executed the same coordinator-shipped plan, so shard
+        # 0's provenance payload speaks for the whole scatter.
+        plan=per_shard[0].plan,
         shard_count=len(per_shard),
         _ranked=ranked,
     )

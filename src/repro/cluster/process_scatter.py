@@ -163,6 +163,9 @@ def _shard_executor(shard_id: int) -> Executor:
             scoring,
             npred_orders=config.npred_orders,
             access_mode=config.access_mode,
+            # The coordinator plans once from global statistics and ships
+            # the plan with the batch; workers never re-plan locally.
+            optimizer="off",
         )
         _WORKER_STATE["executors"][shard_id] = executor
     return executor
@@ -174,11 +177,16 @@ def run_shard_batch(
     engine: str,
     top_k: int | None,
     explain: bool = False,
+    plans: "Sequence | None" = None,
 ) -> list[EvaluationResult]:
     """Evaluate a batch of canonical query texts on one shard (in a worker).
 
     With ``explain`` every result carries its per-operator explain payload
-    (a plain dict, so it pickles back to the parent unchanged).
+    (a plain dict, so it pickles back to the parent unchanged).  ``plans``
+    is the coordinator's per-query physical-plan list (aligned with
+    ``query_texts``; entries may be ``None``): a shipped plan is executed
+    as-is, so every shard applies the same globally-planned join order,
+    merge strategy and access mode.
     """
     # Imported here, not at module top: repro.core imports the cluster
     # package, so a top-level import would be circular in the parent.
@@ -189,5 +197,5 @@ def run_shard_batch(
         parse_query(text, "auto", executor.registry).node for text in query_texts
     ]
     return executor.execute_many(
-        queries, engine=engine, top_k=top_k, explain=explain
+        queries, engine=engine, top_k=top_k, explain=explain, plans=plans
     )

@@ -64,13 +64,22 @@ from repro.cluster.process_scatter import (
     run_shard_batch,
 )
 from repro.cluster.sharded_index import ShardedIndex
-from repro.engine.executor import AUTO, EvaluationResult, Executor
+from repro.engine.executor import AUTO, NATIVE_ENGINE, EvaluationResult, Executor
 from repro.engine.topk import check_top_k
 from repro.exceptions import ClusterError
 from repro.index.cursor import PAPER_MODE, check_access_mode
 from repro.index.packed_index import save_packed_index
 from repro.languages import ast
+from repro.languages.classify import classify_query
 from repro.model.predicates import PredicateRegistry, default_registry
+from repro.planner import (
+    DEFAULT_OPTIMIZER,
+    OPTIMIZER_OFF,
+    check_optimizer_mode,
+)
+from repro.planner.ir import canonical_key
+from repro.planner.optimizer import QueryPlanner
+from repro.planner.physical import BOUND_HEAP, PhysicalPlan
 from repro.scoring.base import ScoringModel, available_models, get_model
 from repro.telemetry import instruments
 
@@ -156,6 +165,7 @@ class ScatterGatherExecutor:
         workers: str = "thread",
         spool_dir: "Path | str | None" = None,
         mp_context: str | None = None,
+        optimizer: str = DEFAULT_OPTIMIZER,
     ) -> None:
         if workers not in WORKER_MODES:
             raise ClusterError(
@@ -169,6 +179,16 @@ class ScatterGatherExecutor:
         self.max_workers = max_workers
         self._scoring_spec = scoring
         self.scoring_name = self._resolve_scoring_name(scoring)
+        # Planning is a *coordinator* concern: one planner over the global
+        # aggregated statistics plans each query once, and the physical plan
+        # ships to every shard -- so all shards make identical choices, and
+        # shard-local executors never plan on their own (optimizer="off").
+        self.optimizer = check_optimizer_mode(optimizer)
+        self.planner: QueryPlanner | None = (
+            QueryPlanner(self._planner_df)
+            if self.optimizer != OPTIMIZER_OFF
+            else None
+        )
         self._shard_executors = [
             Executor(
                 shard.index,
@@ -176,6 +196,7 @@ class ScatterGatherExecutor:
                 self._make_shard_model(),
                 npred_orders=npred_orders,
                 access_mode=self.access_mode,
+                optimizer=OPTIMIZER_OFF,
             )
             for shard in sharded_index.shards
         ]
@@ -196,6 +217,11 @@ class ScatterGatherExecutor:
         self._scoring_stale = False
         if self._scoring_spec is not None:
             sharded_index.add_invalidation_listener(self._mark_scoring_stale)
+        # A mutation changes the global dfs the cost model planned with, so
+        # the planner's memoised plans (not its learned feedback) are dropped.
+        self._planner_stale = False
+        if self.planner is not None:
+            sharded_index.add_invalidation_listener(self._mark_planner_stale)
         # Process-mode state: the spill files, the worker pool, and a dirty
         # flag that forces a respill + pool restart after any mutation.
         self._process_pool: ProcessPoolExecutor | None = None
@@ -266,37 +292,129 @@ class ScatterGatherExecutor:
             if cached is not None:
                 return cached
         self._refresh_scoring_if_stale()
+        plan = self._plan_for(query, engine, top_k)
         started = time.perf_counter()
         if self.workers == "process":
             per_shard = [
                 shard_batch[0]
                 for shard_batch in self._process_scatter(
-                    [query], engine, top_k, explain=explain, trace=trace
+                    [query], engine, top_k, explain=explain, trace=trace,
+                    plans=[plan],
                 )
             ]
         else:
             per_shard = self._scatter(
                 lambda executor: executor.execute(
-                    query, engine=engine, top_k=top_k, explain=explain
+                    query, engine=engine, top_k=top_k, explain=explain,
+                    plan=plan,
                 ),
                 trace=trace,
             )
+        self._fold_feedback(plan, per_shard)
         merged = merge_shard_results(
             per_shard, time.perf_counter() - started, top_k
         )
         if explain:
-            merged.explain = self._merged_explain(query, merged, per_shard)
+            merged.explain = self._merged_explain(
+                query, merged, per_shard, plan=plan
+            )
             return merged  # never cached: hand the fresh object out directly
         if self.cache is None:
             return merged
         self._cache_put(key, merged)
         return self._detached(merged, from_cache=False)
 
+    def _plan_for(
+        self, query: ast.QueryNode, engine: str, top_k: int | None
+    ) -> PhysicalPlan | None:
+        """Plan once at the coordinator; the plan ships to every shard.
+
+        The planner costs over the cluster's *aggregated* statistics, so the
+        choices reflect global document frequencies -- and because every
+        shard executes the same artifact, choices cannot diverge between
+        shards (the sharded/unsharded bit-identity invariant stays cheap).
+        """
+        if self.planner is None:
+            return None
+        if self._planner_stale:
+            self._planner_stale = False
+            self.planner = QueryPlanner(
+                self._planner_df, feedback=self.planner.feedback
+            )
+        language_class = classify_query(query, self.registry)
+        engine_name = (
+            NATIVE_ENGINE[language_class] if engine == AUTO else engine.lower()
+        )
+        if engine_name == "comp":
+            return None
+        plan = self.planner.plan(
+            query,
+            engine=engine_name,
+            language_class=language_class.value,
+            optimizer=self.optimizer,
+            access_mode=self.access_mode,
+            top_k=top_k,
+            scored=self._scoring_spec is not None,
+        )
+        if instruments.REGISTRY.enabled:
+            instruments.PLANS_TOTAL.labels(plan.provenance).inc()
+        return plan
+
+    def _fold_feedback(
+        self,
+        plan: PhysicalPlan | None,
+        per_shard: "list[EvaluationResult]",
+    ) -> None:
+        """Fold shard-observed cursor ops back into the coordinator's model.
+
+        Each shard ships its per-token op counts; their sum is the global
+        observation the plan's estimate (made from global dfs) predicted.
+        Memo hits are skipped: the observation for this canonical query was
+        folded when the plan was fresh, and shards executing a "cached" plan
+        do not harvest token ops in the first place.
+        """
+        if (
+            plan is None
+            or self.planner is None
+            or plan.optimizer != "on"
+            or plan.provenance == "cached"
+        ):
+            return
+        totals: dict[str, float] = {}
+        gave_up = False
+        for result in per_shard:
+            if result.token_ops:
+                for token, count in result.token_ops.items():
+                    totals[token] = totals.get(token, 0.0) + count
+            if result.plan is not None and result.plan.get("gave_up"):
+                gave_up = True
+        if totals:
+            self.planner.observe(plan, totals)
+        if gave_up and plan.bound_strategy != BOUND_HEAP:
+            self.planner.record_give_up(plan)
+
+    def _mark_planner_stale(self) -> None:
+        self._planner_stale = True
+
+    def _planner_df(self, token: "str | None") -> int:
+        statistics = self.sharded_index.statistics
+        if token is None:
+            return statistics.node_count
+        return statistics.document_frequency(token)
+
+    def optimizer_stats(self) -> dict[str, object]:
+        """Optimizer mode + planner/feedback counters for ``/stats``."""
+        payload: dict[str, object] = {"mode": self.optimizer}
+        if self.planner is not None:
+            payload.update(self.planner.summary())
+        return payload
+
     def _merged_explain(
         self,
         query: ast.QueryNode,
         merged: MergedEvaluationResult,
         per_shard: "list[EvaluationResult]",
+        plan: PhysicalPlan | None = None,
     ) -> dict:
         """The cluster-level EXPLAIN ANALYZE payload wrapping shard subtrees."""
         from repro.telemetry.explain import build_scatter_explain
@@ -326,6 +444,7 @@ class ScatterGatherExecutor:
             workers=self.workers,
             cache="bypass" if self.cache is not None else "off",
             top_k=top_k_info,
+            plan=plan.describe() if plan is not None else None,
         )
 
     def execute_many(
@@ -366,16 +485,22 @@ class ScatterGatherExecutor:
         if pending:
             self._refresh_scoring_if_stale()
             batch = [queries[position] for position in pending]
+            batch_plans = [
+                self._plan_for(query, engine, top_k) for query in batch
+            ]
             if self.workers == "process":
-                per_shard_batches = self._process_scatter(batch, engine, top_k)
+                per_shard_batches = self._process_scatter(
+                    batch, engine, top_k, plans=batch_plans
+                )
             else:
                 per_shard_batches = self._scatter(
                     lambda executor: executor.execute_many(
-                        batch, engine=engine, top_k=top_k
+                        batch, engine=engine, top_k=top_k, plans=batch_plans
                     )
                 )
             for offset, position in enumerate(pending):
                 per_shard = [shard_batch[offset] for shard_batch in per_shard_batches]
+                self._fold_feedback(batch_plans[offset], per_shard)
                 # With a pool the shards overlap, so the best wall-clock
                 # estimate for one query is the slowest shard, not the sum.
                 elapsed = max(result.elapsed_seconds for result in per_shard)
@@ -460,6 +585,8 @@ class ScatterGatherExecutor:
             self._cache_listener_registered = False
         if self._scoring_spec is not None:
             self.sharded_index.remove_invalidation_listener(self._mark_scoring_stale)
+        if self.planner is not None:
+            self.sharded_index.remove_invalidation_listener(self._mark_planner_stale)
 
     def __enter__(self) -> "ScatterGatherExecutor":
         return self
@@ -516,16 +643,18 @@ class ScatterGatherExecutor:
         top_k: int | None,
         explain: bool = False,
         trace=None,
+        plans: "Sequence[PhysicalPlan | None] | None" = None,
     ) -> "list[list[EvaluationResult]]":
         """Fan a batch out to the worker processes; one result list per shard.
 
-        Queries travel as canonical text (``to_text()`` is also the cache
-        key, so it is the established canonical form); results come back as
-        picklable per-shard :class:`EvaluationResult` lists in shard order
-        (with ``explain`` the per-query explain payloads pickle back too).
-        With a ``trace``, per-shard spans wrap the submit-to-result window
-        observed from the parent -- worker-side wall time plus queueing,
-        the best a process boundary can offer.
+        Queries travel as surface text plus (when the optimizer is on) the
+        coordinator's pickled physical plans, aligned by position -- workers
+        execute the shipped plan instead of re-deriving choices per shard.
+        Results come back as picklable per-shard :class:`EvaluationResult`
+        lists in shard order (with ``explain`` the per-query explain
+        payloads pickle back too).  With a ``trace``, per-shard spans wrap
+        the submit-to-result window observed from the parent -- worker-side
+        wall time plus queueing, the best a process boundary can offer.
         """
         pool = self._ensure_process_pool()
         texts = [query.to_text() for query in batch]
@@ -540,7 +669,10 @@ class ScatterGatherExecutor:
                 for shard_id in range(self.num_shards)
             ]
         futures = [
-            pool.submit(run_shard_batch, shard_id, texts, engine, top_k, explain)
+            pool.submit(
+                run_shard_batch, shard_id, texts, engine, top_k, explain,
+                list(plans) if plans is not None else None,
+            )
             for shard_id in range(self.num_shards)
         ]
         results = []
@@ -678,8 +810,11 @@ class ScatterGatherExecutor:
         return getattr(spec, "name", type(spec).__name__)
 
     def _cache_key(self, query: ast.QueryNode, engine: str) -> tuple:
+        # Keyed on the *canonical* plan IR text, not the surface text:
+        # ``b AND a`` and ``a AND b`` are the same plan and share one cache
+        # entry (AND/OR evaluation and scoring are order-independent).
         key = make_cache_key(
-            query.to_text(),
+            canonical_key(query),
             engine,
             self.access_mode,
             self.scoring_name,
@@ -755,6 +890,7 @@ class ScatterGatherExecutor:
                 else None
             ),
             ranked_limit=limit,
+            plan=dict(result.plan) if result.plan is not None else None,
             shard_count=result.shard_count,
             from_cache=from_cache,
             _ranked=ranked,

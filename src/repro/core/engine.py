@@ -44,6 +44,7 @@ from repro.model.predicates import Predicate, PredicateRegistry, default_registr
 from repro.scoring.base import ScoringModel, get_model
 from repro.engine.executor import AUTO, EvaluationResult, Executor
 from repro.engine.topk import check_top_k
+from repro.planner import DEFAULT_OPTIMIZER
 from repro.core.query import Query, parse_query
 from repro.core.results import SearchResult, SearchResults
 
@@ -81,10 +82,12 @@ class FullTextEngine:
         max_workers: int | None = None,
         cache_size: int | None = DEFAULT_CACHE_SIZE,
         workers: str = "thread",
+        optimizer: str = DEFAULT_OPTIMIZER,
     ) -> None:
         self.index = index
         self.registry = registry or default_registry()
         self.access_mode = access_mode
+        self.optimizer = optimizer
         self._executor: Executor | None = None
         self._cluster: ScatterGatherExecutor | None = None
         self._scoring_spec = scoring
@@ -105,6 +108,7 @@ class FullTextEngine:
                 max_workers=max_workers,
                 cache_size=cache_size,
                 workers=workers,
+                optimizer=optimizer,
             )
             self._scoring = None
         else:
@@ -115,6 +119,7 @@ class FullTextEngine:
                 self.scoring,
                 npred_orders=npred_orders,
                 access_mode=access_mode,
+                optimizer=optimizer,
             )
             if isinstance(index, LiveIndex):
                 self._scoring_generation = index.generation
@@ -135,6 +140,7 @@ class FullTextEngine:
         live_dir=None,
         flush_threshold: int | None = None,
         workers: str = "thread",
+        optimizer: str = DEFAULT_OPTIMIZER,
     ) -> "FullTextEngine":
         """Build an engine by indexing ``collection``.
 
@@ -165,6 +171,12 @@ class FullTextEngine:
         index; results stay bit-identical to the thread path.  At
         ``shards=1`` it still builds a one-shard cluster so the process
         pool applies.
+
+        ``optimizer`` selects the planning layer's mode: ``"on"`` plans
+        every query with the statistics-driven cost model, ``"static"``
+        (the default) builds plan artifacts but defers every choice to the
+        builtin heuristics, ``"off"`` disables planning entirely.  Results
+        are pinned bit-identical across all three modes.
         """
         requested_cache = (
             DEFAULT_CACHE_SIZE if cache_size is _CACHE_UNSET else cache_size
@@ -199,6 +211,7 @@ class FullTextEngine:
             max_workers=max_workers,
             cache_size=requested_cache,
             workers=workers,
+            optimizer=optimizer,
         )
 
     @classmethod
@@ -264,6 +277,20 @@ class FullTextEngine:
             return self._cluster.cache_stats()
         return QueryCache.empty_stats()
 
+    def optimizer_stats(self) -> dict:
+        """The planning layer's mode plus planner counters when it is live.
+
+        Always carries ``"mode"``; with the optimizer ``"on"`` it adds the
+        planner summary (plans built, memo hits, learned corrections,
+        give-ups, feedback generation).
+        """
+        if self._cluster is not None:
+            return self._cluster.optimizer_stats()
+        payload: dict = {"mode": self.optimizer}
+        if self._executor is not None and self._executor.planner is not None:
+            payload.update(self._executor.planner.summary())
+        return payload
+
     def stats(self) -> dict:
         """Consolidated engine-side statistics for serving surfaces.
 
@@ -283,6 +310,7 @@ class FullTextEngine:
                 self._cluster.workers if self._cluster is not None else "thread"
             ),
             "cache": self.cache_stats(),
+            "optimizer": self.optimizer_stats(),
             "shard_stats": self.shard_stats(),
             "memory": self.index.memory_footprint(),
         }
@@ -596,4 +624,5 @@ class FullTextEngine:
             cursor_stats=outcome.cursor_stats,
             total_matches=len(outcome.node_ids),
             metadata=metadata,
+            plan=outcome.plan,
         )

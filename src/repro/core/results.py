@@ -33,6 +33,10 @@ class SearchResults:
     cursor_stats: CursorStats | None = None
     total_matches: int = 0
     metadata: dict = field(default_factory=dict)
+    #: Physical-plan provenance payload
+    #: (:meth:`~repro.planner.physical.PhysicalPlan.describe`) when the
+    #: planning layer produced a plan; ``None`` with the optimizer off.
+    plan: dict | None = None
 
     def __post_init__(self) -> None:
         if not self.total_matches:
@@ -69,6 +73,7 @@ class SearchResults:
             cursor_stats=self.cursor_stats,
             total_matches=self.total_matches,
             metadata=dict(self.metadata),
+            plan=self.plan,
         )
 
     def summary(self) -> str:

@@ -30,6 +30,8 @@ from repro.languages import ast
 from repro.languages.bool_lang import is_bool_query
 from repro.scoring.base import ScoringModel
 from repro.engine.operators import zigzag_node_intersect
+from repro.planner.optimizer import ANY_TOKEN
+from repro.planner.physical import PhysicalPlan
 
 
 @dataclass
@@ -58,10 +60,17 @@ class BoolEngine:
         index: InvertedIndex,
         scoring: ScoringModel | None = None,
         access_mode: str = PAPER_MODE,
+        physical: PhysicalPlan | None = None,
     ) -> None:
         self.index = index
         self.scoring = scoring
         self.access_mode = check_access_mode(access_mode)
+        #: The planner's physical plan, when one was produced.  The engine
+        #: consults it for the merge strategy and join order of conjunction
+        #: leaves; ``None`` (optimizer off) and "auto" choices defer to the
+        #: builtin static heuristics below.  Either way the node sets and
+        #: scores are identical -- the plan only redirects cursor traffic.
+        self.physical = physical
 
     # ------------------------------------------------------------------ API
     def evaluate(self, query: ast.QueryNode) -> list[int]:
@@ -178,9 +187,13 @@ class BoolEngine:
             for index, conjunct in enumerate(conjuncts)
             if isinstance(conjunct, (ast.TokenQuery, ast.AnyQuery))
         ]
-        if len(leaf_indices) < 2 or not self._zigzag_pays_off(
-            [conjuncts[index] for index in leaf_indices]
-        ):
+        leaves = [conjuncts[index] for index in leaf_indices]
+        planned = self.physical.use_zigzag() if self.physical is not None else None
+        if planned is None:
+            use_zigzag = len(leaf_indices) >= 2 and self._zigzag_pays_off(leaves)
+        else:
+            use_zigzag = planned and len(leaf_indices) >= 2
+        if not use_zigzag:
             return self._intersect(
                 self._eval(node.left, factory), self._eval(node.right, factory)
             )
@@ -190,7 +203,14 @@ class BoolEngine:
             else self.index.open_cursor(conjuncts[index].token, factory)
             for index in leaf_indices
         ]
-        nodes = zigzag_node_intersect(cursors)
+        merge_order = None
+        if self.physical is not None:
+            leaf_names = [
+                ANY_TOKEN if isinstance(leaf, ast.AnyQuery) else leaf.token
+                for leaf in leaves
+            ]
+            merge_order = self.physical.order_for(leaf_names)
+        nodes = zigzag_node_intersect(cursors, merge_order)
         leaf_set = set(leaf_indices)
         evaluated: dict[int, _NodeSet] = {
             index: self._eval(conjunct, factory)

@@ -26,6 +26,14 @@ from repro.engine.naive_engine import NaiveCompEngine
 from repro.engine.npred_engine import NPredEngine
 from repro.engine.ppred_engine import PPredEngine
 from repro.engine.topk import TopKCollector, check_top_k
+from repro.planner import (
+    DEFAULT_OPTIMIZER,
+    OPTIMIZER_OFF,
+    check_optimizer_mode,
+)
+from repro.planner.ir import canonical_key
+from repro.planner.optimizer import ANY_TOKEN, QueryPlanner
+from repro.planner.physical import BOUND_HEAP, PhysicalPlan
 from repro.telemetry import instruments
 
 #: Engine name accepted by :meth:`Executor.execute` for automatic selection.
@@ -72,6 +80,15 @@ class EvaluationResult:
     #: populated by instrumented executions; a plain dict so it pickles
     #: through the process-scatter workers unchanged.
     explain: dict | None = None
+    #: The physical plan's :meth:`~repro.planner.physical.PhysicalPlan.describe`
+    #: payload (provenance, strategy choices, per-token estimates) when a
+    #: planner was involved; plain dict for the same pickling reason.
+    plan: dict | None = None
+    #: Per-token observed cursor ops, harvested only for ``optimizer="on"``
+    #: executions -- the raw material of the planner's feedback loop.  Shard
+    #: workers ship this back so the coordinator's planner learns from the
+    #: whole cluster's cursors.
+    token_ops: dict[str, float] | None = None
     _ranked: list[tuple[int, float]] | None = None
 
     def __len__(self) -> int:
@@ -99,12 +116,21 @@ class Executor:
         scoring: ScoringModel | None = None,
         npred_orders: str = "minimal",
         access_mode: str = PAPER_MODE,
+        optimizer: str = DEFAULT_OPTIMIZER,
     ) -> None:
         self.index = index
         self.registry = registry or default_registry()
         self.scoring = scoring
         self.npred_orders = npred_orders
         self.access_mode = check_access_mode(access_mode)
+        #: ``"on"`` = cost-based planning with runtime feedback, ``"static"``
+        #: = a plan artifact is built for provenance/EXPLAIN but every choice
+        #: defers to the engines' builtin heuristics, ``"off"`` = no planner
+        #: at all.  All three are pinned bit-identical in ids/scores/order.
+        self.optimizer = check_optimizer_mode(optimizer)
+        self.planner: QueryPlanner | None = (
+            QueryPlanner(self._df) if self.optimizer != OPTIMIZER_OFF else None
+        )
 
     # ------------------------------------------------------------------ API
     def execute(
@@ -114,6 +140,7 @@ class Executor:
         top_k: int | None = None,
         explain: bool = False,
         trace=None,
+        plan: PhysicalPlan | None = None,
     ) -> EvaluationResult:
         """Evaluate a parsed (closed) surface query.
 
@@ -134,8 +161,15 @@ class Executor:
         ``explain`` field; ``trace`` is an optional
         :class:`~repro.telemetry.trace.Span` receiving an execution span.
         Both observe the run without changing any returned byte.
+
+        ``plan`` injects a precomputed :class:`PhysicalPlan` (the scatter
+        layer ships the coordinator's plan to every shard this way); when
+        omitted, this executor's own planner produces one per its
+        ``optimizer`` mode.
         """
-        return self._execute(query, engine, top_k=top_k, explain=explain, trace=trace)
+        return self._execute(
+            query, engine, top_k=top_k, explain=explain, trace=trace, plan=plan
+        )
 
     def execute_many(
         self,
@@ -144,25 +178,34 @@ class Executor:
         top_k: int | None = None,
         explain: bool = False,
         trace=None,
+        plans: "Sequence[PhysicalPlan | None] | None" = None,
     ) -> list[EvaluationResult]:
         """Evaluate a batch of queries, amortising per-query setup.
 
         One :class:`CursorFactory` is shared by the whole batch (each
         result's ``cursor_stats`` reports only its own query's delta) and
-        extracted plans are cached by query text, so a batch that repeats
-        query shapes skips re-planning.  ``top_k`` applies the pushdown of
+        extracted plans are cached by canonical query key, so a batch that
+        repeats query shapes -- including commuted variants of one shape --
+        skips re-planning.  ``top_k`` applies the pushdown of
         :meth:`execute` to every query in the batch; ``explain``/``trace``
-        instrument each query exactly as in :meth:`execute`.
+        instrument each query exactly as in :meth:`execute`.  ``plans``
+        optionally supplies one precomputed physical plan (or ``None``) per
+        query, aligned by position.
         """
         check_top_k(top_k)
+        if plans is not None and len(plans) != len(queries):
+            raise ValueError(
+                f"got {len(plans)} plans for {len(queries)} queries"
+            )
         factory = CursorFactory(mode=self.access_mode)
         plan_cache: dict[tuple[str, str], object] = {}
         results = []
         snapshot = factory.checkpoint()
-        for query in queries:
+        for position, query in enumerate(queries):
             result = self._execute(
                 query, engine, factory, plan_cache, top_k,
                 explain=explain, trace=trace,
+                plan=plans[position] if plans is not None else None,
             )
             total = factory.checkpoint()
             if result.cursor_stats is not None:
@@ -194,17 +237,46 @@ class Executor:
         top_k: int | None = None,
         explain: bool = False,
         trace=None,
+        plan: PhysicalPlan | None = None,
     ) -> EvaluationResult:
         check_top_k(top_k)
         language_class = classify_query(query, self.registry)
         engine_name = self._resolve_engine(language_class, engine)
         index = self._current_index()
-        collector = self._make_collector(query, top_k)
-        if explain and factory is None:
-            # Explain needs per-cursor visibility: inject a factory so the
-            # engine registers its cursors here instead of in a private one.
-            # Results are unaffected -- engines use a given factory verbatim.
-            factory = CursorFactory(mode=self.access_mode)
+        shipped = plan is not None
+        if not shipped and self.planner is not None and engine_name != "comp":
+            plan = self.planner.plan(
+                query,
+                engine=engine_name,
+                language_class=language_class.value,
+                optimizer=self.optimizer,
+                access_mode=self.access_mode,
+                top_k=top_k,
+                scored=self.scoring is not None,
+            )
+        effective_mode = plan.access_mode if plan is not None else self.access_mode
+        collector = self._make_collector(query, top_k, plan)
+        # Feedback is harvested only for freshly optimized plans: a memo hit
+        # ("cached") means the planner already folded an observation for this
+        # canonical query, and re-harvesting per-cursor ops on every hit costs
+        # more than the corrections are worth.  Generation bumps invalidate
+        # the memo, so changed corpora still trigger re-observation.
+        harvest_feedback = (
+            plan is not None
+            and plan.optimizer == "on"
+            and plan.provenance != "cached"
+        )
+        if factory is None and (explain or harvest_feedback):
+            # Explain and the feedback loop need per-cursor visibility:
+            # inject a factory so the engine registers its cursors here
+            # instead of in a private one.  Results are unaffected --
+            # engines use a given factory verbatim.
+            factory = CursorFactory(mode=effective_mode)
+        if factory is not None:
+            # Cursors snapshot the mode when opened, so a per-query override
+            # on a shared batch factory only affects this query's cursors;
+            # restored below so later queries see the configured mode.
+            factory.mode = effective_mode
         span = (
             trace.span("executor.execute", engine=engine_name)
             if trace is not None
@@ -212,22 +284,33 @@ class Executor:
         )
         started = time.perf_counter()
         try:
-            node_ids, stats = self._run(
-                index, query, engine_name, factory, plan_cache, collector
-            )
-        except UnsupportedQueryError:
-            # The classifier is intentionally syntactic; if a corner case
-            # slips past it (or a caller forced a pipelined engine onto a
-            # query it cannot plan), fall back to the always-applicable
-            # naive COMP engine rather than failing the search.  A partially
-            # fed collector is discarded with the failed attempt.
-            if engine != AUTO and engine_name != "comp":
-                raise
-            engine_name = "comp"
-            collector = self._make_collector(query, top_k)
-            node_ids, stats = self._run(
-                index, query, engine_name, factory, plan_cache, collector
-            )
+            try:
+                node_ids, stats = self._run(
+                    index, query, engine_name, factory, plan_cache, collector,
+                    access_mode=effective_mode, physical=plan,
+                )
+            except UnsupportedQueryError:
+                # The classifier is intentionally syntactic; if a corner case
+                # slips past it (or a caller forced a pipelined engine onto a
+                # query it cannot plan), fall back to the always-applicable
+                # naive COMP engine rather than failing the search.  A
+                # partially fed collector is discarded with the failed
+                # attempt, and so is the physical plan -- COMP uses node
+                # scans, which the plan has nothing to say about.
+                if engine != AUTO and engine_name != "comp":
+                    raise
+                engine_name = "comp"
+                plan = None
+                shipped = False
+                harvest_feedback = False
+                collector = self._make_collector(query, top_k, None)
+                node_ids, stats = self._run(
+                    index, query, engine_name, factory, plan_cache, collector,
+                    access_mode=effective_mode, physical=None,
+                )
+        finally:
+            if factory is not None:
+                factory.mode = self.access_mode
         elapsed = time.perf_counter() - started
         if span is not None:
             span.annotate(rows=len(node_ids))
@@ -238,13 +321,37 @@ class Executor:
         else:
             scores = self._score(query, node_ids, engine_name)
             ranked = None
+        token_ops = None
+        if harvest_feedback and factory is not None:
+            token_ops = self._token_ops(factory)
+            if self.planner is not None and not shipped:
+                self.planner.observe(plan, token_ops)
+                if (
+                    collector is not None
+                    and collector.gave_up
+                    and plan.bound_strategy != BOUND_HEAP
+                ):
+                    self.planner.record_give_up(plan)
         explain_payload = None
         if explain:
             explain_payload = self._build_explain(
                 query, language_class, engine_name, elapsed,
                 node_ids, factory, collector, top_k,
+                plan=plan, access_mode=effective_mode,
             )
         self._observe(engine_name, elapsed, stats, factory, collector)
+        if plan is not None and not shipped and instruments.REGISTRY.enabled:
+            # Shipped plans are counted once by the coordinator that built
+            # them, not again by every shard that executes them.
+            instruments.PLANS_TOTAL.labels(plan.provenance).inc()
+        plan_payload = None
+        if plan is not None:
+            plan_payload = plan.describe()
+            if collector is not None and collector.gave_up:
+                # Surfaced so a coordinator folding shard results can teach
+                # its planner that this canonical query defeats bound
+                # pruning (workers run with their own planner off).
+                plan_payload["gave_up"] = True
         return EvaluationResult(
             node_ids=node_ids,
             language_class=language_class,
@@ -254,8 +361,30 @@ class Executor:
             cursor_stats=stats,
             ranked_limit=top_k if collector is not None else None,
             explain=explain_payload,
+            plan=plan_payload,
+            token_ops=token_ops,
             _ranked=ranked,
         )
+
+    def _token_ops(self, factory: CursorFactory) -> dict[str, float]:
+        """Observed cursor ops per token for this query's open cursors.
+
+        One number per token -- the sum of every op kind ``CursorStats``
+        counts -- in the same unit the cost model estimates in, so the
+        feedback loop can divide observed by estimated directly.
+        """
+        ops: dict[str, float] = {}
+        for cursor in factory._open_cursors:
+            token = cursor.token if cursor.token is not None else ANY_TOKEN
+            stats = cursor.stats
+            total = (
+                stats.next_entry_calls
+                + stats.get_positions_calls
+                + stats.seek_calls
+                + stats.seek_probes
+            )
+            ops[token] = ops.get(token, 0.0) + float(total)
+        return ops
 
     def _build_explain(
         self,
@@ -267,6 +396,8 @@ class Executor:
         factory: CursorFactory | None,
         collector: TopKCollector | None,
         top_k: int | None,
+        plan: PhysicalPlan | None = None,
+        access_mode: str | None = None,
     ) -> dict:
         """Assemble the EXPLAIN ANALYZE payload for one finished execution.
 
@@ -296,12 +427,13 @@ class Executor:
             query_text=query.to_text(),
             language_class=language_class.value,
             engine=engine_name,
-            access_mode=self.access_mode,
+            access_mode=access_mode if access_mode is not None else self.access_mode,
             elapsed_seconds=elapsed,
             rows_produced=len(node_ids),
             operators=operators,
             top_k=top_k_info,
             note=note,
+            plan=plan.describe() if plan is not None else None,
         )
 
     def _observe(
@@ -329,20 +461,26 @@ class Executor:
         instruments.observe_query(engine_name, elapsed, per_query, collector)
 
     def _make_collector(
-        self, query: ast.QueryNode, top_k: int | None
+        self,
+        query: ast.QueryNode,
+        top_k: int | None,
+        plan: PhysicalPlan | None = None,
     ) -> TopKCollector | None:
         """The score-bounded collector for one pushdown execution.
 
         The scoring model is prepared for the query *before* evaluation
         starts (the non-pushdown path prepares it after), so the collector
-        can score and bound candidates as the engines produce them.
+        can score and bound candidates as the engines produce them.  The
+        plan's bound strategy selects the give-up threshold (``"heap"``
+        disables bound probes outright); results never depend on it.
         """
         if top_k is None:
             return None
         scoring = self.scoring
         if scoring is not None:
             scoring.prepare(sorted(ast.query_tokens(query)))
-        return TopKCollector(top_k, scoring)
+        give_up_after = plan.give_up_after if plan is not None else None
+        return TopKCollector(top_k, scoring, give_up_after=give_up_after)
 
     def _resolve_engine(self, language_class: LanguageClass, engine: str) -> str:
         if engine == AUTO:
@@ -367,15 +505,22 @@ class Executor:
         factory: CursorFactory | None = None,
         plan_cache: dict | None = None,
         collector: TopKCollector | None = None,
+        access_mode: str | None = None,
+        physical: PhysicalPlan | None = None,
     ) -> tuple[list[int], CursorStats | None]:
         observer = collector.add if collector is not None else None
+        mode = access_mode if access_mode is not None else self.access_mode
         if engine_name == "bool":
-            engine = BoolEngine(index, scoring=None, access_mode=self.access_mode)
+            engine = BoolEngine(
+                index, scoring=None, access_mode=mode, physical=physical
+            )
             return engine.evaluate_with_stats(
                 query, factory=factory, observer=observer
             )
         if engine_name == "ppred":
-            engine = PPredEngine(index, self.registry, access_mode=self.access_mode)
+            engine = PPredEngine(
+                index, self.registry, access_mode=mode, physical=physical
+            )
             plan = self._cached_plan(query, engine_name, plan_cache)
             return engine.evaluate_with_stats(
                 query, factory=factory, plan=plan, observer=observer
@@ -385,7 +530,8 @@ class Executor:
                 index,
                 self.registry,
                 orders=self.npred_orders,
-                access_mode=self.access_mode,
+                access_mode=mode,
+                physical=physical,
             )
             plan = self._cached_plan(query, engine_name, plan_cache)
             return engine.evaluate_with_stats(
@@ -401,17 +547,41 @@ class Executor:
     def _cached_plan(
         self, query: ast.QueryNode, engine_name: str, plan_cache: dict | None
     ):
-        """Extract (or fetch from the batch cache) the pipelined plan."""
+        """Extract (or fetch from the batch cache) the pipelined plan.
+
+        Keyed by the *canonical* plan IR text, not the surface text, so
+        commuted-but-equivalent queries (``a AND b`` vs ``b AND a``) share
+        one cache entry.  The cached artifact is still extracted from the
+        query as written -- canonicalisation only names the slot.
+        """
         if plan_cache is None:
             return None
         from repro.engine.plan import extract_plan
 
-        key = (engine_name, query.to_text())
+        key = (engine_name, canonical_key(query))
         plan = plan_cache.get(key)
         if plan is None:
             plan = extract_plan(query, self.registry)
             plan_cache[key] = plan
         return plan
+
+    def _df(self, token: "str | None") -> int:
+        """Document frequency for the planner (``None`` = the ANY list).
+
+        Prefers the scoring model's statistics -- which are the *global*
+        statistics in sharded and live deployments
+        (:class:`~repro.cluster.stats.AggregatedStatistics`,
+        :class:`~repro.segments.stats.LiveStatistics`) -- and falls back to
+        the index's posting lists for unscored executors.
+        """
+        statistics = getattr(self.scoring, "statistics", None)
+        if token is None:
+            if statistics is not None:
+                return statistics.node_count
+            return len(self._current_index().any_list())
+        if statistics is not None:
+            return statistics.document_frequency(token)
+        return self._current_index().posting_list(token).document_frequency()
 
     def _score(
         self, query: ast.QueryNode, node_ids: list[int], engine_name: str

@@ -234,6 +234,7 @@ class NPredEngine:
         registry: PredicateRegistry | None = None,
         orders: str = "minimal",
         access_mode: str = PAPER_MODE,
+        physical=None,
     ) -> None:
         if orders not in ("minimal", "all"):
             raise EvaluationError("orders must be 'minimal' or 'all'")
@@ -241,6 +242,13 @@ class NPredEngine:
         self.registry = registry or default_registry()
         self.orders = orders
         self.access_mode = check_access_mode(access_mode)
+        #: Optional :class:`~repro.planner.physical.PhysicalPlan`, accepted
+        #: for API uniformity with the other engines.  NPRED's cursor order
+        #: is *semantic* (the permutation threads enforce position orderings
+        #: over specific scans), so the plan's join order is not applied
+        #: here; the plan still carries the access-mode and bound-strategy
+        #: choices, which the executor applies around the engine.
+        self.physical = physical
 
     # ------------------------------------------------------------------ API
     def evaluate(self, query: ast.QueryNode) -> list[int]:

@@ -497,17 +497,33 @@ def rarest_first_order(inputs: Sequence[PlanOperator]) -> list[int]:
     return [index for index, _ in sorted(enumerate(inputs), key=sort_key)]
 
 
-def zigzag_node_intersect(cursors: Sequence[InvertedListCursor]) -> list[int]:
+def zigzag_node_intersect(
+    cursors: Sequence[InvertedListCursor],
+    merge_order: Sequence[int] | None = None,
+) -> list[int]:
     """Node-granularity intersection of inverted lists by zig-zag merge.
 
     The shared merge kernel of the BOOL fast path: cursors are visited
     rarest-list-first, the rarest cursor generates candidate nodes and every
     other cursor seeks to them, so the work is bounded by the shortest list
     (times a logarithmic seek factor) instead of the sum of all list lengths.
+
+    ``merge_order`` (a permutation of cursor indices, lead first) overrides
+    the builtin entry-count ordering -- the hook the cost-based planner uses
+    to lead with the feedback-corrected cheapest list.  The intersection
+    result is the same set either way; only the cursor-op profile changes.
     """
     if not cursors:
         return []
-    order = sorted(cursors, key=lambda cursor: cursor.entry_count())
+    if merge_order is not None:
+        if sorted(merge_order) != list(range(len(cursors))):
+            raise EvaluationError(
+                f"merge order {list(merge_order)!r} is not a permutation of "
+                f"the {len(cursors)} cursors"
+            )
+        order = [cursors[index] for index in merge_order]
+    else:
+        order = sorted(cursors, key=lambda cursor: cursor.entry_count())
     lead = order[0]
     result: list[int] = []
     candidate = lead.next_entry()

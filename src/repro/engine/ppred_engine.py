@@ -50,10 +50,17 @@ class PPredEngine:
         index: InvertedIndex,
         registry: PredicateRegistry | None = None,
         access_mode: str = PAPER_MODE,
+        physical=None,
     ) -> None:
         self.index = index
         self.registry = registry or default_registry()
         self.access_mode = check_access_mode(access_mode)
+        #: Optional :class:`~repro.planner.physical.PhysicalPlan`.  Supplies
+        #: the zig-zag merge order of a block's token scans (cheapest
+        #: feedback-corrected list leads); attribute numbering -- and with it
+        #: every predicate binding -- follows input order regardless, so the
+        #: plan can only redirect cursor traffic, never change results.
+        self.physical = physical
 
     # ------------------------------------------------------------------ API
     def evaluate(self, query: ast.QueryNode) -> list[int]:
@@ -133,12 +140,14 @@ class PPredEngine:
             raise UnsupportedQueryError("empty conjunctive block")
         tree: ops.PlanOperator
         if self.access_mode == FAST_MODE and len(inputs) > 1:
-            # One n-ary zig-zag merge, rarest inverted list first.  Input
-            # order (and with it the attribute numbering used by the
-            # predicate selections below) is unchanged.
-            tree = ops.ZigZagJoinOperator(
-                inputs, merge_order=ops.rarest_first_order(inputs)
-            )
+            # One n-ary zig-zag merge, rarest inverted list first (or the
+            # planner's feedback-corrected order when the plan covers this
+            # block's tokens).  Input order (and with it the attribute
+            # numbering used by the predicate selections below) is unchanged.
+            merge_order = self._planned_order(block, scans, inputs)
+            if merge_order is None:
+                merge_order = ops.rarest_first_order(inputs)
+            tree = ops.ZigZagJoinOperator(inputs, merge_order=merge_order)
         else:
             chain: ops.PlanOperator | None = None
             for operator in inputs:
@@ -151,6 +160,27 @@ class PPredEngine:
         for spec in block.predicates:
             tree = self._apply_predicate(tree, block, spec)
         return tree
+
+    def _planned_order(
+        self,
+        block: BlockPlan,
+        scans: list[ops.ScanOperator],
+        inputs: list[ops.PlanOperator],
+    ) -> list[int] | None:
+        """The plan's merge order for this block, or None for the builtin.
+
+        The plan orders token scans only; closed-conjunct subplans (unsized)
+        stay after all scans, mirroring :func:`ops.rarest_first_order`.  A
+        token mismatch (multi-block plans where this block holds a subset of
+        the query's tokens) falls back to the builtin order.
+        """
+        if self.physical is None or not scans:
+            return None
+        tokens = [token for _, token in block.bindings]
+        scan_order = self.physical.order_for(tokens)
+        if scan_order is None:
+            return None
+        return scan_order + list(range(len(scans), len(inputs)))
 
     def _apply_predicate(
         self, tree: ops.PlanOperator, block: BlockPlan, spec: PredicateSpec

@@ -1,0 +1,90 @@
+"""Runtime cost feedback: observed CursorStats folded into the model.
+
+After every optimized query the executor harvests the per-token cursor op
+counts that EXPLAIN already computes and hands them to the planner.  This
+module turns those observations into *correction multipliers*: if the model
+estimated 100 ops for token ``t`` but the cursors actually performed 240,
+the next plan for any query touching ``t`` costs it 2.4x higher.  The
+corrections are:
+
+* **EWMA-smoothed** (``alpha = 0.4``) so one outlier query cannot whipsaw
+  plan choices;
+* **clamped to [1/8, 8]** so a pathological observation cannot push a
+  token's cost to zero or infinity;
+* **generation-counted**: the memoised physical plans record the feedback
+  generation they were planned under, and a correction that moves by more
+  than 25% (or a new top-k give-up) bumps the generation, invalidating
+  stale plans lazily on next lookup.
+
+The same object records top-k **give-ups**: queries whose bound pruning hit
+:attr:`~repro.engine.topk.TopKCollector.GIVE_UP_AFTER` fruitless checks.
+Once a canonical query key has given up, future plans for it choose the
+plain-heap bound strategy up front instead of re-paying the fruitless
+bound probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+EWMA_ALPHA = 0.4
+CORRECTION_FLOOR = 1.0 / 8.0
+CORRECTION_CEILING = 8.0
+# Relative movement of a correction that is considered "material" -- i.e.
+# worth invalidating memoised plans over.
+GENERATION_BUMP_RATIO = 0.25
+
+
+@dataclass
+class CostFeedback:
+    """Per-token cost corrections plus per-query give-up memory."""
+
+    _corrections: dict[str, float] = field(default_factory=dict)
+    _gave_up: set[str] = field(default_factory=set)
+    generation: int = 0
+
+    # ---------------------------------------------------------- corrections
+    def correction(self, token: str) -> float:
+        """The current multiplier for ``token`` (1.0 when unobserved)."""
+        return self._corrections.get(token, 1.0)
+
+    def observe(self, token: str, estimated_ops: float, observed_ops: float) -> None:
+        """Fold one query's (estimate, observation) pair for a token."""
+        if estimated_ops <= 0.0 or observed_ops < 0.0:
+            return
+        ratio = observed_ops / estimated_ops
+        ratio = min(CORRECTION_CEILING, max(CORRECTION_FLOOR, ratio))
+        old = self.correction(token)
+        new = (1.0 - EWMA_ALPHA) * old + EWMA_ALPHA * ratio
+        new = min(CORRECTION_CEILING, max(CORRECTION_FLOOR, new))
+        self._corrections[token] = new
+        if old > 0 and abs(new - old) / old > GENERATION_BUMP_RATIO:
+            self.generation += 1
+
+    def observe_many(
+        self, estimated: Mapping[str, float], observed: Mapping[str, float]
+    ) -> None:
+        """Fold a whole query's per-token estimates against its observations."""
+        for token, estimate in estimated.items():
+            if token in observed:
+                self.observe(token, estimate, observed[token])
+
+    # ------------------------------------------------------------- give-ups
+    def record_give_up(self, canonical_key: str) -> None:
+        """Remember that bound pruning gave up on this canonical query."""
+        if canonical_key not in self._gave_up:
+            self._gave_up.add(canonical_key)
+            self.generation += 1
+
+    def gave_up(self, canonical_key: str) -> bool:
+        return canonical_key in self._gave_up
+
+    # -------------------------------------------------------------- summary
+    def summary(self) -> dict[str, object]:
+        """A snapshot for ``/stats`` and doctor output."""
+        return {
+            "tokens_corrected": len(self._corrections),
+            "give_ups": len(self._gave_up),
+            "generation": self.generation,
+        }

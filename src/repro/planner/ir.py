@@ -1,0 +1,104 @@
+"""The unified logical-plan IR: canonicalisation of surface queries.
+
+Every caching and planning layer keys work by *query identity*, and surface
+syntax is a poor identity: ``'a' AND 'b'`` and ``'b' AND 'a'`` are the same
+logical plan but render to different text, so they used to occupy two plan
+cache entries and two result cache entries.  This module defines the
+canonical form that fixes that:
+
+* AND / OR chains are flattened (both operators are associative at node
+  granularity) and their operands sorted by canonical text, negated
+  conjuncts after positive ones -- so every commuted/re-associated variant
+  of a conjunction or disjunction maps to one canonical AST;
+* all other constructs (NOT, SOME/EVERY, predicates, ``dist``) keep their
+  structure -- quantifier variable names are *not* alpha-renamed, and
+  predicate argument order is semantic.
+
+Safety of key sharing (why two queries with equal canonical keys may share
+cached results bit-for-bit): ranked scores come from
+``ScoringModel.document_score`` over query tokens prepared in *sorted*
+order (see :meth:`repro.engine.executor.Executor._score`), so they depend
+only on the token *set*; node-id sets are order-independent by
+construction; and the engine-internal score folds use commutative IEEE
+operations (``min``, ``+``, ``*``).  The cross-product equivalence suite
+pins this (``tests/planner/test_commuted_equivalence.py``).
+
+Only the *key* is canonical -- execution always runs the query as written,
+so the canonicalisation can never change a returned byte.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.languages import ast
+
+
+def _flatten(node: ast.QueryNode, kind: type) -> list[ast.QueryNode]:
+    """Operands of an associative chain of ``kind`` in tree order."""
+    if isinstance(node, kind):
+        return _flatten(node.left, kind) + _flatten(node.right, kind)
+    return [node]
+
+
+def _sort_key(node: ast.QueryNode) -> tuple[int, str]:
+    # Negations after positive operands: the PPRED/NPRED grammar checks and
+    # the BOOL-NONEG classifier treat ``... AND NOT sub`` specially, and a
+    # NOT-first rendering reads badly in logs.  Within each group, operands
+    # order by their canonical text.
+    return (1 if isinstance(node, ast.NotQuery) else 0, node.to_text())
+
+
+def canonicalize(node: ast.QueryNode) -> ast.QueryNode:
+    """The canonical AST of ``node`` (a new tree; the input is untouched)."""
+    if isinstance(node, (ast.AndQuery, ast.OrQuery)):
+        kind = type(node)
+        operands = sorted(
+            (canonicalize(operand) for operand in _flatten(node, kind)),
+            key=_sort_key,
+        )
+        return reduce(kind, operands)
+    if isinstance(node, ast.NotQuery):
+        return ast.NotQuery(canonicalize(node.operand))
+    if isinstance(node, ast.SomeQuery):
+        return ast.SomeQuery(node.var, canonicalize(node.operand))
+    if isinstance(node, ast.EveryQuery):
+        return ast.EveryQuery(node.var, canonicalize(node.operand))
+    # Leaves and constructs whose operand order is semantic (predicates,
+    # dist, HAS bindings) are already canonical.
+    return node
+
+
+def canonical_key(node: ast.QueryNode) -> str:
+    """The canonical plan-cache key of a parsed query.
+
+    Equal keys mean "same logical plan": every cache in the stack (the
+    executor's plan memo, the planner's physical-plan memo, the cluster's
+    :class:`~repro.cluster.cache.QueryCache`) keys on this string instead
+    of the surface text.
+    """
+    return canonicalize(node).to_text()
+
+
+def and_group(node: ast.QueryNode) -> "tuple[list[str], bool, int]":
+    """The root conjunction's mergeable leaves: ``(tokens, has_any, extras)``.
+
+    Flattens a root AND chain and splits its conjuncts into token leaves
+    (the lists a zig-zag merge would intersect), an ``ANY`` flag, and the
+    count of non-leaf conjuncts (OR / NOT subqueries, intersected at node
+    level after the merge).  A non-AND root yields ``([], False, 0)`` --
+    there is nothing for the merge-strategy choice to decide.
+    """
+    if not isinstance(node, ast.AndQuery):
+        return [], False, 0
+    tokens: list[str] = []
+    has_any = False
+    extras = 0
+    for conjunct in _flatten(node, ast.AndQuery):
+        if isinstance(conjunct, ast.TokenQuery):
+            tokens.append(conjunct.token)
+        elif isinstance(conjunct, ast.AnyQuery):
+            has_any = True
+        else:
+            extras += 1
+    return tokens, has_any, extras

@@ -1,0 +1,259 @@
+"""The cost-based query planner.
+
+:class:`QueryPlanner` is the facade the executor and the scatter layer talk
+to.  Given a parsed query it produces a :class:`PhysicalPlan` deciding:
+
+* **join order** -- token posting lists sorted by feedback-corrected cost
+  (cheapest leads), replacing the engines' static rarest-first order;
+* **merge strategy** -- zig-zag vs sequential by comparing modelled cursor
+  ops (:mod:`repro.planner.cost`), replacing the static
+  ``ZIGZAG_SELECTIVITY_RATIO`` threshold;
+* **access mode** -- upgrade paper → fast when the chosen strategy only
+  exists on the fast path (the engines' algorithms are pinned
+  result-identical across modes, so this is score-neutral);
+* **top-k bound strategy** -- start with exact bound pruning unless
+  feedback remembers this canonical query giving up, in which case a plain
+  heap skips the fruitless bound probes.
+
+Plans are memoised per ``(canonical key, engine, mode, k?, scored?)`` and
+invalidated lazily when the feedback generation moves.  A memo hit is
+reported with provenance ``"cached"`` so telemetry can distinguish fresh
+planning work from reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.languages import ast
+from repro.planner import cost as cost_model
+from repro.planner import ir
+from repro.planner.feedback import CostFeedback
+from repro.planner.physical import (
+    BOUND_AUTO,
+    BOUND_BOUNDED,
+    BOUND_HEAP,
+    MERGE_AUTO,
+    MERGE_SEQUENTIAL,
+    MERGE_ZIGZAG,
+    PhysicalPlan,
+    TokenEstimate,
+)
+
+# Sentinel token name for the ANY posting list in join orders / estimates --
+# the same name ``IL_ANY`` cursors report, so observed per-token ops match
+# the estimates without translation.
+from repro.index.inverted_index import ANY_TOKEN
+
+DfCallable = Callable[[Optional[str]], int]
+
+
+class QueryPlanner:
+    """Plans queries against one statistics source.
+
+    ``df`` maps a token to its document frequency; ``df(None)`` must return
+    the length of the ANY list (every indexed node).  The executor backs
+    this with its index / scoring statistics, the scatter layer with the
+    cluster's :class:`~repro.cluster.stats.AggregatedStatistics` -- so a
+    coordinator plans once from global statistics and ships the same plan
+    to every shard.
+    """
+
+    def __init__(self, df: DfCallable, feedback: CostFeedback | None = None) -> None:
+        self._df = df
+        self.feedback = feedback if feedback is not None else CostFeedback()
+        self._memo: dict[tuple[str, str, str, bool, bool], PhysicalPlan] = {}
+        self.plans_built = 0
+        self.memo_hits = 0
+
+    # ----------------------------------------------------------------- plan
+    def plan(
+        self,
+        query: ast.QueryNode,
+        *,
+        engine: str,
+        language_class: str,
+        optimizer: str,
+        access_mode: str,
+        top_k: int | None = None,
+        scored: bool = False,
+    ) -> PhysicalPlan:
+        """The physical plan for ``query`` under ``optimizer`` mode.
+
+        ``optimizer`` must be ``"on"`` or ``"static"`` (mode ``"off"`` means
+        "no planner" and callers skip planning entirely).
+        """
+        canonical = ir.canonical_key(query)
+        if optimizer != "on":
+            return PhysicalPlan(
+                key=canonical,
+                engine=engine,
+                language_class=language_class,
+                optimizer=optimizer,
+                provenance="static",
+                access_mode=access_mode,
+            )
+        memo_key = (canonical, engine, access_mode, top_k is not None, scored)
+        cached = self._memo.get(memo_key)
+        if cached is not None and cached.feedback_generation == self.feedback.generation:
+            self.memo_hits += 1
+            return replace(cached, provenance="cached")
+        plan = self._optimize(
+            query,
+            canonical=canonical,
+            engine=engine,
+            language_class=language_class,
+            access_mode=access_mode,
+            top_k=top_k,
+            scored=scored,
+        )
+        self._memo[memo_key] = plan
+        self.plans_built += 1
+        return plan
+
+    # ------------------------------------------------------------- feedback
+    def observe(self, plan: PhysicalPlan, observed_token_ops: dict[str, float]) -> None:
+        """Fold one optimized query's observed cursor ops into the model."""
+        if plan.optimizer != "on":
+            return
+        self.feedback.observe_many(plan.estimated_token_ops(), observed_token_ops)
+
+    def record_give_up(self, plan: PhysicalPlan) -> None:
+        """Remember that this plan's query defeated bound pruning."""
+        self.feedback.record_give_up(plan.key)
+
+    def summary(self) -> dict[str, object]:
+        payload = {"plans_built": self.plans_built, "memo_hits": self.memo_hits}
+        payload.update(self.feedback.summary())
+        return payload
+
+    # ------------------------------------------------------------ internals
+    def _optimize(
+        self,
+        query: ast.QueryNode,
+        *,
+        canonical: str,
+        engine: str,
+        language_class: str,
+        access_mode: str,
+        top_k: int | None,
+        scored: bool,
+    ) -> PhysicalPlan:
+        decides: list[str] = []
+        merge_strategy = MERGE_AUTO
+        join_order: tuple[str, ...] = ()
+        estimates: tuple[TokenEstimate, ...] = ()
+        estimated_cost: float | None = None
+        chosen_mode = access_mode
+
+        tokens, has_any, _extras = ir.and_group(ir.canonicalize(query))
+        merge_tokens = list(tokens) + ([ANY_TOKEN] if has_any else [])
+        if engine == "bool" and len(merge_tokens) >= 2:
+            merge_strategy, join_order, estimates, estimated_cost = self._plan_merge(
+                merge_tokens
+            )
+            decides.append("merge_strategy")
+            decides.append("join_order")
+            if merge_strategy == MERGE_ZIGZAG:
+                # The zig-zag intersection only runs on the fast cursor path;
+                # results are pinned identical across modes, so upgrading is
+                # score-neutral and buys the galloping skips.
+                chosen_mode = "fast"
+                decides.append("access_mode")
+        elif engine in ("ppred", "npred"):
+            # Positional operators gallop in fast mode with identical
+            # results; the planner always takes the cheap path.
+            chosen_mode = "fast"
+            decides.append("access_mode")
+            join_order, estimates, estimated_cost = self._plan_positional(query)
+            if join_order:
+                decides.append("join_order")
+
+        bound_strategy = BOUND_AUTO
+        give_up_after: int | None = None
+        if top_k is not None and scored:
+            if self.feedback.gave_up(canonical):
+                bound_strategy = BOUND_HEAP
+                give_up_after = 0
+            else:
+                bound_strategy = BOUND_BOUNDED
+            decides.append("bound_strategy")
+
+        return PhysicalPlan(
+            key=canonical,
+            engine=engine,
+            language_class=language_class,
+            optimizer="on",
+            provenance="optimized",
+            access_mode=chosen_mode,
+            merge_strategy=merge_strategy,
+            bound_strategy=bound_strategy,
+            give_up_after=give_up_after,
+            join_order=join_order,
+            estimates=estimates,
+            estimated_cost=estimated_cost,
+            feedback_generation=self.feedback.generation,
+            decides=tuple(decides),
+        )
+
+    def _corrected(self, token: str) -> tuple[int, float]:
+        df = self._df(None if token == ANY_TOKEN else token)
+        return df, max(0.0, df) * self.feedback.correction(token)
+
+    def _plan_merge(
+        self, tokens: list[str]
+    ) -> tuple[str, tuple[str, ...], tuple[TokenEstimate, ...], float]:
+        """Merge strategy + join order for a root conjunction's leaves."""
+        stats = [(token,) + self._corrected(token) for token in tokens]
+        # Cheapest (feedback-corrected) list leads; ties break on token text
+        # so the order is deterministic across processes.
+        stats.sort(key=lambda item: (item[2], item[0]))
+        counts = [corrected for _, _, corrected in stats]
+        strategy, chosen, _rejected = cost_model.merge_decision(counts)
+        estimates: list[TokenEstimate] = []
+        if strategy == MERGE_ZIGZAG:
+            lead = counts[0]
+            for position, (token, df, corrected) in enumerate(stats):
+                if position == 0:
+                    role, ops = "lead", cost_model.SEQ_UNIT * corrected
+                else:
+                    role, ops = "probe", cost_model.seek_cost(lead, corrected)
+                estimates.append(TokenEstimate(token, df, corrected, ops, role))
+        else:
+            for token, df, corrected in stats:
+                estimates.append(
+                    TokenEstimate(
+                        token, df, corrected, cost_model.SEQ_UNIT * corrected, "scan"
+                    )
+                )
+        order = tuple(token for token, _, _ in stats)
+        return strategy, order, tuple(estimates), chosen
+
+    def _plan_positional(
+        self, query: ast.QueryNode
+    ) -> tuple[tuple[str, ...], tuple[TokenEstimate, ...], float | None]:
+        """Join order for PPRED/NPRED: positive tokens, cheapest first."""
+        tokens = sorted(ast.query_tokens(query))
+        if len(tokens) < 2:
+            if not tokens:
+                return (), (), None
+            df, corrected = self._corrected(tokens[0])
+            estimate = TokenEstimate(
+                tokens[0], df, corrected, cost_model.SEQ_UNIT * corrected, "lead"
+            )
+            return (), (estimate,), estimate.estimated_ops
+        stats = [(token,) + self._corrected(token) for token in tokens]
+        stats.sort(key=lambda item: (item[2], item[0]))
+        lead = stats[0][2]
+        estimates: list[TokenEstimate] = []
+        total = 0.0
+        for position, (token, df, corrected) in enumerate(stats):
+            if position == 0:
+                role, ops = "lead", cost_model.SEQ_UNIT * corrected
+            else:
+                role, ops = "probe", cost_model.seek_cost(lead, corrected)
+            estimates.append(TokenEstimate(token, df, corrected, ops, role))
+            total += ops
+        order = tuple(token for token, _, _ in stats)
+        return order, tuple(estimates), total

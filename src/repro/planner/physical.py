@@ -1,0 +1,134 @@
+"""The physical plan: one picklable artifact carrying every strategy choice.
+
+A :class:`PhysicalPlan` is what flows through the stack -- executor →
+engines → top-k collector → cache key → thread/process scatter workers →
+EXPLAIN.  Shipping the artifact (rather than re-deriving choices per shard)
+keeps every worker's decisions identical to the coordinator's, which is
+what makes the sharded/unsharded bit-identity invariant cheap to maintain.
+
+Every field is a plain value so the plan pickles across the process-scatter
+boundary unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+# Strategy vocabulary.  "auto" defers to the engine's builtin static
+# heuristic -- it is what optimizer="static" plans carry, and makes "static"
+# behave exactly like the pre-planner code path.
+MERGE_AUTO = "auto"
+MERGE_ZIGZAG = "zigzag"
+MERGE_SEQUENTIAL = "sequential"
+BOUND_AUTO = "auto"
+BOUND_BOUNDED = "bounded"
+BOUND_HEAP = "heap"
+
+
+@dataclass(frozen=True)
+class TokenEstimate:
+    """The cost model's view of one token at plan time."""
+
+    token: str
+    document_frequency: int
+    corrected_cost: float
+    estimated_ops: float
+    role: str  # "lead" | "probe" | "scan"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "token": self.token,
+            "df": self.document_frequency,
+            "corrected_cost": round(self.corrected_cost, 3),
+            "estimated_ops": round(self.estimated_ops, 3),
+            "role": self.role,
+        }
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """Strategy choices for one canonical query.
+
+    ``merge_strategy`` / ``bound_strategy`` of ``"auto"`` mean "whatever the
+    engine's builtin heuristic picks" -- the static plan.  Everything the
+    plan decides is score-neutral: join order and merge strategy change
+    which cursor operations run, never which node ids or scores come out,
+    and the bound strategy only controls *when* exact pruning is attempted.
+    """
+
+    key: str
+    engine: str
+    language_class: str
+    optimizer: str
+    provenance: str  # "optimized" | "static" | "cached"
+    access_mode: str
+    merge_strategy: str = MERGE_AUTO
+    bound_strategy: str = BOUND_AUTO
+    give_up_after: int | None = None
+    join_order: tuple[str, ...] = ()
+    estimates: tuple[TokenEstimate, ...] = ()
+    estimated_cost: float | None = None
+    feedback_generation: int = 0
+    decides: tuple[str, ...] = field(default=())
+
+    # ------------------------------------------------------- engine queries
+    def order_for(self, tokens: Sequence[str]) -> list[int] | None:
+        """Merge order (indices into ``tokens``) or None for builtin order.
+
+        Only answers when the plan's join order covers exactly the tokens
+        the engine is about to merge -- a mismatch (e.g. the engine flattened
+        differently than the planner) falls back to the builtin heuristic
+        rather than guessing.
+        """
+        if not self.join_order:
+            return None
+        if sorted(self.join_order) != sorted(tokens):
+            return None
+        remaining: dict[str, list[int]] = {}
+        for index, token in enumerate(tokens):
+            remaining.setdefault(token, []).append(index)
+        order: list[int] = []
+        for token in self.join_order:
+            slots = remaining.get(token)
+            if not slots:
+                return None
+            order.append(slots.pop(0))
+        return order
+
+    def use_zigzag(self) -> bool | None:
+        """True/False when the plan decided the merge; None for builtin."""
+        if self.merge_strategy == MERGE_ZIGZAG:
+            return True
+        if self.merge_strategy == MERGE_SEQUENTIAL:
+            return False
+        return None
+
+    # ------------------------------------------------------------ reporting
+    def estimated_token_ops(self) -> dict[str, float]:
+        """Per-token estimated op counts (for the feedback loop)."""
+        return {e.token: e.estimated_ops for e in self.estimates}
+
+    def describe(self) -> dict[str, object]:
+        """The plan section of EXPLAIN / slow-query log entries."""
+        payload: dict[str, object] = {
+            "key": self.key,
+            "engine": self.engine,
+            "language_class": self.language_class,
+            "optimizer": self.optimizer,
+            "provenance": self.provenance,
+            "access_mode": self.access_mode,
+            "merge_strategy": self.merge_strategy,
+            "bound_strategy": self.bound_strategy,
+        }
+        if self.give_up_after is not None:
+            payload["give_up_after"] = self.give_up_after
+        if self.join_order:
+            payload["join_order"] = list(self.join_order)
+        if self.decides:
+            payload["decides"] = list(self.decides)
+        if self.estimated_cost is not None:
+            payload["estimated_cost"] = round(self.estimated_cost, 3)
+        if self.estimates:
+            payload["tokens"] = [e.as_dict() for e in self.estimates]
+        return payload

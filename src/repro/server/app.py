@@ -443,7 +443,8 @@ class QueryServer:
         if trace is not None and explain:
             trace.end()
             payload["trace"] = trace.to_dict()
-        self._slowlog_check(started, text, trace, 200, request_id)
+        self._slowlog_check(started, text, trace, 200, request_id,
+                            plan=results.plan)
         self._capture_check(started, request, text, top_k, language,
                             engine_choice, 200, request_id)
         return 200, payload
@@ -480,6 +481,7 @@ class QueryServer:
         trace: "Trace | None",
         status: int,
         request_id: str | None,
+        plan: dict | None = None,
     ) -> None:
         if self._slowlog is None:
             return
@@ -491,6 +493,7 @@ class QueryServer:
             trace=trace,
             status=status,
             trace_id=request_id,
+            plan=plan,
         )
 
     def _search_arguments(

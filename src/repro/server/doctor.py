@@ -94,6 +94,37 @@ def check_spawn_context() -> CheckResult:
     return _ok("multiprocessing", "'spawn' context available for --workers process")
 
 
+def check_optimizer() -> CheckResult:
+    """Verify the planning layer imports and plans a probe query.
+
+    Catches a broken install (missing planner package) before traffic does:
+    the default serving mode builds a plan artifact for every query.
+    """
+    try:
+        from repro.planner import DEFAULT_OPTIMIZER, OPTIMIZER_MODES
+        from repro.planner.optimizer import QueryPlanner
+        from repro.core.query import parse_query
+        from repro.model.predicates import default_registry
+
+        probe = parse_query("'a' AND 'b'", "auto", default_registry()).node
+        planner = QueryPlanner(lambda token: 1)
+        plan = planner.plan(
+            probe,
+            engine="bool",
+            language_class="BOOL",
+            optimizer="on",
+            access_mode="paper",
+        )
+    except Exception as exc:  # degraded install: report, don't crash doctor
+        return _fail("optimizer", f"planning layer broken: {exc}")
+    return _ok(
+        "optimizer",
+        f"cost-based planner operational (modes: {', '.join(OPTIMIZER_MODES)}; "
+        f"default {DEFAULT_OPTIMIZER}; probe plan: {plan.merge_strategy} "
+        f"merge)",
+    )
+
+
 def check_tempdir() -> CheckResult:
     try:
         with tempfile.NamedTemporaryFile(prefix="repro-doctor-") as handle:
@@ -203,6 +234,7 @@ def run_doctor(
         check_mmap(),
         check_spawn_context(),
         check_tempdir(),
+        check_optimizer(),
     ]
     if host is not None and port is not None:
         results.append(check_port(host, port))

@@ -84,8 +84,18 @@ def build_explain(
     operators: "list[dict]",
     top_k: "dict | None" = None,
     note: "str | None" = None,
+    plan: "dict | None" = None,
 ) -> dict:
-    """The per-execution explain payload (one single-index evaluation)."""
+    """The per-execution explain payload (one single-index evaluation).
+
+    ``plan`` is a physical plan's
+    :meth:`~repro.planner.physical.PhysicalPlan.describe` payload; when
+    given, each operator row whose token the cost model estimated gains an
+    ``estimated_ops`` field next to its observed counts, so the rendered
+    tree shows estimate vs observation per operator.
+    """
+    if plan is not None:
+        operators = annotate_estimates(operators, plan)
     payload = {
         "operator": "execute",
         "query": query_text,
@@ -101,7 +111,41 @@ def build_explain(
         payload["top_k"] = top_k
     if note is not None:
         payload["note"] = note
+    if plan is not None:
+        payload["plan"] = plan
     return payload
+
+
+def observed_ops(counts: dict) -> int:
+    """The single observed op number compared against an estimate.
+
+    Sums the op kinds the cost model prices (entry steps, position reads,
+    seeks, probes) -- the same recipe as the executor's feedback harvest, so
+    EXPLAIN and the feedback loop agree on what "observed cost" means.
+    """
+    return (
+        counts.get("next_entry_calls", 0)
+        + counts.get("get_positions_calls", 0)
+        + counts.get("seek_calls", 0)
+        + counts.get("seek_probes", 0)
+    )
+
+
+def annotate_estimates(operators: "list[dict]", plan: dict) -> "list[dict]":
+    """Copy operator rows, attaching the plan's per-token estimated ops."""
+    estimates = {
+        entry["token"]: entry for entry in plan.get("tokens", [])
+    }
+    annotated = []
+    for row in operators:
+        row = dict(row)
+        estimate = estimates.get(row.get("token"))
+        if estimate is not None:
+            row["estimated_ops"] = estimate["estimated_ops"]
+            row["planned_role"] = estimate["role"]
+        row["observed_ops"] = observed_ops(row.get("counts", {}))
+        annotated.append(row)
+    return annotated
 
 
 def build_scatter_explain(
@@ -116,6 +160,7 @@ def build_scatter_explain(
     workers: str,
     cache: str,
     top_k: "dict | None" = None,
+    plan: "dict | None" = None,
 ) -> dict:
     """The cluster-level explain payload wrapping per-shard subtrees."""
     totals = CursorStats()
@@ -137,6 +182,8 @@ def build_scatter_explain(
     }
     if top_k is not None:
         payload["top_k"] = top_k
+    if plan is not None:
+        payload["plan"] = plan
     return payload
 
 
@@ -153,13 +200,37 @@ def _render_operators(operators: "list[dict]", indent: str) -> "list[str]":
         connector = "└─" if position == len(operators) - 1 else "├─"
         segments = row.get("segments", 1)
         seg = f" segments={segments}" if segments != 1 else ""
+        cost = ""
+        if "estimated_ops" in row:
+            cost = (
+                f" cost[est={row['estimated_ops']:g} "
+                f"obs={row.get('observed_ops', 0)} "
+                f"role={row.get('planned_role', '?')}]"
+            )
         lines.append(
             f"{indent}{connector} {row['operator']} "
-            f"token={row['token']!r}{seg} {_counts_line(row['counts'])}"
+            f"token={row['token']!r}{seg} {_counts_line(row['counts'])}{cost}"
         )
     if not operators:
         lines.append(f"{indent}└─ (no instrumented cursors)")
     return lines
+
+
+def _render_plan(plan: "dict | None") -> "list[str]":
+    if plan is None:
+        return []
+    line = (
+        f"plan: provenance={plan.get('provenance')} "
+        f"optimizer={plan.get('optimizer')} "
+        f"merge={plan.get('merge_strategy')} "
+        f"bound={plan.get('bound_strategy')} "
+        f"access_mode={plan.get('access_mode')}"
+    )
+    if plan.get("join_order"):
+        line += " join_order=" + " < ".join(plan["join_order"])
+    if plan.get("estimated_cost") is not None:
+        line += f" est_cost={plan['estimated_cost']:g}"
+    return [line]
 
 
 def _render_topk(top_k: "dict | None") -> "list[str]":
@@ -185,6 +256,7 @@ def render_explain(payload: dict) -> str:
             f"elapsed={payload['elapsed_ms']:.3f} ms "
             f"rows={payload['rows_produced']}"
         )
+        lines.extend(_render_plan(payload.get("plan")))
         lines.extend(_render_topk(payload.get("top_k")))
         lines.append(f"cursor totals: {_counts_line(payload['cursor_totals'])}")
         shards = payload["shards"]
@@ -207,6 +279,7 @@ def render_explain(payload: dict) -> str:
         f"elapsed={payload['elapsed_ms']:.3f} ms "
         f"rows={payload['rows_produced']}"
     )
+    lines.extend(_render_plan(payload.get("plan")))
     lines.extend(_render_topk(payload.get("top_k")))
     if payload.get("note"):
         lines.append(f"note: {payload['note']}")

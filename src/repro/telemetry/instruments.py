@@ -43,6 +43,13 @@ TOPK_GIVEUPS_TOTAL = REGISTRY.counter(
     "repro_topk_giveups_total",
     "Queries where the top-k bound check disabled itself as fruitless.",
 )
+PLANS_TOTAL = REGISTRY.counter(
+    "repro_plans_total",
+    "Physical plans used per query, by provenance: freshly cost-optimized, "
+    "static (optimizer deferring to builtin heuristics), or served from the "
+    "planner's memo.",
+    ("source",),
+)
 
 # -------------------------------------------------------------------- cache
 CACHE_LOOKUPS_TOTAL = REGISTRY.counter(

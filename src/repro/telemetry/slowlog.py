@@ -46,8 +46,15 @@ class SlowQueryLog:
         trace: "Span | None" = None,
         status: int | None = None,
         trace_id: str | None = None,
+        plan: dict | None = None,
     ) -> bool:
-        """Dump the request if it breached the threshold; True if written."""
+        """Dump the request if it breached the threshold; True if written.
+
+        ``plan`` is the query's physical-plan provenance payload
+        (:meth:`~repro.planner.physical.PhysicalPlan.describe`): a slow
+        query's log line then answers "what did the optimizer choose?"
+        without re-running it.
+        """
         if latency_ms < self.threshold_ms:
             return False
         SLOW_QUERIES_TOTAL.inc()
@@ -61,6 +68,8 @@ class SlowQueryLog:
         }
         if status is not None:
             entry["status"] = status
+        if plan is not None:
+            entry["plan"] = plan
         if trace is not None:
             entry["trace"] = trace.to_dict()
         line = json.dumps(entry, ensure_ascii=False)

@@ -119,7 +119,8 @@ def test_closed_executor_deregisters_its_listeners(collection):
 
     sharded = ShardedIndex(collection, 2)
     scatter = ScatterGatherExecutor(sharded, scoring="tfidf", cache_size=8)
-    assert len(sharded._invalidation_listeners) == 2
+    # cache invalidation + scoring staleness + planner staleness
+    assert len(sharded._invalidation_listeners) == 3
     scatter.close()
     assert sharded._invalidation_listeners == []
 

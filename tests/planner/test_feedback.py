@@ -1,0 +1,93 @@
+"""Runtime cost feedback: EWMA smoothing, clamping, generations, give-ups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.planner.feedback import (
+    CORRECTION_CEILING,
+    CORRECTION_FLOOR,
+    EWMA_ALPHA,
+    CostFeedback,
+)
+
+
+def test_unobserved_tokens_have_unit_correction():
+    assert CostFeedback().correction("never-seen") == 1.0
+
+
+def test_one_observation_moves_by_alpha():
+    feedback = CostFeedback()
+    feedback.observe("t", estimated_ops=100.0, observed_ops=200.0)
+    # EWMA from 1.0 toward the observed ratio 2.0.
+    assert feedback.correction("t") == pytest.approx(
+        (1 - EWMA_ALPHA) * 1.0 + EWMA_ALPHA * 2.0
+    )
+
+
+def test_repeated_observations_converge_to_the_true_ratio():
+    feedback = CostFeedback()
+    for _ in range(50):
+        feedback.observe("t", estimated_ops=100.0, observed_ops=300.0)
+    assert feedback.correction("t") == pytest.approx(3.0, rel=1e-3)
+
+
+def test_corrections_are_clamped_to_the_configured_band():
+    feedback = CostFeedback()
+    for _ in range(100):
+        feedback.observe("hot", estimated_ops=1.0, observed_ops=1e9)
+        feedback.observe("cold", estimated_ops=1e9, observed_ops=1.0)
+    assert feedback.correction("hot") == pytest.approx(CORRECTION_CEILING)
+    assert feedback.correction("hot") <= CORRECTION_CEILING
+    assert feedback.correction("cold") == pytest.approx(CORRECTION_FLOOR)
+    assert feedback.correction("cold") >= CORRECTION_FLOOR
+
+
+def test_degenerate_observations_are_ignored():
+    feedback = CostFeedback()
+    feedback.observe("t", estimated_ops=0.0, observed_ops=50.0)
+    feedback.observe("t", estimated_ops=-1.0, observed_ops=50.0)
+    feedback.observe("t", estimated_ops=10.0, observed_ops=-5.0)
+    assert feedback.correction("t") == 1.0
+    assert feedback.generation == 0
+
+
+def test_material_moves_bump_the_generation():
+    feedback = CostFeedback()
+    start = feedback.generation
+    feedback.observe("t", estimated_ops=100.0, observed_ops=800.0)  # big move
+    assert feedback.generation > start
+    settled = feedback.generation
+    # An observation matching the current correction is not material.
+    current = feedback.correction("t")
+    feedback.observe("t", estimated_ops=100.0, observed_ops=100.0 * current)
+    assert feedback.generation == settled
+
+
+def test_observe_many_pairs_estimates_with_observations():
+    feedback = CostFeedback()
+    feedback.observe_many(
+        {"a": 100.0, "b": 100.0}, {"a": 200.0, "missing": 1.0}
+    )
+    assert feedback.correction("a") > 1.0
+    assert feedback.correction("b") == 1.0  # no observation, untouched
+
+
+def test_give_ups_are_remembered_once_and_bump_the_generation():
+    feedback = CostFeedback()
+    assert not feedback.gave_up("k")
+    feedback.record_give_up("k")
+    first = feedback.generation
+    assert feedback.gave_up("k")
+    feedback.record_give_up("k")  # idempotent: no second bump
+    assert feedback.generation == first
+
+
+def test_summary_counts():
+    feedback = CostFeedback()
+    feedback.observe("a", 10.0, 20.0)
+    feedback.record_give_up("q")
+    summary = feedback.summary()
+    assert summary["tokens_corrected"] == 1
+    assert summary["give_ups"] == 1
+    assert summary["generation"] >= 1

@@ -1,0 +1,119 @@
+"""The logical-plan IR: canonicalisation collapses commuted variants.
+
+The planner memo and every result cache key on ``canonical_key``; these
+tests pin what that key identifies (commuted/re-associated AND and OR
+chains) and -- just as important -- what it must NOT identify (predicates,
+quantifier structure, distinct token sets).
+"""
+
+from __future__ import annotations
+
+from repro.core.query import parse_query
+from repro.languages import ast
+from repro.planner.ir import and_group, canonical_key, canonicalize
+
+
+def parse(text: str) -> ast.QueryNode:
+    return parse_query(text).node
+
+
+# ----------------------------------------------------------- key collapsing
+def test_commuted_and_shares_one_key():
+    assert canonical_key(parse("'a' AND 'b'")) == canonical_key(parse("'b' AND 'a'"))
+
+
+def test_reassociated_and_chain_shares_one_key():
+    variants = [
+        "'a' AND ('b' AND 'c')",
+        "('a' AND 'b') AND 'c'",
+        "('c' AND 'a') AND 'b'",
+        "'c' AND 'b' AND 'a'",
+    ]
+    keys = {canonical_key(parse(text)) for text in variants}
+    assert len(keys) == 1
+
+
+def test_commuted_or_shares_one_key():
+    assert canonical_key(parse("'x' OR 'y'")) == canonical_key(parse("'y' OR 'x'"))
+
+
+def test_mixed_and_or_canonicalizes_each_chain():
+    left = parse("('a' OR 'b') AND 'c'")
+    right = parse("'c' AND ('b' OR 'a')")
+    assert canonical_key(left) == canonical_key(right)
+
+
+def test_negated_conjuncts_sort_after_positive_ones():
+    assert canonical_key(parse("NOT 'a' AND 'b'")) == canonical_key(
+        parse("'b' AND NOT 'a'")
+    )
+    canonical = canonicalize(parse("NOT 'a' AND 'b'"))
+    assert isinstance(canonical, ast.AndQuery)
+    assert isinstance(canonical.left, ast.TokenQuery)
+    assert isinstance(canonical.right, ast.NotQuery)
+
+
+# ------------------------------------------------------------ key separation
+def test_and_and_or_do_not_collide():
+    assert canonical_key(parse("'a' AND 'b'")) != canonical_key(parse("'a' OR 'b'"))
+
+
+def test_different_token_sets_do_not_collide():
+    assert canonical_key(parse("'a' AND 'b'")) != canonical_key(parse("'a' AND 'c'"))
+
+
+def test_duplicate_operands_are_not_deduplicated():
+    # 'a' AND 'a' and plain 'a' are result-equal, but the IR does not claim
+    # idempotence -- only commutativity/associativity, which are what the
+    # engines' merge algorithms are insensitive to.
+    assert canonical_key(parse("'a' AND 'a'")) != canonical_key(parse("'a'"))
+
+
+def test_predicate_argument_order_is_semantic():
+    forward = parse(
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND ordered(p1, p2))"
+    )
+    reverse = parse(
+        "SOME p1 SOME p2 (p1 HAS 'a' AND p2 HAS 'b' AND ordered(p2, p1))"
+    )
+    assert canonical_key(forward) != canonical_key(reverse)
+
+
+def test_quantifier_variables_are_not_alpha_renamed():
+    one = parse("SOME p (p HAS 'a')")
+    other = parse("SOME q (q HAS 'a')")
+    assert canonical_key(one) != canonical_key(other)
+
+
+# ------------------------------------------------------------ tree mechanics
+def test_canonicalize_returns_a_new_tree_and_preserves_the_input():
+    query = parse("'b' AND 'a'")
+    before = query.to_text()
+    canonical = canonicalize(query)
+    assert query.to_text() == before  # input untouched
+    assert canonical.to_text() != before  # operands were reordered
+    assert canonical_key(canonical) == canonical_key(query)  # idempotent
+
+
+def test_canonicalization_inside_quantifiers_and_not():
+    outer = parse("NOT ('b' AND 'a')")
+    assert canonical_key(outer) == canonical_key(parse("NOT ('a' AND 'b')"))
+    some = parse("SOME p (p HAS 'a' AND 'y' AND 'x')")
+    assert canonical_key(some) == canonical_key(
+        parse("SOME p ('x' AND 'y' AND p HAS 'a')")
+    )
+
+
+# -------------------------------------------------------------- and_group()
+def test_and_group_splits_tokens_any_and_extras():
+    tokens, has_any, extras = and_group(
+        canonicalize(parse("'a' AND ANY AND ('x' OR 'y') AND 'b'"))
+    )
+    assert sorted(tokens) == ["a", "b"]
+    assert has_any is True
+    assert extras == 1  # the OR subquery
+
+
+def test_and_group_of_non_and_root_is_empty():
+    assert and_group(parse("'a' OR 'b'")) == ([], False, 0)
+    assert and_group(parse("'a'")) == ([], False, 0)

@@ -1,0 +1,172 @@
+"""QueryPlanner behaviour: plan contents, memoisation, feedback invalidation."""
+
+from __future__ import annotations
+
+from repro.core.query import parse_query
+from repro.index.inverted_index import ANY_TOKEN
+from repro.planner.optimizer import QueryPlanner
+from repro.planner.physical import (
+    BOUND_AUTO,
+    BOUND_BOUNDED,
+    BOUND_HEAP,
+    MERGE_AUTO,
+    MERGE_SEQUENTIAL,
+    MERGE_ZIGZAG,
+)
+
+
+def parse(text: str):
+    return parse_query(text).node
+
+
+def make_planner(dfs: dict, node_count: int = 1000) -> QueryPlanner:
+    return QueryPlanner(
+        lambda token: node_count if token is None else dfs.get(token, 0)
+    )
+
+
+def plan(planner, text, *, optimizer="on", engine="bool", top_k=None,
+         scored=False, access_mode="paper"):
+    return planner.plan(
+        parse(text),
+        engine=engine,
+        language_class="BOOL",
+        optimizer=optimizer,
+        access_mode=access_mode,
+        top_k=top_k,
+        scored=scored,
+    )
+
+
+# -------------------------------------------------------------- static plans
+def test_static_mode_defers_every_choice_to_the_engine():
+    planner = make_planner({"a": 10, "b": 1000})
+    artifact = plan(planner, "'a' AND 'b'", optimizer="static")
+    assert artifact.provenance == "static"
+    assert artifact.merge_strategy == MERGE_AUTO
+    assert artifact.bound_strategy == BOUND_AUTO
+    assert artifact.join_order == ()
+    assert planner.plans_built == 0  # static artifacts are not memoised work
+
+
+# ----------------------------------------------------------- optimized plans
+def test_skewed_conjunction_plans_a_zigzag_and_upgrades_access_mode():
+    planner = make_planner({"rare": 10, "common": 1000})
+    artifact = plan(planner, "'common' AND 'rare'")
+    assert artifact.provenance == "optimized"
+    assert artifact.merge_strategy == MERGE_ZIGZAG
+    assert artifact.join_order == ("rare", "common")  # cheapest leads
+    assert artifact.access_mode == "fast"  # zig-zag only exists on fast path
+    assert "merge_strategy" in artifact.decides
+    assert artifact.estimated_cost is not None
+
+
+def test_balanced_conjunction_plans_a_sequential_merge():
+    planner = make_planner({"a": 500, "b": 500})
+    artifact = plan(planner, "'a' AND 'b'")
+    assert artifact.merge_strategy == MERGE_SEQUENTIAL
+    assert artifact.access_mode == "paper"  # no reason to leave paper mode
+
+
+def test_any_leaf_enters_the_merge_under_its_cursor_name():
+    planner = make_planner({"a": 10}, node_count=5000)
+    artifact = plan(planner, "'a' AND ANY")
+    assert ANY_TOKEN in artifact.join_order
+    assert artifact.join_order[0] == "a"  # df 10 leads over df 5000
+
+
+def test_order_for_maps_join_order_onto_engine_token_slots():
+    planner = make_planner({"rare": 10, "common": 1000})
+    artifact = plan(planner, "'common' AND 'rare'")
+    assert artifact.order_for(["common", "rare"]) == [1, 0]
+    # A token set the plan did not cover falls back to the builtin order.
+    assert artifact.order_for(["common", "other"]) is None
+
+
+# ------------------------------------------------------------------ memoising
+def test_memo_hit_returns_the_same_choices_with_cached_provenance():
+    planner = make_planner({"rare": 10, "common": 1000})
+    first = plan(planner, "'rare' AND 'common'")
+    second = plan(planner, "'rare' AND 'common'")
+    assert first.provenance == "optimized"
+    assert second.provenance == "cached"
+    assert second.merge_strategy == first.merge_strategy
+    assert second.join_order == first.join_order
+    assert planner.plans_built == 1
+    assert planner.memo_hits == 1
+
+
+def test_commuted_queries_share_one_memo_entry():
+    planner = make_planner({"rare": 10, "common": 1000})
+    plan(planner, "'rare' AND 'common'")
+    commuted = plan(planner, "'common' AND 'rare'")
+    assert commuted.provenance == "cached"
+    assert planner.plans_built == 1
+    assert planner.memo_hits == 1
+
+
+def test_generation_bump_invalidates_memoised_plans():
+    planner = make_planner({"rare": 10, "common": 1000})
+    first = plan(planner, "'rare' AND 'common'")
+    planner.feedback.record_give_up("some other query")  # bumps generation
+    replanned = plan(planner, "'rare' AND 'common'")
+    assert replanned.provenance == "optimized"  # memo entry was stale
+    assert replanned.feedback_generation > first.feedback_generation
+    assert planner.plans_built == 2
+
+
+# ------------------------------------------------------------------ feedback
+def test_observed_ops_shift_the_join_order():
+    # Model thinks 'a' is the cheaper list...
+    planner = make_planner({"a": 100, "b": 150})
+    first = plan(planner, "'a' AND 'b'")
+    assert first.join_order[0] == "a"
+    # ...but observation says cursors over 'a' cost ~8x the estimate.
+    estimated = first.estimated_token_ops()
+    planner.observe(first, {"a": estimated["a"] * 8.0, "b": estimated["b"]})
+    replanned = plan(planner, "'a' AND 'b'")
+    assert replanned.provenance == "optimized"  # generation moved
+    assert replanned.join_order[0] == "b"
+
+
+def test_observe_ignores_non_optimized_plans():
+    planner = make_planner({"a": 100, "b": 150})
+    artifact = plan(planner, "'a' AND 'b'", optimizer="static")
+    planner.observe(artifact, {"a": 1e6, "b": 1e6})
+    assert planner.feedback.summary()["tokens_corrected"] == 0
+
+
+# ------------------------------------------------------------ bound strategy
+def test_scored_top_k_starts_with_bound_pruning():
+    planner = make_planner({"a": 100, "b": 150})
+    artifact = plan(planner, "'a' AND 'b'", top_k=5, scored=True)
+    assert artifact.bound_strategy == BOUND_BOUNDED
+
+
+def test_a_recorded_give_up_switches_to_the_plain_heap():
+    planner = make_planner({"a": 100, "b": 150})
+    first = plan(planner, "'a' AND 'b'", top_k=5, scored=True)
+    planner.record_give_up(first)
+    replanned = plan(planner, "'b' AND 'a'", top_k=5, scored=True)
+    assert replanned.bound_strategy == BOUND_HEAP  # canonical key matched
+    assert replanned.give_up_after == 0
+
+
+def test_unscored_or_unbounded_queries_leave_bounds_alone():
+    planner = make_planner({"a": 100, "b": 150})
+    assert plan(planner, "'a' AND 'b'").bound_strategy == BOUND_AUTO
+    assert (
+        plan(planner, "'a' AND 'b'", top_k=5, scored=False).bound_strategy
+        == BOUND_AUTO
+    )
+
+
+# --------------------------------------------------------------------- stats
+def test_summary_merges_planner_and_feedback_counters():
+    planner = make_planner({"a": 100, "b": 150})
+    plan(planner, "'a' AND 'b'")
+    plan(planner, "'b' AND 'a'")
+    summary = planner.summary()
+    assert summary["plans_built"] == 1
+    assert summary["memo_hits"] == 1
+    assert "generation" in summary

@@ -106,3 +106,12 @@ def test_doctor_cli_exit_codes(server_collection, tmp_path, capsys):
     assert "ready to serve" in capsys.readouterr().out
     assert main(["doctor", str(tmp_path / "missing.json")]) == 1
     assert "NOT ready to serve" in capsys.readouterr().out
+
+
+def test_optimizer_check_reports_planner_health():
+    results = run_doctor()
+    by_check = {result.name: result for result in results}
+    optimizer = by_check["optimizer"]
+    assert optimizer.status == "ok"
+    assert "cost-based planner operational" in optimizer.detail
+    assert "off" in optimizer.detail and "static" in optimizer.detail

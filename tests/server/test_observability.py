@@ -194,3 +194,44 @@ def test_fast_queries_stay_out_of_the_slow_log(server_collection):
         )
         assert status == 200
     assert slow_log.getvalue() == ""
+
+
+def test_slow_query_log_records_plan_provenance(server_collection):
+    engine = make_engine(server_collection, optimizer="on")
+    slow_log = io.StringIO()
+    config = ServerConfig(slow_query_ms=0.0001, slow_query_log=slow_log)
+    with RunningServer(engine, config) as server:
+        status, _ = server.request(
+            "POST", "/search", body={"q": QUERY, "top_k": 3}
+        )
+        assert status == 200
+    entries = [json.loads(line) for line in slow_log.getvalue().splitlines()]
+    assert entries
+    plan = entries[0]["plan"]
+    assert plan["optimizer"] == "on"
+    assert plan["provenance"] in ("optimized", "cached")
+    assert plan["merge_strategy"]  # a slow query's choices are in the log
+
+
+def test_stats_reports_optimizer_mode_and_planner_counters(server_collection):
+    engine = make_engine(server_collection, optimizer="on")
+    with RunningServer(engine) as server:
+        server.request("POST", "/search", body={"q": QUERY, "top_k": 3})
+        server.request("POST", "/search", body={"q": QUERY, "top_k": 3})
+        status, stats = server.request("GET", "/stats")
+    assert status == 200
+    optimizer = stats["engine"]["optimizer"]
+    assert optimizer["mode"] == "on"
+    assert optimizer["plans_built"] >= 1
+    assert "generation" in optimizer
+
+
+def test_metrics_count_plans_by_provenance(server_collection):
+    engine = make_engine(server_collection, optimizer="on")
+    with RunningServer(engine) as server:
+        server.request("POST", "/search", body={"q": QUERY, "top_k": 3})
+        server.request("POST", "/search", body={"q": QUERY, "top_k": 3})
+        _, _, body = raw_get(server, "/metrics")
+    text = body.decode("utf-8")
+    assert "repro_plans_total" in text
+    assert 'repro_plans_total{source="optimized"}' in text
